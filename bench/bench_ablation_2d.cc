@@ -1,0 +1,119 @@
+// Ablation A7: two-dimensional histograms (the multi-dimensional
+// generalization the paper's concluding remarks call for).
+//
+// Compares three partitioners on a 2-D uncertain grid with planted block
+// structure plus noise, all costed under expected SSE:
+//   * UniformGrid  — fixed sqrt(B) x sqrt(B) tiling (no data awareness)
+//   * Greedy       — MHIST-style best-split-first
+//   * Guillotine   — exact optimal recursive binary partition (small grids)
+// Expected shape: Guillotine <= Greedy << UniformGrid, with Greedy close
+// to Guillotine.
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "bench_util.h"
+#include "core/histogram2d.h"
+#include "gen/generators.h"
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace probsyn {
+namespace {
+
+ProbGrid2D MakeGrid(std::size_t n) {
+  // Block-structured expected surface with per-cell uncertainty.
+  Rng rng(606);
+  std::vector<ValuePdf> cells;
+  cells.reserve(n * n);
+  std::size_t block = n / 4;
+  std::vector<double> levels(16);
+  for (double& l : levels) l = rng.NextUniform(0.0, 12.0);
+  for (std::size_t y = 0; y < n; ++y) {
+    for (std::size_t x = 0; x < n; ++x) {
+      double level = levels[(y / block) * 4 + (x / block)];
+      double lo = std::max(0.0, level - 1.0);
+      auto pdf = ValuePdf::Create(
+          {{lo, 0.3}, {level, 0.4}, {level + 1.0, 0.3}});
+      PROBSYN_CHECK(pdf.ok());
+      cells.push_back(std::move(pdf).value());
+    }
+  }
+  auto grid = ProbGrid2D::Create(n, n, std::move(cells));
+  PROBSYN_CHECK(grid.ok());
+  return std::move(grid).value();
+}
+
+SynopsisOptions SseOptions() {
+  SynopsisOptions options;
+  options.metric = ErrorMetric::kSse;
+  options.sse_variant = SseVariant::kFixedRepresentative;
+  return options;
+}
+
+double UniformGridCost(const ProbGrid2D& grid, std::size_t buckets) {
+  auto oracle = RectCostOracle2D::Create(grid, SseOptions());
+  PROBSYN_CHECK(oracle.ok());
+  std::size_t side = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::floor(std::sqrt(
+             static_cast<double>(buckets)))));
+  std::size_t n = grid.width();
+  double total = 0.0;
+  for (std::size_t by = 0; by < side; ++by) {
+    for (std::size_t bx = 0; bx < side; ++bx) {
+      Rect r{bx * n / side, by * n / side, (bx + 1) * n / side - 1,
+             (by + 1) * n / side - 1};
+      total += oracle->Cost(r).cost;
+    }
+  }
+  return total;
+}
+
+void RunTable() {
+  const std::size_t n = 16;  // small enough for the exact guillotine DP
+  ProbGrid2D grid = MakeGrid(n);
+  bench::SeriesTable table(
+      "Ablation A7: 2-D histograms on a 16x16 uncertain grid "
+      "[expected SSE]",
+      "buckets", {"UniformGrid", "Greedy", "Guillotine"});
+  for (std::size_t b : {4u, 9u, 16u, 25u}) {
+    auto greedy = BuildGreedyHistogram2D(grid, SseOptions(), b);
+    auto exact = BuildOptimalGuillotineHistogram2D(grid, SseOptions(), b,
+                                                   /*max_cells=*/4096);
+    PROBSYN_CHECK(greedy.ok() && exact.ok());
+    table.AddRow(b, {UniformGridCost(grid, b), greedy->cost, exact->cost});
+  }
+  table.Print();
+}
+
+void BM_Greedy2D(benchmark::State& state) {
+  std::size_t n = static_cast<std::size_t>(state.range(0));
+  ProbGrid2D grid = MakeGrid(n);
+  for (auto _ : state) {
+    auto result = BuildGreedyHistogram2D(grid, SseOptions(), 32);
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["cells"] = static_cast<double>(n * n);
+}
+BENCHMARK(BM_Greedy2D)->Arg(16)->Arg(64)->Unit(benchmark::kMillisecond);
+
+void BM_Guillotine2D(benchmark::State& state) {
+  ProbGrid2D grid = MakeGrid(12);
+  for (auto _ : state) {
+    auto result = BuildOptimalGuillotineHistogram2D(grid, SseOptions(), 8);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_Guillotine2D)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace probsyn
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  probsyn::RunTable();
+  return 0;
+}

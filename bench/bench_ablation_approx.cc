@@ -1,0 +1,102 @@
+// Ablation A1 (paper section 3.5, Theorem 5): the (1+eps)-approximate DP
+// versus the exact O(B n^2) DP.
+//
+// Reported per epsilon: achieved cost ratio vs the exact optimum (must be
+// <= 1 + eps), bucket-cost oracle evaluations (the theorem's complexity
+// currency), and wall-clock speedup. Expected shape: evaluations shrink
+// roughly like 1/eps-within-log-factors while the cost ratio stays far
+// below its worst-case bound.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "core/builders.h"
+#include "core/histogram_dp.h"
+#include "core/oracle_factory.h"
+#include "gen/generators.h"
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace probsyn {
+namespace {
+
+TuplePdfInput MakeData() {
+  std::size_t n = bench::Scaled(2048, 10000);
+  BasicModelInput basic = GenerateMovieLinkage({.domain_size = n, .seed = 35});
+  auto tuple_pdf = basic.ToTuplePdf();
+  PROBSYN_CHECK(tuple_pdf.ok());
+  return std::move(tuple_pdf).value();
+}
+
+SynopsisOptions Options() {
+  SynopsisOptions options;
+  options.metric = ErrorMetric::kSsre;
+  options.sanity_c = 0.5;
+  return options;
+}
+
+constexpr std::size_t kBuckets = 32;
+
+void RunTable() {
+  TuplePdfInput input = MakeData();
+  auto bundle = MakeBucketOracle(input, Options());
+  PROBSYN_CHECK(bundle.ok());
+
+  Stopwatch exact_watch;
+  HistogramDpResult exact =
+      SolveHistogramDp(*bundle->oracle, kBuckets, bundle->combiner);
+  double exact_seconds = exact_watch.ElapsedSeconds();
+  double exact_cost = exact.OptimalCost(kBuckets);
+
+  std::printf("\n=== Ablation A1: approximate vs exact histogram DP "
+              "(SSRE c=0.5, n=%zu, B=%zu) ===\n",
+              input.domain_size(), kBuckets);
+  std::printf("exact DP: cost %.6f, time %.3fs\n", exact_cost, exact_seconds);
+  std::printf("%8s %14s %12s %14s %10s\n", "epsilon", "cost ratio",
+              "bound", "oracle evals", "speedup");
+  for (double eps : {0.01, 0.05, 0.1, 0.25, 0.5, 1.0}) {
+    Stopwatch watch;
+    auto approx = SolveApproxHistogramDp(*bundle->oracle, kBuckets, eps);
+    double seconds = watch.ElapsedSeconds();
+    PROBSYN_CHECK(approx.ok());
+    std::printf("%8.2f %14.6f %12.2f %14zu %9.1fx\n", eps,
+                approx->cost / exact_cost, 1.0 + eps,
+                approx->oracle_evaluations,
+                exact_seconds / std::max(1e-9, seconds));
+  }
+}
+
+void BM_Ablation_ExactDP(benchmark::State& state) {
+  static const TuplePdfInput input = MakeData();
+  static auto bundle = MakeBucketOracle(input, Options());
+  for (auto _ : state) {
+    HistogramDpResult dp =
+        SolveHistogramDp(*bundle->oracle, kBuckets, bundle->combiner);
+    benchmark::DoNotOptimize(dp);
+  }
+}
+BENCHMARK(BM_Ablation_ExactDP)->Unit(benchmark::kMillisecond);
+
+void BM_Ablation_ApproxDP(benchmark::State& state) {
+  static const TuplePdfInput input = MakeData();
+  static auto bundle = MakeBucketOracle(input, Options());
+  double eps = static_cast<double>(state.range(0)) / 100.0;
+  for (auto _ : state) {
+    auto approx = SolveApproxHistogramDp(*bundle->oracle, kBuckets, eps);
+    benchmark::DoNotOptimize(approx);
+  }
+  state.counters["eps"] = eps;
+}
+BENCHMARK(BM_Ablation_ApproxDP)->Arg(10)->Arg(50)->Arg(100)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace probsyn
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  probsyn::RunTable();
+  return 0;
+}

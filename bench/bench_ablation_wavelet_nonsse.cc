@@ -1,0 +1,93 @@
+// Ablation A3 (paper section 4.2, Theorem 8): the restricted coefficient-
+// tree DP for non-SSE wavelet objectives versus the greedy heuristic that
+// keeps the B largest |expected coefficients| regardless of metric.
+//
+// Expected shape: the DP is never worse (it is optimal for the restricted
+// problem) and wins clearly on relative-error objectives, where large-|mu|
+// coefficients need not be the ones that reduce relative error.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "core/evaluate.h"
+#include "core/wavelet.h"
+#include "core/wavelet_dp.h"
+#include "core/wavelet_unrestricted.h"
+#include "gen/generators.h"
+#include "model/induced.h"
+#include "util/logging.h"
+
+namespace probsyn {
+namespace {
+
+ValuePdfInput MakeData() {
+  BasicModelInput basic = GenerateMovieLinkage(
+      {.domain_size = 256, .num_segments = 16, .seed = 64});
+  auto induced = InduceValuePdf(basic);
+  PROBSYN_CHECK(induced.ok());
+  return std::move(induced).value();
+}
+
+struct Objective {
+  const char* name;
+  ErrorMetric metric;
+  double c;
+};
+
+void RunTable(const ValuePdfInput& input, const Objective& objective) {
+  SynopsisOptions options;
+  options.metric = objective.metric;
+  options.sanity_c = objective.c;
+
+  bench::SeriesTable table(
+      std::string(
+          "Ablation A3: wavelet selection strategies, non-SSE metrics (") +
+          objective.name + ", n=" + std::to_string(input.domain_size()) + ")",
+      "coeffs", {"GreedyByMu", "RestrictedDP", "UnrestrictedDP"});
+
+  for (std::size_t budget : {2u, 4u, 8u, 16u, 32u}) {
+    auto greedy = BuildSseOptimalWavelet(input, budget);
+    PROBSYN_CHECK(greedy.ok());
+    auto greedy_cost = EvaluateWavelet(input, greedy.value(), options);
+    PROBSYN_CHECK(greedy_cost.ok());
+    auto dp = BuildRestrictedWaveletDp(input, budget, options);
+    PROBSYN_CHECK(dp.ok());
+    auto unrestricted = BuildUnrestrictedWaveletDp(input, budget, options,
+                                                   {.grid_points = 25});
+    PROBSYN_CHECK(unrestricted.ok());
+    table.AddRow(budget, {*greedy_cost, dp->cost, unrestricted->cost});
+  }
+  table.Print();
+}
+
+void BM_RestrictedWaveletDp(benchmark::State& state) {
+  static const ValuePdfInput input = MakeData();
+  SynopsisOptions options;
+  options.metric = ErrorMetric::kSae;
+  std::size_t budget = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    auto dp = BuildRestrictedWaveletDp(input, budget, options);
+    benchmark::DoNotOptimize(dp);
+  }
+}
+BENCHMARK(BM_RestrictedWaveletDp)->Arg(8)->Arg(32)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace probsyn
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  probsyn::ValuePdfInput input = probsyn::MakeData();
+  for (const probsyn::Objective& objective :
+       {probsyn::Objective{"SAE", probsyn::ErrorMetric::kSae, 1.0},
+        probsyn::Objective{"SARE c=0.5", probsyn::ErrorMetric::kSare, 0.5},
+        probsyn::Objective{"MAE", probsyn::ErrorMetric::kMae, 1.0},
+        probsyn::Objective{"MARE c=0.5", probsyn::ErrorMetric::kMare, 0.5}}) {
+    probsyn::RunTable(input, objective);
+  }
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Figure 3 (paper section 5.1): histogram construction time.
+//
+//   (a) time vs n at fixed B  — expected shape: ~quadratic in n
+//   (b) time vs B at fixed n  — expected shape: ~linear in B
+//
+// The paper reports SSRE ("results very similar for other metrics, due to
+// a shared code base") at n up to 3*10^4 and B up to 1000, landing around
+// 10^3 seconds on a 2.4 GHz 2008 desktop; we run the identical O(m + Bn^2)
+// algorithm at bench scale and verify the exponents, not the seconds.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "core/builders.h"
+#include "gen/generators.h"
+#include "util/logging.h"
+
+namespace probsyn {
+namespace {
+
+TuplePdfInput MakeData(std::size_t n) {
+  BasicModelInput basic = GenerateMovieLinkage({.domain_size = n, .seed = 2009});
+  auto tuple_pdf = basic.ToTuplePdf();
+  PROBSYN_CHECK(tuple_pdf.ok());
+  return std::move(tuple_pdf).value();
+}
+
+SynopsisOptions SsreOptions() {
+  SynopsisOptions options;
+  options.metric = ErrorMetric::kSsre;
+  options.sanity_c = 0.5;
+  return options;
+}
+
+// Figure 3(a): vary n, fixed B.
+void BM_Fig3a_TimeVsN(benchmark::State& state) {
+  std::size_t n = static_cast<std::size_t>(state.range(0));
+  TuplePdfInput input = MakeData(n);
+  const std::size_t kBuckets = 50;
+  for (auto _ : state) {
+    auto builder = HistogramBuilder::Create(input, SsreOptions(), kBuckets);
+    benchmark::DoNotOptimize(builder);
+  }
+  state.counters["n"] = static_cast<double>(n);
+  state.counters["B"] = kBuckets;
+  // Reading the table: doubling n should ~quadruple Time (the paper's
+  // "close to quadratic dependency on n").
+}
+
+// Figure 3(b): vary B, fixed n.
+void BM_Fig3b_TimeVsB(benchmark::State& state) {
+  static const std::size_t n = probsyn::bench::Scaled(1024, 10000);
+  static const TuplePdfInput input = MakeData(n);
+  std::size_t buckets = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    auto builder = HistogramBuilder::Create(input, SsreOptions(), buckets);
+    benchmark::DoNotOptimize(builder);
+  }
+  state.counters["n"] = static_cast<double>(n);
+  state.counters["B"] = static_cast<double>(buckets);
+}
+
+}  // namespace
+}  // namespace probsyn
+
+BENCHMARK(probsyn::BM_Fig3a_TimeVsN)
+    ->Arg(256)
+    ->Arg(512)
+    ->Arg(1024)
+    ->Arg(2048)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK(probsyn::BM_Fig3b_TimeVsB)
+    ->Arg(25)
+    ->Arg(50)
+    ->Arg(100)
+    ->Arg(200)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

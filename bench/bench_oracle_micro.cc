@@ -1,0 +1,100 @@
+// Oracle microbenchmarks: per-bucket Cost(s, e) latency for every metric.
+//
+// These back the per-theorem complexity claims (paper Theorems 1-4, 6):
+//   SSE / SSRE           O(1)          — flat across bucket widths
+//   SAE / SARE           O(log |V|)    — flat across widths, grows with |V|
+//   MAE / MARE           O(n_b log...) — linear-ish in bucket width
+// plus the tuple-pdf SSE sweep's amortized O(1 + postings) extension.
+
+#include <benchmark/benchmark.h>
+
+#include "core/oracle_factory.h"
+#include "gen/generators.h"
+#include "model/induced.h"
+#include "util/logging.h"
+
+namespace probsyn {
+namespace {
+
+const ValuePdfInput& Data() {
+  static const ValuePdfInput input = [] {
+    BasicModelInput basic =
+        GenerateMovieLinkage({.domain_size = 8192, .seed = 11});
+    auto induced = InduceValuePdf(basic);
+    PROBSYN_CHECK(induced.ok());
+    return std::move(induced).value();
+  }();
+  return input;
+}
+
+void CostLoop(benchmark::State& state, ErrorMetric metric) {
+  SynopsisOptions options;
+  options.metric = metric;
+  options.sanity_c = 0.5;
+  options.sse_variant = SseVariant::kFixedRepresentative;
+  auto bundle = MakeBucketOracle(Data(), options);
+  PROBSYN_CHECK(bundle.ok());
+  const std::size_t width = static_cast<std::size_t>(state.range(0));
+  const std::size_t n = Data().domain_size();
+  std::size_t s = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bundle->oracle->Cost(s, s + width - 1));
+    s = (s + 97) % (n - width);
+  }
+  state.counters["width"] = static_cast<double>(width);
+}
+
+void BM_OracleCost_SSE(benchmark::State& state) {
+  CostLoop(state, ErrorMetric::kSse);
+}
+void BM_OracleCost_SSRE(benchmark::State& state) {
+  CostLoop(state, ErrorMetric::kSsre);
+}
+void BM_OracleCost_SAE(benchmark::State& state) {
+  CostLoop(state, ErrorMetric::kSae);
+}
+void BM_OracleCost_SARE(benchmark::State& state) {
+  CostLoop(state, ErrorMetric::kSare);
+}
+void BM_OracleCost_MAE(benchmark::State& state) {
+  CostLoop(state, ErrorMetric::kMae);
+}
+void BM_OracleCost_MARE(benchmark::State& state) {
+  CostLoop(state, ErrorMetric::kMare);
+}
+
+void BM_TupleSseSweepExtend(benchmark::State& state) {
+  static const TuplePdfInput input = GenerateMaybmsTpch(
+      {.domain_size = 8192, .num_tuples = 32768, .seed = 12});
+  SynopsisOptions options;
+  options.metric = ErrorMetric::kSse;
+  options.sse_variant = SseVariant::kWorldMean;
+  auto bundle = MakeBucketOracle(input, options);
+  PROBSYN_CHECK(bundle.ok());
+  // Amortized extension cost over one full sweep.
+  for (auto _ : state) {
+    auto sweep = bundle->oracle->StartSweep(input.domain_size() - 1);
+    double sink = 0.0;
+    for (std::size_t s = input.domain_size() - 1;; --s) {
+      sink += sweep->Extend().cost;
+      if (s == 0) break;
+    }
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(input.domain_size()));
+}
+
+}  // namespace
+}  // namespace probsyn
+
+BENCHMARK(probsyn::BM_OracleCost_SSE)->Arg(16)->Arg(256)->Arg(4096);
+BENCHMARK(probsyn::BM_OracleCost_SSRE)->Arg(16)->Arg(256)->Arg(4096);
+BENCHMARK(probsyn::BM_OracleCost_SAE)->Arg(16)->Arg(256)->Arg(4096);
+BENCHMARK(probsyn::BM_OracleCost_SARE)->Arg(16)->Arg(256)->Arg(4096);
+BENCHMARK(probsyn::BM_OracleCost_MAE)->Arg(16)->Arg(256)->Arg(4096);
+BENCHMARK(probsyn::BM_OracleCost_MARE)->Arg(16)->Arg(256)->Arg(4096);
+BENCHMARK(probsyn::BM_TupleSseSweepExtend)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,75 @@
+#include "core/abs_oracle.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/math.h"
+#include "util/search.h"
+
+namespace probsyn {
+
+AbsCumulativeOracle::AbsCumulativeOracle(const ValuePdfInput& input,
+                                         bool relative, double sanity_c,
+                                         std::span<const double> weights)
+    : n_(input.domain_size()), grid_(input.ValueGrid()) {
+  const std::size_t K = grid_.size();
+
+  // Temporary matrices, row-major [l * n + i].
+  std::vector<double> below(K * n_, 0.0);
+  std::vector<double> above(K * n_, 0.0);
+
+  // Per item: walk the grid accumulating cumulative weight W_i(j), filling
+  // U_i(l) = U_i(l-1) + W_i(l-1) d_{l-1} upward and
+  // D_i(l) = D_i(l+1) + W*_i(l) d_l downward.
+  std::vector<double> cw(K);  // W_i(j) for the current item.
+  for (std::size_t i = 0; i < n_; ++i) {
+    const ValuePdf& pdf = input.item(i);
+    std::size_t entry = 0;
+    double acc = 0.0;
+    for (std::size_t j = 0; j < K; ++j) {
+      if (entry < pdf.size() && pdf.entries()[entry].value == grid_[j]) {
+        double w = pdf.entries()[entry].probability;
+        if (relative) w *= RelativeWeight(grid_[j], sanity_c);
+        if (!weights.empty()) w *= weights[i];
+        acc += w;
+        ++entry;
+      }
+      cw[j] = acc;
+    }
+    PROBSYN_CHECK(entry == pdf.size());
+    double total = acc;
+
+    double run_below = 0.0;
+    for (std::size_t l = 0; l < K; ++l) {
+      below[l * n_ + i] = run_below;
+      if (l + 1 < K) run_below += cw[l] * (grid_[l + 1] - grid_[l]);
+    }
+    double run_above = 0.0;
+    for (std::size_t l = K; l-- > 0;) {
+      if (l + 1 < K) run_above += (total - cw[l]) * (grid_[l + 1] - grid_[l]);
+      above[l * n_ + i] = run_above;
+    }
+  }
+
+  below_ = PrefixSumsBank(K, n_, [&](std::size_t l, std::size_t i) {
+    return below[l * n_ + i];
+  });
+  above_ = PrefixSumsBank(K, n_, [&](std::size_t l, std::size_t i) {
+    return above[l * n_ + i];
+  });
+}
+
+double AbsCumulativeOracle::CostAtGridIndex(std::size_t s, std::size_t e,
+                                            std::size_t l) const {
+  return below_.RangeSum(l, s, e) + above_.RangeSum(l, s, e);
+}
+
+BucketCost AbsCumulativeOracle::Cost(std::size_t s, std::size_t e) const {
+  PROBSYN_DCHECK(s <= e && e < n_);
+  std::size_t best = TernarySearchMinIndex(
+      0, grid_.size() - 1,
+      [&](std::size_t l) { return CostAtGridIndex(s, e, l); });
+  return {grid_[best], std::max(0.0, CostAtGridIndex(s, e, best))};
+}
+
+}  // namespace probsyn

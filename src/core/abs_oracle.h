@@ -1,0 +1,59 @@
+#ifndef PROBSYN_CORE_ABS_ORACLE_H_
+#define PROBSYN_CORE_ABS_ORACLE_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "core/bucket_oracle.h"
+#include "model/value_pdf.h"
+#include "util/prefix_sums.h"
+
+namespace probsyn {
+
+/// Sum-Absolute-Error / Sum-Absolute-Relative-Error bucket oracle
+/// (paper sections 3.3 and 3.4; SAE is the w_ij = Pr[g_i = v_j] special
+/// case of the weighted SARE machinery).
+///
+/// With V = {v_0 < ... < v_{K-1}} the global value grid, d_j = v_{j+1}-v_j,
+/// per-item cumulative weights W_i(j) = sum_{r<=j} w_ir and
+/// W*_i(j) = sum_{r>j} w_ir, the bucket cost at representative bhat = v_l is
+///
+///   cost(l) = sum_{j<l} P_{j,s,e} d_j + sum_{j>=l} P*_{j,s,e} d_j,
+///   P_{j,s,e} = sum_{i=s..e} W_i(j),   P*_{j,s,e} = sum_{i=s..e} W*_i(j),
+///
+/// and the paper shows the optimum is attained at some grid value, with
+/// cost(l) the sampling of a convex function (P monotone up, P* down).
+/// We precompute, for every l, item-prefix tables of
+///   U_i(l) = sum_{j<l}  W_i(j)  d_j   and   D_i(l) = sum_{j>=l} W*_i(j) d_j,
+/// so any (bucket, l) evaluation is two O(1) range sums, and locate the
+/// optimal l by convex ternary search — O(log |V|) per bucket after
+/// O(n |V|) preprocessing (the paper's Theorems 3 and 4).
+class AbsCumulativeOracle : public BucketCostOracle {
+ public:
+  /// relative == false -> SAE; true -> SARE with sanity constant c.
+  /// `weights` are optional per-item workload weights (empty = uniform);
+  /// they scale each item's w_ij. The paper's machinery already allows
+  /// "arbitrary non-negative weights" here (section 3.4).
+  AbsCumulativeOracle(const ValuePdfInput& input, bool relative,
+                      double sanity_c, std::span<const double> weights = {});
+
+  std::size_t domain_size() const override { return n_; }
+  BucketCost Cost(std::size_t s, std::size_t e) const override;
+
+  /// Expected bucket error for a *given* grid representative index; exposed
+  /// for tests that verify convexity and optimality of the searched l.
+  double CostAtGridIndex(std::size_t s, std::size_t e, std::size_t l) const;
+
+  const std::vector<double>& grid() const { return grid_; }
+
+ private:
+  std::size_t n_;
+  std::vector<double> grid_;
+  PrefixSumsBank below_;  // row l: per-item U_i(l)
+  PrefixSumsBank above_;  // row l: per-item D_i(l)
+};
+
+}  // namespace probsyn
+
+#endif  // PROBSYN_CORE_ABS_ORACLE_H_

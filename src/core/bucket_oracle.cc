@@ -1,0 +1,34 @@
+#include "core/bucket_oracle.h"
+
+#include "util/logging.h"
+
+namespace probsyn {
+
+namespace {
+
+class DefaultSweep : public BucketCostOracle::Sweep {
+ public:
+  DefaultSweep(const BucketCostOracle& oracle, std::size_t e)
+      : oracle_(oracle), end_(e), next_start_(e) {}
+
+  BucketCost Extend() override {
+    PROBSYN_CHECK(next_start_ != static_cast<std::size_t>(-1));
+    BucketCost cost = oracle_.Cost(next_start_, end_);
+    --next_start_;  // Wraps to -1 after the [0, e] bucket; checked above.
+    return cost;
+  }
+
+ private:
+  const BucketCostOracle& oracle_;
+  std::size_t end_;
+  std::size_t next_start_;
+};
+
+}  // namespace
+
+std::unique_ptr<BucketCostOracle::Sweep> BucketCostOracle::StartSweep(
+    std::size_t e) const {
+  return std::make_unique<DefaultSweep>(*this, e);
+}
+
+}  // namespace probsyn

@@ -1,0 +1,89 @@
+#include "core/builders.h"
+
+#include "util/logging.h"
+
+namespace probsyn {
+
+ValuePdfInput PointMassInput(std::span<const double> frequencies) {
+  std::vector<ValuePdf> items;
+  items.reserve(frequencies.size());
+  for (double f : frequencies) items.push_back(ValuePdf::PointMass(f));
+  return ValuePdfInput(std::move(items));
+}
+
+HistogramBuilder::HistogramBuilder(OracleBundle bundle,
+                                   std::size_t max_buckets)
+    : bundle_(std::move(bundle)),
+      dp_(SolveHistogramDp(*bundle_.oracle, max_buckets, bundle_.combiner)) {}
+
+StatusOr<HistogramBuilder> HistogramBuilder::Create(
+    const ValuePdfInput& input, const SynopsisOptions& options,
+    std::size_t max_buckets) {
+  if (max_buckets < 1) return Status::InvalidArgument("need >= 1 bucket");
+  auto bundle = MakeBucketOracle(input, options);
+  if (!bundle.ok()) return bundle.status();
+  return HistogramBuilder(std::move(bundle).value(), max_buckets);
+}
+
+StatusOr<HistogramBuilder> HistogramBuilder::Create(
+    const TuplePdfInput& input, const SynopsisOptions& options,
+    std::size_t max_buckets) {
+  if (max_buckets < 1) return Status::InvalidArgument("need >= 1 bucket");
+  auto bundle = MakeBucketOracle(input, options);
+  if (!bundle.ok()) return bundle.status();
+  return HistogramBuilder(std::move(bundle).value(), max_buckets);
+}
+
+StatusOr<HistogramBuilder> HistogramBuilder::CreateDeterministic(
+    std::span<const double> frequencies, const SynopsisOptions& options,
+    std::size_t max_buckets) {
+  return Create(PointMassInput(frequencies), options, max_buckets);
+}
+
+StatusOr<Histogram> BuildOptimalHistogram(const ValuePdfInput& input,
+                                          const SynopsisOptions& options,
+                                          std::size_t num_buckets) {
+  auto builder = HistogramBuilder::Create(input, options, num_buckets);
+  if (!builder.ok()) return builder.status();
+  return builder->Extract(num_buckets);
+}
+
+StatusOr<Histogram> BuildOptimalHistogram(const TuplePdfInput& input,
+                                          const SynopsisOptions& options,
+                                          std::size_t num_buckets) {
+  auto builder = HistogramBuilder::Create(input, options, num_buckets);
+  if (!builder.ok()) return builder.status();
+  return builder->Extract(num_buckets);
+}
+
+namespace {
+
+StatusOr<ApproxHistogramResult> ApproxFromBundle(StatusOr<OracleBundle> bundle,
+                                                 std::size_t num_buckets,
+                                                 double epsilon) {
+  if (!bundle.ok()) return bundle.status();
+  if (bundle->combiner != DpCombiner::kSum) {
+    return Status::Unimplemented(
+        "approximate histogram construction targets cumulative metrics "
+        "(paper Theorem 5)");
+  }
+  return SolveApproxHistogramDp(*bundle->oracle, num_buckets, epsilon);
+}
+
+}  // namespace
+
+StatusOr<ApproxHistogramResult> BuildApproxHistogram(
+    const ValuePdfInput& input, const SynopsisOptions& options,
+    std::size_t num_buckets, double epsilon) {
+  return ApproxFromBundle(MakeBucketOracle(input, options), num_buckets,
+                          epsilon);
+}
+
+StatusOr<ApproxHistogramResult> BuildApproxHistogram(
+    const TuplePdfInput& input, const SynopsisOptions& options,
+    std::size_t num_buckets, double epsilon) {
+  return ApproxFromBundle(MakeBucketOracle(input, options), num_buckets,
+                          epsilon);
+}
+
+}  // namespace probsyn

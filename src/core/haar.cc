@@ -1,0 +1,113 @@
+#include "core/haar.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/math.h"
+
+namespace probsyn {
+
+namespace {
+const double kInvSqrt2 = 1.0 / std::sqrt(2.0);
+}  // namespace
+
+std::vector<double> HaarTransform(std::span<const double> data) {
+  const std::size_t n = data.size();
+  PROBSYN_CHECK(IsPowerOfTwo(n));
+  std::vector<double> coeffs(data.begin(), data.end());
+  std::vector<double> scratch(n);
+  for (std::size_t len = n; len > 1; len /= 2) {
+    std::size_t half = len / 2;
+    // Write averages and details into scratch first: detail slots
+    // [half, len) overlap the pair positions still being read.
+    for (std::size_t k = 0; k < half; ++k) {
+      double a = coeffs[2 * k];
+      double b = coeffs[2 * k + 1];
+      scratch[k] = (a + b) * kInvSqrt2;         // running averages
+      scratch[half + k] = (a - b) * kInvSqrt2;  // details at this level
+    }
+    std::copy(scratch.begin(), scratch.begin() + len, coeffs.begin());
+  }
+  return coeffs;
+}
+
+std::vector<double> HaarInverse(std::span<const double> coefficients) {
+  const std::size_t n = coefficients.size();
+  PROBSYN_CHECK(IsPowerOfTwo(n));
+  std::vector<double> data(coefficients.begin(), coefficients.end());
+  std::vector<double> scratch(n);
+  for (std::size_t len = 2; len <= n; len *= 2) {
+    std::size_t half = len / 2;
+    for (std::size_t k = 0; k < half; ++k) {
+      double avg = data[k];
+      double det = data[half + k];
+      scratch[2 * k] = (avg + det) * kInvSqrt2;
+      scratch[2 * k + 1] = (avg - det) * kInvSqrt2;
+    }
+    std::copy(scratch.begin(), scratch.begin() + len, data.begin());
+  }
+  return data;
+}
+
+std::vector<double> PadToPowerOfTwo(std::span<const double> data) {
+  std::size_t n = NextPowerOfTwo(data.size());
+  std::vector<double> padded(data.begin(), data.end());
+  padded.resize(n, 0.0);
+  return padded;
+}
+
+std::size_t CoefficientLevel(std::size_t index) {
+  return index == 0 ? 0 : FloorLog2(index);
+}
+
+SupportRange CoefficientSupport(std::size_t index, std::size_t n) {
+  PROBSYN_CHECK(IsPowerOfTwo(n) && index < n);
+  if (index == 0) return {0, n};
+  std::size_t level = FloorLog2(index);
+  std::size_t span = n >> level;  // n / 2^level
+  std::size_t offset = index - (static_cast<std::size_t>(1) << level);
+  return {offset * span, (offset + 1) * span};
+}
+
+double LeafContributionScale(std::size_t index, std::size_t n) {
+  PROBSYN_CHECK(IsPowerOfTwo(n) && index < n);
+  if (index == 0) return 1.0 / std::sqrt(static_cast<double>(n));
+  std::size_t level = FloorLog2(index);
+  return std::sqrt(static_cast<double>(1ull << level) /
+                   static_cast<double>(n));
+}
+
+double ReconstructPointSparse(std::span<const std::size_t> indices,
+                              std::span<const double> values, std::size_t i,
+                              std::size_t n) {
+  PROBSYN_CHECK(IsPowerOfTwo(n) && i < n);
+  PROBSYN_CHECK(indices.size() == values.size());
+  auto lookup = [&](std::size_t idx) -> double {
+    auto it = std::lower_bound(indices.begin(), indices.end(), idx);
+    if (it != indices.end() && *it == idx) {
+      return values[static_cast<std::size_t>(it - indices.begin())];
+    }
+    return 0.0;
+  };
+
+  double total = lookup(0) * LeafContributionScale(0, n);
+  // Walk the detail chain covering leaf i.
+  std::size_t node = 1;
+  std::size_t lo = 0, hi = n;
+  while (node < n) {
+    std::size_t mid = (lo + hi) / 2;
+    double sign = (i < mid) ? 1.0 : -1.0;
+    total += sign * lookup(node) * LeafContributionScale(node, n);
+    if (i < mid) {
+      hi = mid;
+      node = 2 * node;
+    } else {
+      lo = mid;
+      node = 2 * node + 1;
+    }
+  }
+  return total;
+}
+
+}  // namespace probsyn

@@ -1,0 +1,61 @@
+#ifndef PROBSYN_CORE_HAAR_H_
+#define PROBSYN_CORE_HAAR_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace probsyn {
+
+/// Orthonormal Haar DWT utilities (paper section 2.2, Figure 1).
+///
+/// Coefficient indexing is the standard Mallat layout for a power-of-two
+/// input of size n:
+///   * index 0: the scaling coefficient (overall average * sqrt(n));
+///   * index i in [2^l, 2^{l+1}): the detail coefficient at resolution
+///     level l (l = 0 coarsest), supported on the dyadic interval of
+///     length n / 2^l starting at (i - 2^l) * n / 2^l;
+///   * the children of detail node i are 2i and 2i+1 (while 2i < n); for
+///     i >= n/2 the "children" are the data leaves 2i - n and 2i + 1 - n.
+///
+/// Normalization is orthonormal: sum of squared coefficients equals the sum
+/// of squared data values (Parseval), so greedy selection by |coefficient|
+/// is SSE-optimal.
+
+/// Forward transform; `data.size()` must be a power of two.
+std::vector<double> HaarTransform(std::span<const double> data);
+
+/// Inverse transform; exact round trip up to fp rounding.
+std::vector<double> HaarInverse(std::span<const double> coefficients);
+
+/// Zero-pads to the next power of two (identity if already a power of two).
+/// Padding with zeros matches extending the probabilistic domain with
+/// deterministic zero-frequency items.
+std::vector<double> PadToPowerOfTwo(std::span<const double> data);
+
+/// Resolution level of a coefficient index (0 for the scaling coefficient
+/// and for detail index 1; in general floor(log2(i)) for i >= 1).
+std::size_t CoefficientLevel(std::size_t index);
+
+/// Dyadic support [lo, hi) of coefficient `index` over a domain of size n.
+struct SupportRange {
+  std::size_t lo = 0;
+  std::size_t hi = 0;
+};
+SupportRange CoefficientSupport(std::size_t index, std::size_t n);
+
+/// |per-leaf reconstruction contribution| of coefficient `index` in an
+/// n-point transform: 1/sqrt(n) for the scaling coefficient,
+/// sqrt(2^l / n) for a detail coefficient at level l. The sign is + on the
+/// left half of the support and - on the right half.
+double LeafContributionScale(std::size_t index, std::size_t n);
+
+/// Reconstructs data point `i` from a sparse coefficient set given as
+/// parallel arrays sorted by index. O(log n * log B).
+double ReconstructPointSparse(std::span<const std::size_t> indices,
+                              std::span<const double> values, std::size_t i,
+                              std::size_t n);
+
+}  // namespace probsyn
+
+#endif  // PROBSYN_CORE_HAAR_H_

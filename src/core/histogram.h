@@ -1,0 +1,77 @@
+#ifndef PROBSYN_CORE_HISTOGRAM_H_
+#define PROBSYN_CORE_HISTOGRAM_H_
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace probsyn {
+
+/// One histogram bucket b_k = (s_k, e_k) with representative b-hat
+/// (paper section 2.2). Spans items s..e inclusive.
+struct HistogramBucket {
+  std::size_t start = 0;
+  std::size_t end = 0;
+  double representative = 0.0;
+
+  std::size_t width() const { return end - start + 1; }
+
+  friend bool operator==(const HistogramBucket&, const HistogramBucket&) =
+      default;
+};
+
+/// A B-bucket histogram synopsis: buckets partition the ordered domain [n]
+/// (s_1 = 0, e_B = n-1, s_{k+1} = e_k + 1).
+class Histogram {
+ public:
+  Histogram() = default;
+  explicit Histogram(std::vector<HistogramBucket> buckets)
+      : buckets_(std::move(buckets)) {}
+
+  const std::vector<HistogramBucket>& buckets() const { return buckets_; }
+  std::size_t num_buckets() const { return buckets_.size(); }
+
+  /// Domain size covered (0 for an empty histogram).
+  std::size_t domain_size() const {
+    return buckets_.empty() ? 0 : buckets_.back().end + 1;
+  }
+
+  /// Checks the partition invariants against a domain of size n.
+  Status Validate(std::size_t n) const;
+
+  /// The synopsis estimate ghat_i: the representative of i's bucket.
+  /// O(log B).
+  double Estimate(std::size_t i) const;
+
+  /// Index of the bucket containing item i. O(log B).
+  std::size_t BucketIndexOf(std::size_t i) const;
+
+  /// Estimate of sum_{i=a..b} g_i — the canonical approximate range-count
+  /// query a histogram synopsis answers. O(log B + buckets overlapped).
+  double EstimateRangeSum(std::size_t a, std::size_t b) const;
+
+  /// Materializes [ghat_0, ..., ghat_{n-1}].
+  std::vector<double> ToFrequencyVector() const;
+
+  /// Human-readable one-line-per-bucket dump.
+  std::string ToString() const;
+
+  friend bool operator==(const Histogram&, const Histogram&) = default;
+
+ private:
+  std::vector<HistogramBucket> buckets_;
+};
+
+/// Enumerates every partition of [n] into exactly B contiguous buckets and
+/// invokes `fn` with the bucket boundary list (end indices, ascending; the
+/// last is always n-1). Exponential-in-B test oracle for DP optimality.
+void ForEachBucketization(
+    std::size_t n, std::size_t num_buckets,
+    const std::function<void(const std::vector<std::size_t>&)>& fn);
+
+}  // namespace probsyn
+
+#endif  // PROBSYN_CORE_HISTOGRAM_H_

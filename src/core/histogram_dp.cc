@@ -1,0 +1,202 @@
+#include "core/histogram_dp.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/logging.h"
+
+namespace probsyn {
+
+namespace {
+
+double Combine(DpCombiner combiner, double prefix, double bucket) {
+  return combiner == DpCombiner::kSum ? prefix + bucket
+                                      : std::max(prefix, bucket);
+}
+
+}  // namespace
+
+double HistogramDpResult::OptimalCost(std::size_t num_buckets) const {
+  PROBSYN_CHECK(num_buckets >= 1 && n_ > 0);
+  std::size_t b = std::min(num_buckets, err_.size());
+  return err_[b - 1][n_ - 1];
+}
+
+Histogram HistogramDpResult::ExtractHistogram(std::size_t num_buckets) const {
+  PROBSYN_CHECK(num_buckets >= 1 && n_ > 0);
+  std::size_t layer = std::min(num_buckets, err_.size());
+  std::vector<HistogramBucket> buckets;
+  std::size_t j = n_ - 1;
+  for (;;) {
+    std::int64_t c = choice_[layer - 1][j];
+    if (c == kInheritChoice) {
+      PROBSYN_CHECK(layer > 1);
+      --layer;
+      continue;
+    }
+    if (c == kWholePrefix) {
+      buckets.push_back({0, j, 0.0});
+      break;
+    }
+    std::size_t l = static_cast<std::size_t>(c);
+    buckets.push_back({l + 1, j, 0.0});
+    j = l;
+    PROBSYN_CHECK(layer > 1);
+    --layer;
+  }
+  std::reverse(buckets.begin(), buckets.end());
+  for (HistogramBucket& b : buckets) {
+    b.representative = oracle_->Cost(b.start, b.end).representative;
+  }
+  return Histogram(std::move(buckets));
+}
+
+HistogramDpResult SolveHistogramDp(const BucketCostOracle& oracle,
+                                   std::size_t max_buckets,
+                                   DpCombiner combiner) {
+  const std::size_t n = oracle.domain_size();
+  PROBSYN_CHECK(n > 0 && max_buckets >= 1);
+  // Budgets beyond n buckets cannot help; cap the table, not the API.
+  const std::size_t cap = std::min(max_buckets, n);
+
+  HistogramDpResult result;
+  result.n_ = n;
+  result.max_buckets_ = max_buckets;
+  result.oracle_ = &oracle;
+  result.err_.assign(cap, std::vector<double>(n, 0.0));
+  result.choice_.assign(
+      cap, std::vector<std::int64_t>(n, HistogramDpResult::kWholePrefix));
+
+  // costcol[s] = Cost([s, j]) for the current right end j.
+  std::vector<BucketCost> costcol(n);
+
+  for (std::size_t j = 0; j < n; ++j) {
+    auto sweep = oracle.StartSweep(j);
+    for (std::size_t s = j;; --s) {
+      costcol[s] = sweep->Extend();
+      if (s == 0) break;
+    }
+
+    result.err_[0][j] = costcol[0].cost;
+    result.choice_[0][j] = HistogramDpResult::kWholePrefix;
+
+    for (std::size_t b = 2; b <= cap; ++b) {
+      // Start from "b-1 buckets were already enough".
+      double best = result.err_[b - 2][j];
+      std::int64_t best_choice = HistogramDpResult::kInheritChoice;
+      const double* prev = result.err_[b - 2].data();
+      for (std::size_t l = 0; l < j; ++l) {
+        double v = Combine(combiner, prev[l], costcol[l + 1].cost);
+        if (v < best) {
+          best = v;
+          best_choice = static_cast<std::int64_t>(l);
+        }
+      }
+      result.err_[b - 1][j] = best;
+      result.choice_[b - 1][j] = best_choice;
+    }
+  }
+  return result;
+}
+
+StatusOr<ApproxHistogramResult> SolveApproxHistogramDp(
+    const BucketCostOracle& oracle, std::size_t max_buckets, double epsilon) {
+  const std::size_t n = oracle.domain_size();
+  if (n == 0) return Status::InvalidArgument("empty domain");
+  if (max_buckets < 1) return Status::InvalidArgument("need >= 1 bucket");
+  if (!(epsilon > 0.0)) {
+    return Status::InvalidArgument("epsilon must be positive");
+  }
+  const std::size_t cap = std::min(max_buckets, n);
+  // Per-layer slack; (1 + delta)^(cap-1) <= e^(eps/2) <= 1 + eps for
+  // eps <= 1. Larger eps values still yield a valid (coarser) guarantee.
+  const double delta = std::min(0.5, epsilon / (2.0 * static_cast<double>(cap)));
+
+  std::size_t evaluations = 0;
+  auto bucket_cost = [&](std::size_t s, std::size_t e) {
+    ++evaluations;
+    return oracle.Cost(s, e).cost;
+  };
+
+  std::vector<std::vector<std::int64_t>> choice(
+      cap, std::vector<std::int64_t>(n, HistogramDpResult::kWholePrefix));
+  constexpr std::int64_t kInherit = -2;
+
+  std::vector<double> prev(n), cur(n);
+  for (std::size_t j = 0; j < n; ++j) prev[j] = bucket_cost(0, j);
+
+  std::vector<std::size_t> candidates;
+  for (std::size_t b = 2; b <= cap; ++b) {
+    // Geometric error classes of the previous (monotone) layer; keep the
+    // rightmost position of each class. Classes are contiguous intervals
+    // because prev[] is non-decreasing in j.
+    candidates.clear();
+    double class_base = prev[0];
+    for (std::size_t j = 0; j + 1 < n; ++j) {
+      bool class_ends = (prev[j + 1] > class_base * (1.0 + delta)) ||
+                        (class_base == 0.0 && prev[j + 1] > 0.0);
+      if (class_ends) {
+        candidates.push_back(j);
+        class_base = prev[j + 1];
+      }
+    }
+    if (n >= 1) candidates.push_back(n - 1);
+
+    for (std::size_t j = 0; j < n; ++j) {
+      double best = prev[j];  // Inherit: fewer buckets already optimal.
+      std::int64_t best_choice = kInherit;
+      auto consider = [&](std::size_t l) {
+        double v = prev[l] + bucket_cost(l + 1, j);
+        if (v < best) {
+          best = v;
+          best_choice = static_cast<std::int64_t>(l);
+        }
+      };
+      for (std::size_t l : candidates) {
+        if (l + 1 > j) break;  // candidates ascending; l must be < j
+        consider(l);
+      }
+      if (j >= 1) consider(j - 1);
+      cur[j] = best;
+      choice[b - 1][j] = best_choice;
+    }
+    prev.swap(cur);
+  }
+
+  // Traceback (same scheme as the exact DP).
+  std::vector<HistogramBucket> buckets;
+  std::size_t layer = cap;
+  std::size_t j = n - 1;
+  for (;;) {
+    std::int64_t c = layer >= 2 ? choice[layer - 1][j]
+                                : HistogramDpResult::kWholePrefix;
+    if (c == kInherit) {
+      --layer;
+      continue;
+    }
+    if (c == HistogramDpResult::kWholePrefix) {
+      buckets.push_back({0, j, 0.0});
+      break;
+    }
+    std::size_t l = static_cast<std::size_t>(c);
+    buckets.push_back({l + 1, j, 0.0});
+    j = l;
+    PROBSYN_CHECK(layer > 1);
+    --layer;
+  }
+  std::reverse(buckets.begin(), buckets.end());
+  double total = 0.0;
+  for (HistogramBucket& b : buckets) {
+    BucketCost bc = oracle.Cost(b.start, b.end);
+    b.representative = bc.representative;
+    total += bc.cost;
+  }
+
+  ApproxHistogramResult result;
+  result.histogram = Histogram(std::move(buckets));
+  result.cost = total;
+  result.oracle_evaluations = evaluations;
+  return result;
+}
+
+}  // namespace probsyn

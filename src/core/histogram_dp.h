@@ -1,0 +1,97 @@
+#ifndef PROBSYN_CORE_HISTOGRAM_DP_H_
+#define PROBSYN_CORE_HISTOGRAM_DP_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/bucket_oracle.h"
+#include "core/histogram.h"
+#include "util/status.h"
+
+namespace probsyn {
+
+/// How per-bucket errors aggregate into the histogram error: the paper's
+/// h(x, y) — sum for cumulative objectives, max for maximum objectives
+/// (equation (2)).
+enum class DpCombiner { kSum, kMax };
+
+/// Output of the exact DP: the whole optimal-cost curve over bucket
+/// budgets, plus enough trace information to extract the optimal histogram
+/// for ANY budget b <= max_buckets (the quality experiments of Figure 2
+/// plot entire curves from one DP run).
+///
+/// Budgets are interpreted as "at most b buckets": OptimalCost(b) is
+/// non-increasing in b. (Splitting a bucket never increases either a
+/// cumulative or a maximum objective, so this matches "exactly b" whenever
+/// b <= n.)
+class HistogramDpResult {
+ public:
+  /// Optimal expected error with at most `num_buckets` buckets.
+  double OptimalCost(std::size_t num_buckets) const;
+
+  /// Extracts an optimal histogram (boundaries + optimal representatives)
+  /// for the given budget. O(B log n + traceback oracle calls).
+  Histogram ExtractHistogram(std::size_t num_buckets) const;
+
+  std::size_t max_buckets() const { return max_buckets_; }
+  std::size_t domain_size() const { return n_; }
+
+  // Traceback markers shared with the approximate DP: kInheritChoice means
+  // "the (b-1)-bucket solution was already optimal"; kWholePrefix encodes a
+  // single bucket [0, j].
+  static constexpr std::int64_t kInheritChoice = -2;
+  static constexpr std::int64_t kWholePrefix = -1;
+
+ private:
+  friend HistogramDpResult SolveHistogramDp(const BucketCostOracle&,
+                                            std::size_t, DpCombiner);
+
+  // err_[b-1][j]: optimal cost of covering prefix [0..j] with <= b buckets.
+  // choice_[b-1][j]: split l (last bucket is [l+1, j]).
+
+  std::size_t n_ = 0;
+  std::size_t max_buckets_ = 0;
+  const BucketCostOracle* oracle_ = nullptr;
+  std::vector<std::vector<double>> err_;
+  std::vector<std::vector<std::int64_t>> choice_;
+};
+
+/// Solves the optimal-histogram DP (paper equation (2)) for every budget
+/// 1..max_buckets in one pass.
+///
+/// Complexity: O(n) sweeps totalling O(n^2) bucket-cost extensions (done
+/// once, independent of B) + O(B n^2) constant-time DP transitions — the
+/// paper's O(m + B n^2) for the O(1) oracles (Theorems 1 and 2), with the
+/// oracle's per-bucket factor multiplying the n^2 term otherwise.
+///
+/// The principle of optimality holds for probabilistic data because
+/// expectation distributes over the per-bucket sum/max (section 3, opening).
+HistogramDpResult SolveHistogramDp(const BucketCostOracle& oracle,
+                                   std::size_t max_buckets,
+                                   DpCombiner combiner);
+
+/// Result of the approximate DP: the histogram and its (exact) cost under
+/// the oracle, guaranteed within (1 + epsilon) of the optimum.
+struct ApproxHistogramResult {
+  Histogram histogram;
+  double cost = 0.0;
+  /// Bucket-cost oracle evaluations performed (the complexity currency of
+  /// the paper's Theorem 5).
+  std::size_t oracle_evaluations = 0;
+};
+
+/// (1 + epsilon)-approximate histogram construction in the style of Guha,
+/// Koudas & Shim [13, 14] (paper section 3.5, Theorem 5): instead of
+/// minimizing over every split point l, each DP layer keeps only the
+/// rightmost split of each geometric error class of the previous layer
+/// (classes are contiguous because prefix error curves are monotone in j).
+/// Candidate splits per transition: O((B/eps) log(error range)), so the
+/// total work is O((B^2/eps) n log n) oracle calls instead of O(B n^2).
+///
+/// Cumulative (sum-combiner) metrics only, matching Theorem 5's scope.
+StatusOr<ApproxHistogramResult> SolveApproxHistogramDp(
+    const BucketCostOracle& oracle, std::size_t max_buckets, double epsilon);
+
+}  // namespace probsyn
+
+#endif  // PROBSYN_CORE_HISTOGRAM_DP_H_

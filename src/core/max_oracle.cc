@@ -1,0 +1,70 @@
+#include "core/max_oracle.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/envelope.h"
+#include "util/logging.h"
+#include "util/search.h"
+
+namespace probsyn {
+
+MaxErrorOracle::MaxErrorOracle(std::shared_ptr<const PointErrorTables> tables,
+                               bool relative, std::vector<double> weights)
+    : tables_(std::move(tables)),
+      relative_(relative),
+      weights_(std::move(weights)) {
+  PROBSYN_CHECK(tables_ != nullptr);
+  PROBSYN_CHECK(weights_.empty() || weights_.size() == tables_->domain_size());
+}
+
+std::size_t MaxErrorOracle::domain_size() const {
+  return tables_->domain_size();
+}
+
+double MaxErrorOracle::EnvelopeAt(std::size_t s, std::size_t e,
+                                  double v) const {
+  double worst = 0.0;
+  for (std::size_t i = s; i <= e; ++i) {
+    double err = relative_ ? tables_->AbsoluteRelativeError(i, v)
+                           : tables_->AbsoluteError(i, v);
+    worst = std::max(worst, WeightOf(i) * err);
+  }
+  return worst;
+}
+
+BucketCost MaxErrorOracle::Cost(std::size_t s, std::size_t e) const {
+  const std::vector<double>& grid = tables_->grid();
+  PROBSYN_DCHECK(s <= e && e < domain_size());
+
+  // Bracket the optimum on the grid (the envelope is convex in bhat).
+  std::size_t l_star = TernarySearchMinIndex(
+      0, grid.size() - 1,
+      [&](std::size_t l) { return EnvelopeAt(s, e, grid[l]); });
+
+  // The continuous optimum lies in one of the two segments adjacent to
+  // l_star. Within a segment every per-item curve is a line; minimize the
+  // upper envelope of lines exactly. (Outside [v_0, v_{K-1}] every curve
+  // only grows, so the outer rays never need searching.)
+  std::vector<Line> lines;
+  lines.reserve(e - s + 1);
+  BucketCost best{grid[l_star], EnvelopeAt(s, e, grid[l_star])};
+  auto consider_segment = [&](std::size_t l) {
+    if (l + 1 >= grid.size()) return;
+    lines.clear();
+    for (std::size_t i = s; i <= e; ++i) {
+      Line line = tables_->AbsoluteErrorLine(i, l, relative_);
+      double phi = WeightOf(i);
+      lines.push_back(Line{line.slope * phi, line.intercept * phi});
+    }
+    EnvelopeMin m = MinimizeUpperEnvelope(lines, grid[l], grid[l + 1]);
+    if (m.value < best.cost) best = {m.x, m.value};
+  };
+  if (l_star > 0) consider_segment(l_star - 1);
+  consider_segment(l_star);
+
+  best.cost = std::max(0.0, best.cost);
+  return best;
+}
+
+}  // namespace probsyn

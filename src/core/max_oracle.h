@@ -1,0 +1,56 @@
+#ifndef PROBSYN_CORE_MAX_ORACLE_H_
+#define PROBSYN_CORE_MAX_ORACLE_H_
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "core/bucket_oracle.h"
+#include "core/point_error.h"
+
+namespace probsyn {
+
+/// Maximum-Absolute-Error / Maximum-Absolute-Relative-Error bucket oracle
+/// (paper section 3.6): the bucket cost is
+///
+///     max_{s<=i<=e} E_W[w(g_i) |g_i - bhat|]
+///
+/// — the upper envelope of n_b convex piecewise-linear per-item curves.
+/// The envelope is convex, so a ternary search over the value grid brackets
+/// the optimal bhat between two adjacent grid values, and within each
+/// candidate segment every curve is a line: the exact optimum is read off
+/// the minimized upper envelope of lines (paper's min-of-max-of-lines step,
+/// for which it cites the weighted-histogram machinery of [15]).
+///
+/// Cost per bucket: O(n_b log |V|) for the bracketing probes plus
+/// O(n_b log n_b) for the two envelope minimizations — matching the
+/// O(n_b log(n_b |V|)) of the paper's Theorem 6 analysis.
+class MaxErrorOracle : public BucketCostOracle {
+ public:
+  /// relative == false -> MAE; true -> MARE (c comes from `tables`).
+  /// `weights` are optional per-item workload weights (empty = uniform):
+  /// the objective becomes max_i phi_i E[err], still an upper envelope of
+  /// convex piecewise-linear curves (each scaled by phi_i).
+  MaxErrorOracle(std::shared_ptr<const PointErrorTables> tables, bool relative,
+                 std::vector<double> weights = {});
+
+  std::size_t domain_size() const override;
+  BucketCost Cost(std::size_t s, std::size_t e) const override;
+
+  /// max_{i in [s,e]} expected point error at representative v; exposed for
+  /// tests (brute-force cross-checks of the searched optimum).
+  double EnvelopeAt(std::size_t s, std::size_t e, double v) const;
+
+ private:
+  double WeightOf(std::size_t i) const {
+    return weights_.empty() ? 1.0 : weights_[i];
+  }
+
+  std::shared_ptr<const PointErrorTables> tables_;
+  bool relative_;
+  std::vector<double> weights_;
+};
+
+}  // namespace probsyn
+
+#endif  // PROBSYN_CORE_MAX_ORACLE_H_

@@ -1,0 +1,92 @@
+#include "core/oracle_factory.h"
+
+#include "core/abs_oracle.h"
+#include "core/max_oracle.h"
+#include "core/sse_oracle.h"
+#include "core/ssre_oracle.h"
+#include "model/induced.h"
+
+namespace probsyn {
+
+StatusOr<OracleBundle> MakeBucketOracle(const ValuePdfInput& input,
+                                        const SynopsisOptions& options) {
+  PROBSYN_RETURN_IF_ERROR(options.Validate());
+  PROBSYN_RETURN_IF_ERROR(input.Validate());
+  if (input.domain_size() == 0) {
+    return Status::InvalidArgument("empty domain");
+  }
+
+  if (options.HasWorkload() &&
+      options.workload.size() != input.domain_size()) {
+    return Status::InvalidArgument(
+        "workload size must equal the domain size");
+  }
+
+  OracleBundle bundle;
+  bundle.combiner =
+      IsCumulativeMetric(options.metric) ? DpCombiner::kSum : DpCombiner::kMax;
+  switch (options.metric) {
+    case ErrorMetric::kSse:
+      bundle.oracle = std::make_unique<SseMomentOracle>(
+          SseMomentOracle::FromValuePdf(input, options.sse_variant,
+                                        options.workload));
+      break;
+    case ErrorMetric::kSsre:
+      bundle.oracle = std::make_unique<SsreOracle>(input, options.sanity_c,
+                                                   options.workload);
+      break;
+    case ErrorMetric::kSae:
+      bundle.oracle = std::make_unique<AbsCumulativeOracle>(
+          input, /*relative=*/false, options.sanity_c, options.workload);
+      break;
+    case ErrorMetric::kSare:
+      bundle.oracle = std::make_unique<AbsCumulativeOracle>(
+          input, /*relative=*/true, options.sanity_c, options.workload);
+      break;
+    case ErrorMetric::kMae:
+    case ErrorMetric::kMare: {
+      auto tables =
+          std::make_shared<const PointErrorTables>(input, options.sanity_c);
+      bundle.tables = tables;
+      bundle.oracle = std::make_unique<MaxErrorOracle>(
+          tables, /*relative=*/options.metric == ErrorMetric::kMare,
+          options.workload);
+      break;
+    }
+  }
+  return bundle;
+}
+
+StatusOr<OracleBundle> MakeBucketOracle(const TuplePdfInput& input,
+                                        const SynopsisOptions& options) {
+  PROBSYN_RETURN_IF_ERROR(options.Validate());
+  PROBSYN_RETURN_IF_ERROR(input.Validate());
+  if (input.domain_size() == 0) {
+    return Status::InvalidArgument("empty domain");
+  }
+
+  if (options.HasWorkload() &&
+      options.workload.size() != input.domain_size()) {
+    return Status::InvalidArgument(
+        "workload size must equal the domain size");
+  }
+
+  if (options.metric == ErrorMetric::kSse) {
+    OracleBundle bundle;
+    bundle.combiner = DpCombiner::kSum;
+    if (options.sse_variant == SseVariant::kWorldMean) {
+      bundle.oracle = std::make_unique<SseTupleWorldMeanOracle>(input);
+    } else {
+      bundle.oracle = std::make_unique<SseMomentOracle>(
+          SseMomentOracle::FromTuplePdf(input, options.sse_variant,
+                                        options.workload));
+    }
+    return bundle;
+  }
+
+  auto induced = InduceValuePdf(input);
+  if (!induced.ok()) return induced.status();
+  return MakeBucketOracle(induced.value(), options);
+}
+
+}  // namespace probsyn

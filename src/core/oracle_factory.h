@@ -1,0 +1,40 @@
+#ifndef PROBSYN_CORE_ORACLE_FACTORY_H_
+#define PROBSYN_CORE_ORACLE_FACTORY_H_
+
+#include <memory>
+
+#include "core/bucket_oracle.h"
+#include "core/histogram_dp.h"
+#include "core/metrics.h"
+#include "core/point_error.h"
+#include "model/tuple_pdf.h"
+#include "model/value_pdf.h"
+#include "util/status.h"
+
+namespace probsyn {
+
+/// A bucket oracle plus everything it needs to stay alive, and the DP
+/// combiner matching the metric.
+struct OracleBundle {
+  std::unique_ptr<BucketCostOracle> oracle;
+  /// Shared point-error tables, populated when the metric needs them
+  /// (MAE/MARE) — also handy for evaluation; may be null otherwise.
+  std::shared_ptr<const PointErrorTables> tables;
+  DpCombiner combiner = DpCombiner::kSum;
+};
+
+/// Builds the bucket-cost oracle for value-pdf input under the given
+/// metric (paper sections 3.1-3.4, 3.6 — value-pdf branches).
+StatusOr<OracleBundle> MakeBucketOracle(const ValuePdfInput& input,
+                                        const SynopsisOptions& options);
+
+/// Builds the bucket-cost oracle for tuple-pdf input. All metrics other
+/// than world-mean SSE route through the induced value pdf (exact, since
+/// those costs are per-item decomposable — sections 3.2-3.6); world-mean
+/// SSE uses the exact joint-distribution oracle.
+StatusOr<OracleBundle> MakeBucketOracle(const TuplePdfInput& input,
+                                        const SynopsisOptions& options);
+
+}  // namespace probsyn
+
+#endif  // PROBSYN_CORE_ORACLE_FACTORY_H_

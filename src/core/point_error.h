@@ -1,0 +1,90 @@
+#ifndef PROBSYN_CORE_POINT_ERROR_H_
+#define PROBSYN_CORE_POINT_ERROR_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/metrics.h"
+#include "model/value_pdf.h"
+#include "util/envelope.h"
+
+namespace probsyn {
+
+/// Precomputed per-item tables for evaluating expected point errors
+/// E_W[err(g_i, v)] for arbitrary estimates v in O(1) / O(log |V|).
+///
+/// This is the machinery behind three parts of the paper:
+///  * the MAE/MARE bucket oracle (section 3.6), which needs per-item error
+///    curves f_i(bhat) and their linear pieces;
+///  * the expected leaf errors OPTW[i, 0, v] of the wavelet DP
+///    (section 4.2);
+///  * evaluation of arbitrary synopses under every metric (section 5's
+///    quality experiments re-cost baseline synopses under the true
+///    distribution).
+///
+/// For the absolute metrics the curve f_i(v) = sum_j w_ij |v_j - v| is
+/// convex piecewise-linear with breakpoints on the global value grid V; on
+/// the segment [v_l, v_{l+1}] it equals
+///     v * (2 CW_i[l] - TW_i) + (TWV_i - 2 CWV_i[l])
+/// where CW/CWV are weight and weight*value prefix sums over grid indices.
+/// Squared metrics expand to per-item quadratic forms in v.
+class PointErrorTables {
+ public:
+  /// Builds tables for the given input and sanity constant. All six metrics
+  /// are then answerable from the one object. Cost: O(n |V|) time/space.
+  PointErrorTables(const ValuePdfInput& input, double sanity_c);
+
+  std::size_t domain_size() const { return n_; }
+  double sanity_c() const { return c_; }
+
+  /// The global sorted value grid V (always contains 0).
+  const std::vector<double>& grid() const { return grid_; }
+
+  /// E_W[err(g_i, v)] for the point error underlying `metric`.
+  /// (For kSse this is E[(g_i - v)^2]; for kMae it is E[|g_i - v|]; etc. —
+  /// max vs sum aggregation is the caller's concern.)
+  double ExpectedPointError(ErrorMetric metric, std::size_t i, double v) const;
+
+  /// E[(g_i - v)^2].
+  double SquaredError(std::size_t i, double v) const;
+  /// E[(g_i - v)^2 / max(c, g_i)^2].
+  double SquaredRelativeError(std::size_t i, double v) const;
+  /// E[|g_i - v|].
+  double AbsoluteError(std::size_t i, double v) const;
+  /// E[|g_i - v| / max(c, g_i)].
+  double AbsoluteRelativeError(std::size_t i, double v) const;
+
+  /// Index l of the grid segment containing v: largest l with grid[l] <= v,
+  /// or size_t(-1) if v < grid[0]. O(log |V|).
+  std::size_t SegmentOf(double v) const;
+
+  /// The linear piece of f_i on segment [grid[l], grid[l+1]] for the
+  /// absolute error (relative == true applies the 1/max(c, g) weight).
+  /// l == size_t(-1) (left of the grid) and l == |V|-1 (right of it) give
+  /// the outer rays. Used by the max-error oracle's envelope step.
+  Line AbsoluteErrorLine(std::size_t i, std::size_t l, bool relative) const;
+
+ private:
+  double AbsErrorImpl(std::size_t i, double v, bool relative) const;
+
+  std::size_t n_ = 0;
+  double c_ = 1.0;
+  std::vector<double> grid_;
+
+  // Quadratic-form coefficients: E[(g-v)^2] = m2_[i] - 2 v m1_[i] + v^2,
+  // and the weighted variant with w2(g) = 1/max(c,g)^2:
+  // E[w2(g)(g-v)^2] = x_[i] - 2 v y_[i] + v^2 z_[i].
+  std::vector<double> m1_, m2_;
+  std::vector<double> x_, y_, z_;
+
+  // Per-item grid-indexed prefix tables, row-major [i * K + l].
+  // cw_abs_[i][l]  = sum_{j<=l} Pr[g_i = v_j]
+  // cwv_abs_[i][l] = sum_{j<=l} Pr[g_i = v_j] * v_j
+  // cw_rel_/cwv_rel_: same with the 1/max(c, v_j) weight folded in.
+  std::size_t grid_size_ = 0;
+  std::vector<double> cw_abs_, cwv_abs_, cw_rel_, cwv_rel_;
+};
+
+}  // namespace probsyn
+
+#endif  // PROBSYN_CORE_POINT_ERROR_H_

@@ -1,0 +1,155 @@
+#include "core/sse_oracle.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/math.h"
+
+namespace probsyn {
+
+namespace {
+
+std::vector<double> ScaleBy(std::vector<double> values,
+                            const std::vector<double>& weights) {
+  if (weights.empty()) return values;
+  PROBSYN_CHECK(weights.size() == values.size());
+  for (std::size_t i = 0; i < values.size(); ++i) values[i] *= weights[i];
+  return values;
+}
+
+}  // namespace
+
+SseMomentOracle::SseMomentOracle(std::vector<double> means,
+                                 std::vector<double> second_moments,
+                                 std::vector<double> variances,
+                                 SseVariant variant,
+                                 std::vector<double> weights)
+    : n_(means.size()),
+      variant_(variant),
+      weighted_(!weights.empty()),
+      mean_(ScaleBy(means, weights)),
+      second_(ScaleBy(std::move(second_moments), weights)),
+      variance_(variances),
+      weight_(weighted_ ? weights : std::vector<double>(n_, 1.0)),
+      raw_mean_(means) {
+  PROBSYN_CHECK(variances.size() == n_);
+  PROBSYN_CHECK(!(weighted_ && variant_ == SseVariant::kWorldMean));
+}
+
+SseMomentOracle SseMomentOracle::FromValuePdf(const ValuePdfInput& input,
+                                              SseVariant variant,
+                                              std::vector<double> weights) {
+  return SseMomentOracle(input.ExpectedFrequencies(),
+                         input.FrequencySecondMoments(),
+                         input.FrequencyVariances(), variant,
+                         std::move(weights));
+}
+
+SseMomentOracle SseMomentOracle::FromTuplePdf(const TuplePdfInput& input,
+                                              SseVariant variant,
+                                              std::vector<double> weights) {
+  return SseMomentOracle(input.ExpectedFrequencies(),
+                         input.FrequencySecondMoments(),
+                         input.FrequencyVariances(), variant,
+                         std::move(weights));
+}
+
+BucketCost SseMomentOracle::Cost(std::size_t s, std::size_t e) const {
+  PROBSYN_DCHECK(s <= e && e < n_);
+  double sum_weight = weight_.RangeSum(s, e);
+  double sum_mean = mean_.RangeSum(s, e);      // sum phi E[g]
+  double sum_second = second_.RangeSum(s, e);  // sum phi E[g^2]
+
+  if (sum_weight <= 0.0) {
+    // Workload ignores every item in the bucket: any representative works;
+    // report the unweighted mean for sane reconstructions.
+    double nb = static_cast<double>(e - s + 1);
+    return {raw_mean_.RangeSum(s, e) / nb, 0.0};
+  }
+
+  double representative = sum_mean / sum_weight;
+  double expected_square_of_sum = sum_mean * sum_mean;
+  if (variant_ == SseVariant::kWorldMean) {
+    expected_square_of_sum += variance_.RangeSum(s, e);
+  }
+  double cost = sum_second - expected_square_of_sum / sum_weight;
+  return {representative, ClampTinyNegative(cost, 1e-6)};
+}
+
+// ---------------------------------------------------------------------------
+
+SseTupleWorldMeanOracle::SseTupleWorldMeanOracle(const TuplePdfInput& input)
+    : n_(input.domain_size()),
+      mean_(input.ExpectedFrequencies()),
+      second_(input.FrequencySecondMoments()),
+      postings_(input.domain_size()),
+      num_tuples_(input.num_tuples()),
+      tuples_(input.tuples()) {
+  for (std::size_t t = 0; t < tuples_.size(); ++t) {
+    for (const TupleAlternative& a : tuples_[t].alternatives()) {
+      postings_[a.item].push_back({static_cast<std::uint32_t>(t), a.probability});
+    }
+  }
+}
+
+BucketCost SseTupleWorldMeanOracle::Cost(std::size_t s, std::size_t e) const {
+  PROBSYN_DCHECK(s <= e && e < n_);
+  double nb = static_cast<double>(e - s + 1);
+  double sum_mean = mean_.RangeSum(s, e);
+  double sum_second = second_.RangeSum(s, e);
+
+  // E[(sum g)^2] = (sum_t q_t)^2 + sum_t q_t (1 - q_t); sum_t q_t == the
+  // expected bucket weight sum_mean.
+  double sum_q2 = 0.0;
+  for (const ProbTuple& t : tuples_) {
+    double q = t.ProbItemInRange(s, e);
+    sum_q2 += q * q;
+  }
+  double expected_square_of_sum = sum_mean * sum_mean + (sum_mean - sum_q2);
+  double cost = sum_second - expected_square_of_sum / nb;
+  return {sum_mean / nb, ClampTinyNegative(cost, 1e-6)};
+}
+
+class SseTupleWorldMeanOracle::SweepImpl : public BucketCostOracle::Sweep {
+ public:
+  SweepImpl(const SseTupleWorldMeanOracle& oracle, std::size_t e)
+      : oracle_(oracle),
+        end_(e),
+        next_start_(e),
+        tuple_q_(oracle.num_tuples_, 0.0) {}
+
+  BucketCost Extend() override {
+    PROBSYN_CHECK(next_start_ != static_cast<std::size_t>(-1));
+    std::size_t s = next_start_;
+    --next_start_;
+    // Absorb item s into the bucket: every tuple with an alternative at s
+    // has its in-range probability q_t increased by that alternative's
+    // probability; maintain sum_t q_t^2 under those increments.
+    for (const Posting& p : oracle_.postings_[s]) {
+      double q_old = tuple_q_[p.tuple];
+      sum_q2_ += p.probability * (2.0 * q_old + p.probability);
+      tuple_q_[p.tuple] = q_old + p.probability;
+    }
+    double nb = static_cast<double>(end_ - s + 1);
+    double sum_mean = oracle_.mean_.RangeSum(s, end_);
+    double sum_second = oracle_.second_.RangeSum(s, end_);
+    double expected_square_of_sum =
+        sum_mean * sum_mean + (sum_mean - sum_q2_);
+    double cost = sum_second - expected_square_of_sum / nb;
+    return {sum_mean / nb, ClampTinyNegative(cost, 1e-6)};
+  }
+
+ private:
+  const SseTupleWorldMeanOracle& oracle_;
+  std::size_t end_;
+  std::size_t next_start_;
+  double sum_q2_ = 0.0;
+  std::vector<double> tuple_q_;
+};
+
+std::unique_ptr<BucketCostOracle::Sweep> SseTupleWorldMeanOracle::StartSweep(
+    std::size_t e) const {
+  return std::make_unique<SweepImpl>(*this, e);
+}
+
+}  // namespace probsyn

@@ -1,0 +1,64 @@
+#include "core/ssre_oracle.h"
+
+#include <vector>
+
+#include "util/logging.h"
+#include "util/math.h"
+
+namespace probsyn {
+
+namespace {
+
+struct XyzColumns {
+  std::vector<double> x, y, z;
+};
+
+XyzColumns ComputeColumns(const ValuePdfInput& input, double c,
+                          std::span<const double> weights) {
+  XyzColumns cols;
+  std::size_t n = input.domain_size();
+  cols.x.resize(n);
+  cols.y.resize(n);
+  cols.z.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double phi = weights.empty() ? 1.0 : weights[i];
+    KahanSum x, y, z;
+    for (const ValueProb& e : input.item(i).entries()) {
+      double w = phi * SquaredRelativeWeight(e.value, c);
+      x.Add(e.probability * w * e.value * e.value);
+      y.Add(e.probability * w * e.value);
+      z.Add(e.probability * w);
+    }
+    cols.x[i] = x.value();
+    cols.y[i] = y.value();
+    cols.z[i] = z.value();
+  }
+  return cols;
+}
+
+}  // namespace
+
+SsreOracle::SsreOracle(const ValuePdfInput& input, double sanity_c,
+                       std::span<const double> weights)
+    : n_(input.domain_size()) {
+  XyzColumns cols = ComputeColumns(input, sanity_c, weights);
+  x_ = PrefixSums(cols.x);
+  y_ = PrefixSums(cols.y);
+  z_ = PrefixSums(cols.z);
+}
+
+BucketCost SsreOracle::Cost(std::size_t s, std::size_t e) const {
+  PROBSYN_DCHECK(s <= e && e < n_);
+  double x = x_.RangeSum(s, e);
+  double y = y_.RangeSum(s, e);
+  double z = z_.RangeSum(s, e);
+  if (z <= 0.0) {
+    // Every item in the bucket has zero workload weight.
+    return {0.0, 0.0};
+  }
+  double representative = y / z;
+  double cost = x - y * y / z;
+  return {representative, ClampTinyNegative(cost, 1e-6)};
+}
+
+}  // namespace probsyn

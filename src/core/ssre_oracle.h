@@ -1,0 +1,44 @@
+#ifndef PROBSYN_CORE_SSRE_ORACLE_H_
+#define PROBSYN_CORE_SSRE_ORACLE_H_
+
+#include <cstddef>
+#include <span>
+
+#include "core/bucket_oracle.h"
+#include "model/value_pdf.h"
+#include "util/prefix_sums.h"
+
+namespace probsyn {
+
+/// Sum-Squared-Relative-Error bucket oracle (paper section 3.2).
+///
+/// The expected bucket cost is a quadratic in the representative bhat:
+///     SSRE(b, bhat) = X - 2 bhat Y + bhat^2 Z,
+/// over the precomputed item-prefix arrays (paper's X/Y/Z)
+///     X[e] = sum_{i<=e} sum_j Pr[g_i=v_j] w(v_j) v_j^2,
+///     Y[e] = sum_{i<=e} sum_j Pr[g_i=v_j] w(v_j) v_j,
+///     Z[e] = sum_{i<=e} sum_j Pr[g_i=v_j] w(v_j),
+/// with w(v) = 1/max(c^2, v^2); optimal bhat = Y/Z, optimal cost
+/// X - Y^2/Z. O(m) preprocessing, O(1) per bucket. Tuple-pdf input goes
+/// through the induced value pdf first (the cost is per-item decomposable,
+/// section 3.2 "Tuple pdf model").
+class SsreOracle : public BucketCostOracle {
+ public:
+  /// `weights` are optional per-item workload weights (empty = uniform);
+  /// they fold multiplicatively into the X/Y/Z arrays.
+  SsreOracle(const ValuePdfInput& input, double sanity_c,
+             std::span<const double> weights = {});
+
+  std::size_t domain_size() const override { return n_; }
+  BucketCost Cost(std::size_t s, std::size_t e) const override;
+
+ private:
+  std::size_t n_;
+  PrefixSums x_;
+  PrefixSums y_;
+  PrefixSums z_;
+};
+
+}  // namespace probsyn
+
+#endif  // PROBSYN_CORE_SSRE_ORACLE_H_

@@ -1,0 +1,237 @@
+#include "core/wavelet_dp.h"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_map>
+#include <vector>
+
+#include "core/haar.h"
+#include "core/point_error.h"
+#include "util/logging.h"
+#include "util/math.h"
+
+namespace probsyn {
+
+namespace {
+
+// Packs a traceback decision: keep flag plus the budgets granted to the
+// left and right children.
+struct Decision {
+  bool keep = false;
+  std::uint16_t left_budget = 0;
+  std::uint16_t right_budget = 0;
+};
+
+struct StateEntry {
+  std::vector<double> best;        // best[b], b = 0..B
+  std::vector<Decision> decision;  // parallel to best
+};
+
+class WaveletDpSolver {
+ public:
+  WaveletDpSolver(const ValuePdfInput& padded, std::size_t num_coefficients,
+                  const SynopsisOptions& options)
+      : n_(padded.domain_size()),
+        budget_(num_coefficients),
+        metric_(options.metric),
+        cumulative_(IsCumulativeMetric(options.metric)),
+        tables_(padded, options.sanity_c),
+        mu_(HaarTransform(PadToPowerOfTwo(padded.ExpectedFrequencies()))) {
+    if (options.HasWorkload()) {
+      weights_ = options.workload;
+      weights_.resize(n_, 0.0);  // padded items carry zero workload
+    }
+  }
+
+  WaveletDpResult Solve() {
+    std::vector<WaveletCoefficient> kept;
+    double best_cost;
+    if (n_ == 1) {
+      // Only the scaling coefficient exists.
+      double with = LeafError(0, mu_[0] * LeafContributionScale(0, 1));
+      double without = LeafError(0, 0.0);
+      if (budget_ >= 1 && with <= without) {
+        kept.push_back({0, mu_[0]});
+        best_cost = with;
+      } else {
+        best_cost = without;
+      }
+      return {WaveletSynopsis(n_, n_, std::move(kept)), best_cost};
+    }
+
+    double scale0 = LeafContributionScale(0, n_);
+    // Root choice: keep or drop the scaling coefficient c0.
+    double cost_keep = std::numeric_limits<double>::infinity();
+    if (budget_ >= 1) {
+      cost_keep = NodeState(1, 1, mu_[0] * scale0)
+                      .best[std::min(budget_ - 1, SubtreeCap(1))];
+    }
+    double cost_drop =
+        NodeState(1, 0, 0.0).best[std::min(budget_, SubtreeCap(1))];
+
+    bool keep0 = cost_keep < cost_drop;
+    best_cost = keep0 ? cost_keep : cost_drop;
+    if (keep0) kept.push_back({0, mu_[0]});
+    std::size_t b_root =
+        std::min(budget_ - (keep0 ? 1 : 0), SubtreeCap(1));
+    Trace(1, keep0 ? 1 : 0, keep0 ? mu_[0] * scale0 : 0.0, b_root, kept);
+
+    return {WaveletSynopsis(n_, n_, std::move(kept)), best_cost};
+  }
+
+ private:
+  // Number of coefficients inside the subtree rooted at detail node j
+  // (itself included): its support size minus one... plus one for itself.
+  // Support s has s/2 leaves' worth of structure below: subtree size = s-1
+  // where s = support width? For node j with support width s there are
+  // exactly s - 1 detail coefficients in its subtree (including j).
+  std::size_t SubtreeCap(std::size_t j) const {
+    SupportRange r = CoefficientSupport(j, n_);
+    return (r.hi - r.lo) - 1;
+  }
+
+  double LeafError(std::size_t item, double v) const {
+    double err = tables_.ExpectedPointError(metric_, item, v);
+    return weights_.empty() ? err : weights_[item] * err;
+  }
+
+  double Combine(double a, double b) const {
+    return cumulative_ ? a + b : std::max(a, b);
+  }
+
+  // Memoized optimal-error table for detail node j with ancestor-decision
+  // bitmask `mask` (bit history root->here, c0 included) and incoming
+  // partial reconstruction v.
+  const StateEntry& NodeState(std::size_t j, std::uint64_t mask, double v) {
+    std::uint64_t key = (static_cast<std::uint64_t>(j) << 16) | mask;
+    auto it = memo_.find(key);
+    if (it != memo_.end()) return it->second;
+
+    StateEntry entry;
+    std::size_t cap = std::min(budget_, SubtreeCap(j));
+    entry.best.assign(cap + 1, 0.0);
+    entry.decision.assign(cap + 1, {});
+
+    double contribution = mu_[j] * LeafContributionScale(j, n_);
+    bool leaf_children = (2 * j >= n_);
+
+    for (std::size_t keep = 0; keep <= 1; ++keep) {
+      double v_left = keep ? v + contribution : v;
+      double v_right = keep ? v - contribution : v;
+
+      if (leaf_children) {
+        std::size_t left_item = 2 * j - n_;
+        double err = Combine(LeafError(left_item, v_left),
+                             LeafError(left_item + 1, v_right));
+        // The keep == 0 pass runs first and initializes every budget; the
+        // keep == 1 pass (b >= 1) overwrites where strictly better.
+        for (std::size_t b = keep; b <= cap; ++b) {
+          if (keep == 0 || err < entry.best[b]) {
+            entry.best[b] = err;
+            entry.decision[b] = {keep == 1, 0, 0};
+          }
+        }
+        continue;
+      }
+
+      const std::size_t left = 2 * j, right = 2 * j + 1;
+      std::size_t cap_left = std::min(budget_, SubtreeCap(left));
+      std::size_t cap_right = std::min(budget_, SubtreeCap(right));
+      // Child states (computed before the loops to fix references).
+      const StateEntry& ls = NodeState(left, (mask << 1) | keep, v_left);
+      // NOTE: ls may dangle after computing rs (rehash); copy the vector.
+      std::vector<double> left_best = ls.best;
+      const StateEntry& rs = NodeState(right, (mask << 1) | keep, v_right);
+      std::vector<double> right_best = rs.best;
+
+      for (std::size_t b = keep; b <= cap; ++b) {
+        std::size_t rem = b - keep;
+        for (std::size_t bl = 0; bl <= std::min(rem, cap_left); ++bl) {
+          std::size_t br = std::min(rem - bl, cap_right);
+          double err = Combine(left_best[bl], right_best[br]);
+          bool first = (keep == 0 && bl == 0);
+          if (first || err < entry.best[b]) {
+            entry.best[b] = err;
+            entry.decision[b] = {keep == 1, static_cast<std::uint16_t>(bl),
+                                 static_cast<std::uint16_t>(br)};
+          }
+        }
+      }
+    }
+
+    auto [pos, inserted] = memo_.emplace(key, std::move(entry));
+    PROBSYN_CHECK(inserted);
+    return pos->second;
+  }
+
+  // Replays the stored decisions, collecting kept coefficients.
+  void Trace(std::size_t j, std::uint64_t mask, double v, std::size_t b,
+             std::vector<WaveletCoefficient>& out) {
+    std::uint64_t key = (static_cast<std::uint64_t>(j) << 16) | mask;
+    auto it = memo_.find(key);
+    PROBSYN_CHECK(it != memo_.end());
+    b = std::min(b, it->second.best.size() - 1);
+    Decision d = it->second.decision[b];
+    if (d.keep) out.push_back({j, mu_[j]});
+
+    double contribution = mu_[j] * LeafContributionScale(j, n_);
+    double v_left = d.keep ? v + contribution : v;
+    double v_right = d.keep ? v - contribution : v;
+    if (2 * j >= n_) return;  // children are data leaves
+    Trace(2 * j, (mask << 1) | (d.keep ? 1 : 0), v_left, d.left_budget, out);
+    Trace(2 * j + 1, (mask << 1) | (d.keep ? 1 : 0), v_right, d.right_budget,
+          out);
+  }
+
+  std::size_t n_;
+  std::size_t budget_;
+  ErrorMetric metric_;
+  bool cumulative_;
+  PointErrorTables tables_;
+  std::vector<double> mu_;
+  std::vector<double> weights_;  // empty = uniform
+  std::unordered_map<std::uint64_t, StateEntry> memo_;
+};
+
+// Pads value-pdf input to a power-of-two domain with deterministic zeros.
+ValuePdfInput PadInput(const ValuePdfInput& input) {
+  std::size_t n = NextPowerOfTwo(input.domain_size());
+  if (n == input.domain_size()) return input;
+  std::vector<ValuePdf> items = input.items();
+  items.reserve(n);
+  while (items.size() < n) items.push_back(ValuePdf::PointMass(0.0));
+  return ValuePdfInput(std::move(items));
+}
+
+}  // namespace
+
+StatusOr<WaveletDpResult> BuildRestrictedWaveletDp(
+    const ValuePdfInput& input, std::size_t num_coefficients,
+    const SynopsisOptions& options, std::size_t max_domain) {
+  PROBSYN_RETURN_IF_ERROR(options.Validate());
+  PROBSYN_RETURN_IF_ERROR(input.Validate());
+  if (input.domain_size() == 0) {
+    return Status::InvalidArgument("empty domain");
+  }
+  if (options.HasWorkload() &&
+      options.workload.size() != input.domain_size()) {
+    return Status::InvalidArgument("workload size must equal the domain size");
+  }
+  std::size_t padded_n = NextPowerOfTwo(input.domain_size());
+  if (padded_n > max_domain) {
+    return Status::OutOfRange(
+        "restricted wavelet DP state table would exceed max_domain; "
+        "raise max_domain explicitly for large inputs");
+  }
+
+  ValuePdfInput padded = PadInput(input);
+  WaveletDpSolver solver(padded, num_coefficients, options);
+  WaveletDpResult result = solver.Solve();
+  // Report the synopsis against the caller's (unpadded) domain.
+  result.synopsis = WaveletSynopsis(
+      input.domain_size(), padded_n,
+      std::vector<WaveletCoefficient>(result.synopsis.coefficients()));
+  return result;
+}
+
+}  // namespace probsyn

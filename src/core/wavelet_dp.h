@@ -1,0 +1,46 @@
+#ifndef PROBSYN_CORE_WAVELET_DP_H_
+#define PROBSYN_CORE_WAVELET_DP_H_
+
+#include <cstddef>
+
+#include "core/metrics.h"
+#include "core/wavelet.h"
+#include "model/value_pdf.h"
+#include "util/status.h"
+
+namespace probsyn {
+
+/// Output of the restricted coefficient-tree DP.
+struct WaveletDpResult {
+  WaveletSynopsis synopsis;
+  /// Optimal expected error (cumulative: E_W[sum err]; maximum:
+  /// max_i E_W[err]) achieved by the synopsis.
+  double cost = 0.0;
+};
+
+/// Optimal *restricted* B-term wavelet synopsis for non-SSE error metrics
+/// over probabilistic data (paper section 4.2, Theorem 8).
+///
+/// "Restricted" (paper section 2.2): retained coefficients take their fixed
+/// standard values — here the expected normalized Haar coefficients mu_ci,
+/// as required for expected-error minimization. The DP is the classic
+/// coefficient-tree recurrence OPTW[j, b, v] where v is the partial
+/// reconstruction contributed by kept proper ancestors; v ranges over the
+/// subsets of j's O(log n) ancestors, giving O(n^2 B^2)-ish work and O(n^2 B)
+/// state — fine for the moderate n this synopsis targets. Expected leaf
+/// errors E_W[err(g_i, v)] come from PointErrorTables in O(log |V|).
+///
+/// Supports all six metrics (the paper needs non-SSE; kSse is accepted too
+/// and must agree with the greedy builder — a property we test). The domain
+/// is zero-padded to a power of two with deterministic zero-frequency items.
+///
+/// Fails with InvalidArgument on empty input and with OutOfRange when the
+/// padded domain exceeds `max_domain` (the O(n^2 B) state table would not
+/// fit; callers opting into big inputs can raise the cap).
+StatusOr<WaveletDpResult> BuildRestrictedWaveletDp(
+    const ValuePdfInput& input, std::size_t num_coefficients,
+    const SynopsisOptions& options, std::size_t max_domain = 2048);
+
+}  // namespace probsyn
+
+#endif  // PROBSYN_CORE_WAVELET_DP_H_

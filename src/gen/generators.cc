@@ -1,0 +1,213 @@
+#include "gen/generators.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace probsyn {
+
+namespace {
+
+// A contiguous regime segment of the movie-linkage domain.
+struct Segment {
+  std::size_t begin = 0;
+  std::size_t end = 0;        // exclusive
+  double match_boost = 1.0;   // multiplies typical match count
+  double high_conf_mix = 0.35;
+};
+
+std::vector<Segment> MakeSegments(std::size_t n, std::size_t num_segments,
+                                  double base_mix, Rng& rng) {
+  num_segments = std::max<std::size_t>(1, std::min(num_segments, n));
+  // Random cut points.
+  std::vector<std::size_t> cuts{0, n};
+  while (cuts.size() < num_segments + 1) {
+    cuts.push_back(rng.NextBounded(n));
+  }
+  std::sort(cuts.begin(), cuts.end());
+  cuts.erase(std::unique(cuts.begin(), cuts.end()), cuts.end());
+
+  std::vector<Segment> segments;
+  for (std::size_t k = 0; k + 1 < cuts.size(); ++k) {
+    Segment s;
+    s.begin = cuts[k];
+    s.end = cuts[k + 1];
+    // Regimes: quiet (few matches), normal, hot (many matches), and their
+    // confidence mixes vary so expected frequency and variance decouple.
+    switch (rng.NextBounded(4)) {
+      case 0:
+        s.match_boost = 0.3;
+        s.high_conf_mix = 0.8;
+        break;
+      case 1:
+        s.match_boost = 1.0;
+        s.high_conf_mix = base_mix;
+        break;
+      case 2:
+        s.match_boost = 2.5;
+        s.high_conf_mix = base_mix;
+        break;
+      default:
+        s.match_boost = 1.5;
+        s.high_conf_mix = 0.1;  // hot but fuzzy: high variance
+        break;
+    }
+    segments.push_back(s);
+  }
+  return segments;
+}
+
+}  // namespace
+
+BasicModelInput GenerateMovieLinkage(const MovieLinkageOptions& options) {
+  PROBSYN_CHECK(options.domain_size > 0);
+  Rng rng(options.seed);
+  ZipfDistribution match_zipf(std::max<std::size_t>(1, options.max_matches),
+                              options.zipf_alpha);
+  std::vector<Segment> segments =
+      MakeSegments(options.domain_size, options.num_segments,
+                   options.high_confidence_fraction, rng);
+
+  std::vector<BasicTuple> tuples;
+  tuples.reserve(options.domain_size * 3);
+  for (const Segment& seg : segments) {
+    // Smooth mode: one match count and one confidence level per segment,
+    // jittered lightly per tuple — expectations are locally flat, variance
+    // is not.
+    std::size_t seg_count = std::max<std::size_t>(
+        1, std::min(options.max_matches,
+                    static_cast<std::size_t>(std::lround(
+                        match_zipf.Sample(rng) * seg.match_boost))));
+    double seg_level = rng.NextUniform(0.15, 0.85);
+
+    for (std::size_t i = seg.begin; i < seg.end; ++i) {
+      std::size_t k;
+      if (options.smooth_segments) {
+        k = seg_count;
+        if (rng.NextBernoulli(0.05)) k += rng.NextBounded(3);
+      } else {
+        std::size_t base = match_zipf.Sample(rng);
+        k = std::max<std::size_t>(
+            1, std::min(options.max_matches,
+                        static_cast<std::size_t>(
+                            std::lround(base * seg.match_boost))));
+      }
+      for (std::size_t j = 0; j < k; ++j) {
+        double p;
+        if (options.smooth_segments) {
+          p = std::clamp(seg_level + rng.NextUniform(-0.05, 0.05), 0.01, 1.0);
+        } else {
+          p = rng.NextBernoulli(seg.high_conf_mix)
+                  ? rng.NextUniform(0.7, 1.0)     // clean link
+                  : rng.NextUniform(0.02, 0.45);  // fuzzy link
+        }
+        tuples.push_back({i, p});
+      }
+    }
+  }
+  return BasicModelInput(options.domain_size, std::move(tuples));
+}
+
+TuplePdfInput GenerateMaybmsTpch(const MaybmsTpchOptions& options) {
+  PROBSYN_CHECK(options.domain_size > 0 && options.max_alternatives > 0);
+  Rng rng(options.seed);
+  ZipfDistribution key_zipf(options.domain_size, options.zipf_alpha);
+
+  std::vector<ProbTuple> tuples;
+  tuples.reserve(options.num_tuples);
+  for (std::size_t t = 0; t < options.num_tuples; ++t) {
+    std::size_t base = key_zipf.Sample(rng) - 1;  // zipf is 1-based
+    std::size_t k = 1 + rng.NextBounded(options.max_alternatives);
+    double present =
+        1.0 - (options.absent_probability > 0.0
+                   ? rng.NextUniform(0.0, options.absent_probability)
+                   : 0.0);
+    // MayBMS-style uniform alternatives scattered near the base key.
+    std::vector<TupleAlternative> alts;
+    alts.reserve(k);
+    for (std::size_t a = 0; a < k; ++a) {
+      std::size_t spread = options.alternative_spread + 1;
+      std::size_t item = base + rng.NextBounded(spread);
+      item = std::min(item, options.domain_size - 1);
+      alts.push_back({item, present / static_cast<double>(k)});
+    }
+    auto tuple = ProbTuple::Create(std::move(alts));
+    PROBSYN_CHECK(tuple.ok());
+    tuples.push_back(std::move(tuple).value());
+  }
+  return TuplePdfInput(options.domain_size, std::move(tuples));
+}
+
+ValuePdfInput GenerateRandomValuePdf(const RandomValuePdfOptions& options) {
+  PROBSYN_CHECK(options.domain_size > 0 && options.max_support > 0);
+  Rng rng(options.seed);
+  std::vector<ValuePdf> items;
+  items.reserve(options.domain_size);
+  for (std::size_t i = 0; i < options.domain_size; ++i) {
+    std::size_t support = 1 + rng.NextBounded(options.max_support);
+    std::vector<ValueProb> entries;
+    double remaining = 1.0;
+    for (std::size_t s = 0; s < support; ++s) {
+      double value = static_cast<double>(rng.NextBounded(options.max_value + 1));
+      double p = (s + 1 == support) ? remaining
+                                    : rng.NextUniform(0.0, remaining);
+      remaining -= p;
+      if (p > 0.0) entries.push_back({value, p});
+    }
+    auto pdf = ValuePdf::Create(std::move(entries));
+    PROBSYN_CHECK(pdf.ok());
+    items.push_back(std::move(pdf).value());
+  }
+  return ValuePdfInput(std::move(items));
+}
+
+TuplePdfInput GenerateRandomTuplePdf(const RandomTuplePdfOptions& options) {
+  PROBSYN_CHECK(options.domain_size > 0 && options.num_tuples > 0);
+  Rng rng(options.seed);
+  std::vector<ProbTuple> tuples;
+  tuples.reserve(options.num_tuples);
+  for (std::size_t t = 0; t < options.num_tuples; ++t) {
+    std::size_t k = 1 + rng.NextBounded(options.max_alternatives);
+    double budget = options.allow_absent ? rng.NextUniform(0.5, 1.0) : 1.0;
+    std::vector<TupleAlternative> alts;
+    double remaining = budget;
+    for (std::size_t a = 0; a < k; ++a) {
+      std::size_t item = rng.NextBounded(options.domain_size);
+      double p = (a + 1 == k) ? remaining : rng.NextUniform(0.0, remaining);
+      remaining -= p;
+      if (p > 0.0) alts.push_back({item, p});
+    }
+    if (alts.empty()) alts.push_back({rng.NextBounded(options.domain_size), budget});
+    auto tuple = ProbTuple::Create(std::move(alts));
+    PROBSYN_CHECK(tuple.ok());
+    tuples.push_back(std::move(tuple).value());
+  }
+  return TuplePdfInput(options.domain_size, std::move(tuples));
+}
+
+std::vector<double> GenerateZipfFrequencies(std::size_t domain_size,
+                                            double alpha, double total_mass,
+                                            std::uint64_t seed) {
+  PROBSYN_CHECK(domain_size > 0);
+  Rng rng(seed);
+  // Zipf weights assigned to a random permutation of the domain.
+  std::vector<double> freqs(domain_size);
+  double norm = 0.0;
+  for (std::size_t k = 1; k <= domain_size; ++k) {
+    norm += 1.0 / std::pow(static_cast<double>(k), alpha);
+  }
+  std::vector<std::size_t> perm(domain_size);
+  for (std::size_t i = 0; i < domain_size; ++i) perm[i] = i;
+  for (std::size_t i = domain_size; i > 1; --i) {
+    std::swap(perm[i - 1], perm[rng.NextBounded(i)]);
+  }
+  for (std::size_t k = 0; k < domain_size; ++k) {
+    freqs[perm[k]] = total_mass / norm /
+                     std::pow(static_cast<double>(k + 1), alpha);
+  }
+  return freqs;
+}
+
+}  // namespace probsyn

@@ -1,0 +1,327 @@
+#include "io/pdata.h"
+
+#include <algorithm>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace probsyn {
+
+namespace {
+
+constexpr char kMagic[] = "probsyn-pdata";
+constexpr char kVersion[] = "v1";
+constexpr int kPrecision = 17;  // round-trip doubles exactly
+
+// Reads the next non-comment, non-blank line into `line`.
+bool NextLine(std::istream& is, std::string& line) {
+  while (std::getline(is, line)) {
+    std::size_t pos = line.find('#');
+    if (pos != std::string::npos) line.resize(pos);
+    bool blank = true;
+    for (char c : line) {
+      if (!std::isspace(static_cast<unsigned char>(c))) {
+        blank = false;
+        break;
+      }
+    }
+    if (!blank) return true;
+  }
+  return false;
+}
+
+StatusOr<std::string> ReadHeader(std::istream& is, const std::string& kind) {
+  std::string line;
+  if (!NextLine(is, line)) return Status::IOError("empty stream");
+  std::istringstream ls(line);
+  std::string magic, version, got_kind;
+  ls >> magic >> version >> got_kind;
+  if (magic != kMagic) return Status::InvalidArgument("bad magic: " + magic);
+  if (version != kVersion) {
+    return Status::InvalidArgument("unsupported version: " + version);
+  }
+  if (got_kind != kind) {
+    return Status::InvalidArgument("expected " + kind + " stream, got " +
+                                   got_kind);
+  }
+  return got_kind;
+}
+
+}  // namespace
+
+Status WriteValuePdf(std::ostream& os, const ValuePdfInput& input) {
+  PROBSYN_RETURN_IF_ERROR(input.Validate());
+  os << kMagic << ' ' << kVersion << " value_pdf\n";
+  os << "n " << input.domain_size() << "\n";
+  os << std::setprecision(kPrecision);
+  for (std::size_t i = 0; i < input.domain_size(); ++i) {
+    const ValuePdf& pdf = input.item(i);
+    os << "item " << i << ' ' << pdf.size();
+    for (const ValueProb& e : pdf.entries()) {
+      os << ' ' << e.value << ' ' << e.probability;
+    }
+    os << "\n";
+  }
+  if (!os) return Status::IOError("write failed");
+  return Status::OK();
+}
+
+StatusOr<ValuePdfInput> ReadValuePdf(std::istream& is) {
+  auto header = ReadHeader(is, "value_pdf");
+  if (!header.ok()) return header.status();
+
+  std::string line;
+  if (!NextLine(is, line)) return Status::IOError("missing domain line");
+  std::istringstream ls(line);
+  std::string tag;
+  std::size_t n = 0;
+  ls >> tag >> n;
+  if (tag != "n" || ls.fail()) return Status::InvalidArgument("bad n line");
+
+  std::vector<ValuePdf> items(n);
+  std::vector<bool> seen(n, false);
+  for (std::size_t row = 0; row < n; ++row) {
+    if (!NextLine(is, line)) return Status::IOError("truncated value_pdf");
+    std::istringstream es(line);
+    std::size_t index = 0, pairs = 0;
+    es >> tag >> index >> pairs;
+    if (tag != "item" || es.fail() || index >= n) {
+      return Status::InvalidArgument("bad item line: " + line);
+    }
+    if (seen[index]) {
+      return Status::InvalidArgument("duplicate item " + std::to_string(index));
+    }
+    std::vector<ValueProb> entries(pairs);
+    for (ValueProb& e : entries) {
+      es >> e.value >> e.probability;
+    }
+    if (es.fail()) return Status::InvalidArgument("bad item pairs: " + line);
+    auto pdf = ValuePdf::Create(std::move(entries));
+    if (!pdf.ok()) return pdf.status();
+    items[index] = std::move(pdf).value();
+    seen[index] = true;
+  }
+  ValuePdfInput input(std::move(items));
+  PROBSYN_RETURN_IF_ERROR(input.Validate());
+  return input;
+}
+
+Status WriteTuplePdf(std::ostream& os, const TuplePdfInput& input) {
+  PROBSYN_RETURN_IF_ERROR(input.Validate());
+  os << kMagic << ' ' << kVersion << " tuple_pdf\n";
+  os << "n " << input.domain_size() << " m " << input.num_tuples() << "\n";
+  os << std::setprecision(kPrecision);
+  for (const ProbTuple& t : input.tuples()) {
+    os << "tuple " << t.size();
+    for (const TupleAlternative& a : t.alternatives()) {
+      os << ' ' << a.item << ' ' << a.probability;
+    }
+    os << "\n";
+  }
+  if (!os) return Status::IOError("write failed");
+  return Status::OK();
+}
+
+StatusOr<TuplePdfInput> ReadTuplePdf(std::istream& is) {
+  auto header = ReadHeader(is, "tuple_pdf");
+  if (!header.ok()) return header.status();
+
+  std::string line;
+  if (!NextLine(is, line)) return Status::IOError("missing domain line");
+  std::istringstream ls(line);
+  std::string tag_n, tag_m;
+  std::size_t n = 0, m = 0;
+  ls >> tag_n >> n >> tag_m >> m;
+  if (tag_n != "n" || tag_m != "m" || ls.fail()) {
+    return Status::InvalidArgument("bad n/m line");
+  }
+
+  std::vector<ProbTuple> tuples;
+  tuples.reserve(m);
+  for (std::size_t row = 0; row < m; ++row) {
+    if (!NextLine(is, line)) return Status::IOError("truncated tuple_pdf");
+    std::istringstream es(line);
+    std::string tag;
+    std::size_t alternatives = 0;
+    es >> tag >> alternatives;
+    if (tag != "tuple" || es.fail()) {
+      return Status::InvalidArgument("bad tuple line: " + line);
+    }
+    std::vector<TupleAlternative> alts(alternatives);
+    for (TupleAlternative& a : alts) {
+      es >> a.item >> a.probability;
+    }
+    if (es.fail()) return Status::InvalidArgument("bad tuple pairs: " + line);
+    auto tuple = ProbTuple::Create(std::move(alts));
+    if (!tuple.ok()) return tuple.status();
+    tuples.push_back(std::move(tuple).value());
+  }
+  TuplePdfInput input(n, std::move(tuples));
+  PROBSYN_RETURN_IF_ERROR(input.Validate());
+  return input;
+}
+
+Status WriteBasicModel(std::ostream& os, const BasicModelInput& input) {
+  PROBSYN_RETURN_IF_ERROR(input.Validate());
+  os << kMagic << ' ' << kVersion << " basic\n";
+  os << "n " << input.domain_size() << " m " << input.num_tuples() << "\n";
+  os << std::setprecision(kPrecision);
+  for (const BasicTuple& t : input.tuples()) {
+    os << "t " << t.item << ' ' << t.probability << "\n";
+  }
+  if (!os) return Status::IOError("write failed");
+  return Status::OK();
+}
+
+StatusOr<BasicModelInput> ReadBasicModel(std::istream& is) {
+  auto header = ReadHeader(is, "basic");
+  if (!header.ok()) return header.status();
+
+  std::string line;
+  if (!NextLine(is, line)) return Status::IOError("missing domain line");
+  std::istringstream ls(line);
+  std::string tag_n, tag_m;
+  std::size_t n = 0, m = 0;
+  ls >> tag_n >> n >> tag_m >> m;
+  if (tag_n != "n" || tag_m != "m" || ls.fail()) {
+    return Status::InvalidArgument("bad n/m line");
+  }
+
+  std::vector<BasicTuple> tuples;
+  tuples.reserve(m);
+  for (std::size_t row = 0; row < m; ++row) {
+    if (!NextLine(is, line)) return Status::IOError("truncated basic model");
+    std::istringstream es(line);
+    std::string tag;
+    BasicTuple t;
+    es >> tag >> t.item >> t.probability;
+    if (tag != "t" || es.fail()) {
+      return Status::InvalidArgument("bad basic tuple line: " + line);
+    }
+    tuples.push_back(t);
+  }
+  BasicModelInput input(n, std::move(tuples));
+  PROBSYN_RETURN_IF_ERROR(input.Validate());
+  return input;
+}
+
+namespace {
+
+template <typename Writer, typename T>
+Status SaveToFile(const std::string& path, const T& value, Writer writer) {
+  std::ofstream os(path);
+  if (!os) return Status::IOError("cannot open for writing: " + path);
+  return writer(os, value);
+}
+
+}  // namespace
+
+Status SaveValuePdf(const std::string& path, const ValuePdfInput& input) {
+  return SaveToFile(path, input,
+                    [](std::ostream& os, const ValuePdfInput& v) {
+                      return WriteValuePdf(os, v);
+                    });
+}
+
+StatusOr<ValuePdfInput> LoadValuePdf(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) return Status::IOError("cannot open for reading: " + path);
+  return ReadValuePdf(is);
+}
+
+Status SaveTuplePdf(const std::string& path, const TuplePdfInput& input) {
+  return SaveToFile(path, input,
+                    [](std::ostream& os, const TuplePdfInput& v) {
+                      return WriteTuplePdf(os, v);
+                    });
+}
+
+StatusOr<TuplePdfInput> LoadTuplePdf(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) return Status::IOError("cannot open for reading: " + path);
+  return ReadTuplePdf(is);
+}
+
+Status SaveBasicModel(const std::string& path, const BasicModelInput& input) {
+  return SaveToFile(path, input,
+                    [](std::ostream& os, const BasicModelInput& v) {
+                      return WriteBasicModel(os, v);
+                    });
+}
+
+StatusOr<BasicModelInput> LoadBasicModel(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) return Status::IOError("cannot open for reading: " + path);
+  return ReadBasicModel(is);
+}
+
+StatusOr<std::string> DetectPdataKind(std::istream& is) {
+  std::string line;
+  if (!NextLine(is, line)) return Status::IOError("empty stream");
+  std::istringstream ls(line);
+  std::string magic, version, kind;
+  ls >> magic >> version >> kind;
+  if (magic != kMagic) return Status::InvalidArgument("bad magic: " + magic);
+  if (kind != "value_pdf" && kind != "tuple_pdf" && kind != "basic") {
+    return Status::InvalidArgument("unknown pdata kind: " + kind);
+  }
+  return kind;
+}
+
+StatusOr<std::string> DetectPdataKindFile(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) return Status::IOError("cannot open for reading: " + path);
+  return DetectPdataKind(is);
+}
+
+Status WriteHistogramCsv(std::ostream& os, const Histogram& histogram) {
+  os << "bucket,start,end,representative\n";
+  os << std::setprecision(kPrecision);
+  for (std::size_t k = 0; k < histogram.num_buckets(); ++k) {
+    const HistogramBucket& b = histogram.buckets()[k];
+    os << k << ',' << b.start << ',' << b.end << ',' << b.representative
+       << "\n";
+  }
+  if (!os) return Status::IOError("write failed");
+  return Status::OK();
+}
+
+StatusOr<Histogram> ReadHistogramCsv(std::istream& is) {
+  std::string line;
+  if (!std::getline(is, line)) return Status::IOError("empty CSV");
+  if (line.rfind("bucket,start,end,representative", 0) != 0) {
+    return Status::InvalidArgument("not a histogram CSV: " + line);
+  }
+  std::vector<HistogramBucket> buckets;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    std::replace(line.begin(), line.end(), ',', ' ');
+    std::istringstream ls(line);
+    std::size_t index = 0;
+    HistogramBucket b;
+    ls >> index >> b.start >> b.end >> b.representative;
+    if (ls.fail()) return Status::InvalidArgument("bad CSV row: " + line);
+    if (index != buckets.size()) {
+      return Status::InvalidArgument("CSV rows out of order");
+    }
+    buckets.push_back(b);
+  }
+  if (buckets.empty()) return Status::InvalidArgument("no buckets in CSV");
+  Histogram histogram(std::move(buckets));
+  PROBSYN_RETURN_IF_ERROR(histogram.Validate(histogram.domain_size()));
+  return histogram;
+}
+
+Status WriteWaveletCsv(std::ostream& os, const WaveletSynopsis& synopsis) {
+  os << "coefficient_index,value\n";
+  os << std::setprecision(kPrecision);
+  for (const WaveletCoefficient& c : synopsis.coefficients()) {
+    os << c.index << ',' << c.value << "\n";
+  }
+  if (!os) return Status::IOError("write failed");
+  return Status::OK();
+}
+
+}  // namespace probsyn

@@ -1,0 +1,66 @@
+#ifndef PROBSYN_IO_PDATA_H_
+#define PROBSYN_IO_PDATA_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "core/histogram.h"
+#include "core/wavelet.h"
+#include "model/basic.h"
+#include "model/tuple_pdf.h"
+#include "model/value_pdf.h"
+#include "util/status.h"
+
+namespace probsyn {
+
+/// Plain-text serialization of the three probabilistic data models
+/// (".pdata"): line-oriented, whitespace-separated, '#' comments. The
+/// examples use it to persist generated inputs and the synopses built over
+/// them, so runs are inspectable and repeatable.
+///
+///   probsyn-pdata v1 value_pdf
+///   n <domain>
+///   item <index> <num_pairs> [<value> <prob>]...
+///
+///   probsyn-pdata v1 tuple_pdf
+///   n <domain> m <rows>
+///   tuple <num_alternatives> [<item> <prob>]...
+///
+///   probsyn-pdata v1 basic
+///   n <domain> m <rows>
+///   t <item> <prob>
+///
+/// The value-pdf writer emits the normalized representation (explicit zero
+/// entry included); reading a written stream round-trips exactly.
+
+Status WriteValuePdf(std::ostream& os, const ValuePdfInput& input);
+StatusOr<ValuePdfInput> ReadValuePdf(std::istream& is);
+
+Status WriteTuplePdf(std::ostream& os, const TuplePdfInput& input);
+StatusOr<TuplePdfInput> ReadTuplePdf(std::istream& is);
+
+Status WriteBasicModel(std::ostream& os, const BasicModelInput& input);
+StatusOr<BasicModelInput> ReadBasicModel(std::istream& is);
+
+/// File-path convenience wrappers.
+Status SaveValuePdf(const std::string& path, const ValuePdfInput& input);
+StatusOr<ValuePdfInput> LoadValuePdf(const std::string& path);
+Status SaveTuplePdf(const std::string& path, const TuplePdfInput& input);
+StatusOr<TuplePdfInput> LoadTuplePdf(const std::string& path);
+Status SaveBasicModel(const std::string& path, const BasicModelInput& input);
+StatusOr<BasicModelInput> LoadBasicModel(const std::string& path);
+
+/// Peeks a .pdata stream/file header and reports the model kind
+/// ("value_pdf", "tuple_pdf" or "basic") without parsing the body.
+StatusOr<std::string> DetectPdataKind(std::istream& is);
+StatusOr<std::string> DetectPdataKindFile(const std::string& path);
+
+/// CSV export of synopses (for plotting / inspection), and the matching
+/// reader so persisted histograms can be re-evaluated later.
+Status WriteHistogramCsv(std::ostream& os, const Histogram& histogram);
+StatusOr<Histogram> ReadHistogramCsv(std::istream& is);
+Status WriteWaveletCsv(std::ostream& os, const WaveletSynopsis& synopsis);
+
+}  // namespace probsyn
+
+#endif  // PROBSYN_IO_PDATA_H_

@@ -1,0 +1,34 @@
+#include "model/basic.h"
+
+#include <string>
+
+namespace probsyn {
+
+Status BasicModelInput::Validate() const {
+  for (std::size_t j = 0; j < tuples_.size(); ++j) {
+    const BasicTuple& t = tuples_[j];
+    if (t.item >= domain_size_) {
+      return Status::OutOfRange("basic tuple " + std::to_string(j) +
+                                " references item outside the domain");
+    }
+    if (!(t.probability > 0.0) || !(t.probability <= 1.0 + 1e-9)) {
+      return Status::InvalidArgument("basic tuple " + std::to_string(j) +
+                                     " probability out of (0,1]");
+    }
+  }
+  return Status::OK();
+}
+
+StatusOr<TuplePdfInput> BasicModelInput::ToTuplePdf() const {
+  PROBSYN_RETURN_IF_ERROR(Validate());
+  std::vector<ProbTuple> tuples;
+  tuples.reserve(tuples_.size());
+  for (const BasicTuple& t : tuples_) {
+    auto tuple = ProbTuple::Create({{t.item, t.probability}});
+    if (!tuple.ok()) return tuple.status();
+    tuples.push_back(std::move(tuple).value());
+  }
+  return TuplePdfInput(domain_size_, std::move(tuples));
+}
+
+}  // namespace probsyn

@@ -1,0 +1,49 @@
+#ifndef PROBSYN_MODEL_BASIC_H_
+#define PROBSYN_MODEL_BASIC_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "model/tuple_pdf.h"
+#include "util/status.h"
+
+namespace probsyn {
+
+/// One tuple of the basic model (paper Definition 1): item t_j exists in a
+/// possible world independently with probability p_j.
+struct BasicTuple {
+  std::size_t item = 0;
+  double probability = 0.0;
+
+  friend bool operator==(const BasicTuple&, const BasicTuple&) = default;
+};
+
+/// Basic-model input: a bag of independent existence tuples over [n].
+/// Several tuples may reference the same item, in which case that item's
+/// frequency is the number of its tuples that materialize (a
+/// Poisson-binomial variable). The basic model is a special case of both
+/// richer models (paper section 2.1); ToTuplePdf() realizes the embedding.
+class BasicModelInput {
+ public:
+  BasicModelInput() = default;
+  BasicModelInput(std::size_t domain_size, std::vector<BasicTuple> tuples)
+      : domain_size_(domain_size), tuples_(std::move(tuples)) {}
+
+  std::size_t domain_size() const { return domain_size_; }
+  const std::vector<BasicTuple>& tuples() const { return tuples_; }
+  std::size_t num_tuples() const { return tuples_.size(); }
+
+  Status Validate() const;
+
+  /// Embeds into the tuple-pdf model: each basic tuple becomes a
+  /// single-alternative probabilistic tuple.
+  StatusOr<TuplePdfInput> ToTuplePdf() const;
+
+ private:
+  std::size_t domain_size_ = 0;
+  std::vector<BasicTuple> tuples_;
+};
+
+}  // namespace probsyn
+
+#endif  // PROBSYN_MODEL_BASIC_H_

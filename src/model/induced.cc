@@ -1,0 +1,48 @@
+#include "model/induced.h"
+
+#include <vector>
+
+namespace probsyn {
+
+std::vector<double> PoissonBinomialPdf(std::span<const double> probs) {
+  std::vector<double> pdf{1.0};  // Pr[0 successes] = 1 with no trials.
+  pdf.reserve(probs.size() + 1);
+  for (double p : probs) {
+    pdf.push_back(0.0);
+    // In-place convolution with (1-p, p), highest count first.
+    for (std::size_t k = pdf.size() - 1; k > 0; --k) {
+      pdf[k] = pdf[k] * (1.0 - p) + pdf[k - 1] * p;
+    }
+    pdf[0] *= (1.0 - p);
+  }
+  return pdf;
+}
+
+StatusOr<ValuePdfInput> InduceValuePdf(const TuplePdfInput& input) {
+  PROBSYN_RETURN_IF_ERROR(input.Validate());
+  std::vector<std::vector<double>> per_item = input.PerItemTupleProbs();
+  std::vector<ValuePdf> items;
+  items.reserve(input.domain_size());
+  for (std::size_t i = 0; i < input.domain_size(); ++i) {
+    std::vector<double> counts = PoissonBinomialPdf(per_item[i]);
+    std::vector<ValueProb> entries;
+    entries.reserve(counts.size());
+    for (std::size_t k = 0; k < counts.size(); ++k) {
+      if (counts[k] > 0.0) {
+        entries.push_back({static_cast<double>(k), counts[k]});
+      }
+    }
+    auto pdf = ValuePdf::Create(std::move(entries));
+    if (!pdf.ok()) return pdf.status();
+    items.push_back(std::move(pdf).value());
+  }
+  return ValuePdfInput(std::move(items));
+}
+
+StatusOr<ValuePdfInput> InduceValuePdf(const BasicModelInput& input) {
+  auto tuple_pdf = input.ToTuplePdf();
+  if (!tuple_pdf.ok()) return tuple_pdf.status();
+  return InduceValuePdf(tuple_pdf.value());
+}
+
+}  // namespace probsyn

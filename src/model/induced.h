@@ -1,0 +1,38 @@
+#ifndef PROBSYN_MODEL_INDUCED_H_
+#define PROBSYN_MODEL_INDUCED_H_
+
+#include "model/basic.h"
+#include "model/tuple_pdf.h"
+#include "model/value_pdf.h"
+#include "util/status.h"
+
+namespace probsyn {
+
+/// Builds the *induced* value pdf of tuple-pdf input (paper section 2.1):
+/// for each item i, the exact marginal distribution of its frequency
+/// g_i = #{tuples that instantiate to i}, a Poisson-binomial variable over
+/// the tuples that mention i.
+///
+/// The induced pdfs are the correct per-item marginals but are NOT mutually
+/// independent (a tuple with two alternatives anticorrelates its items).
+/// All per-item-decomposable objectives — SSRE, SAE, SARE, MAE, MARE, and
+/// the wavelet leaf errors — depend only on these marginals, so inducing is
+/// lossless for them (sections 3.2-3.6, 4.2). Only the SSE bucket cost
+/// needs the joint distribution; see SseTupleBucketOracle.
+///
+/// Cost: O(sum_i k_i^2) where k_i = number of tuples mentioning item i —
+/// the paper's O(m |V|) since max_i k_i bounds |V|.
+StatusOr<ValuePdfInput> InduceValuePdf(const TuplePdfInput& input);
+
+/// Convenience overload: embeds the basic model into the tuple-pdf model
+/// first (Definition 1 is the single-alternative special case).
+StatusOr<ValuePdfInput> InduceValuePdf(const BasicModelInput& input);
+
+/// Exact pdf of the number of successes among independent Bernoulli trials
+/// with the given probabilities (entry k = Pr[k successes]). Exposed for
+/// testing and for generator internals.
+std::vector<double> PoissonBinomialPdf(std::span<const double> probs);
+
+}  // namespace probsyn
+
+#endif  // PROBSYN_MODEL_INDUCED_H_

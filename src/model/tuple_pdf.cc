@@ -1,0 +1,162 @@
+#include "model/tuple_pdf.h"
+
+#include <algorithm>
+#include <string>
+
+#include "util/logging.h"
+#include "util/math.h"
+
+namespace probsyn {
+
+namespace {
+constexpr double kProbSlack = 1e-9;
+}  // namespace
+
+StatusOr<ProbTuple> ProbTuple::Create(
+    std::vector<TupleAlternative> alternatives) {
+  double total = 0.0;
+  for (const TupleAlternative& a : alternatives) {
+    if (!(a.probability >= 0.0) || !(a.probability <= 1.0 + kProbSlack)) {
+      return Status::InvalidArgument("tuple alternative probability out of [0,1]");
+    }
+    total += a.probability;
+  }
+  if (total > 1.0 + kProbSlack) {
+    return Status::InvalidArgument(
+        "tuple alternative probabilities sum to more than 1");
+  }
+
+  std::sort(alternatives.begin(), alternatives.end(),
+            [](const TupleAlternative& a, const TupleAlternative& b) {
+              return a.item < b.item;
+            });
+  std::vector<TupleAlternative> merged;
+  merged.reserve(alternatives.size());
+  for (const TupleAlternative& a : alternatives) {
+    if (a.probability <= 0.0) continue;
+    if (!merged.empty() && merged.back().item == a.item) {
+      merged.back().probability += a.probability;
+    } else {
+      merged.push_back(a);
+    }
+  }
+
+  ProbTuple t;
+  t.alternatives_ = std::move(merged);
+  t.cumulative_.resize(t.alternatives_.size() + 1);
+  t.cumulative_[0] = 0.0;
+  for (std::size_t k = 0; k < t.alternatives_.size(); ++k) {
+    t.cumulative_[k + 1] = t.cumulative_[k] + t.alternatives_[k].probability;
+  }
+  t.absent_ = std::max(0.0, 1.0 - t.cumulative_.back());
+  return t;
+}
+
+double ProbTuple::ProbItem(std::size_t i) const {
+  auto it = std::lower_bound(alternatives_.begin(), alternatives_.end(), i,
+                             [](const TupleAlternative& a, std::size_t x) {
+                               return a.item < x;
+                             });
+  if (it != alternatives_.end() && it->item == i) return it->probability;
+  return 0.0;
+}
+
+double ProbTuple::ProbItemAtMost(std::size_t e) const {
+  // Number of alternatives with item <= e.
+  auto it = std::upper_bound(alternatives_.begin(), alternatives_.end(), e,
+                             [](std::size_t x, const TupleAlternative& a) {
+                               return x < a.item;
+                             });
+  return cumulative_[static_cast<std::size_t>(it - alternatives_.begin())];
+}
+
+double ProbTuple::ProbItemInRange(std::size_t s, std::size_t e) const {
+  PROBSYN_DCHECK(s <= e);
+  double hi = ProbItemAtMost(e);
+  double lo = (s == 0) ? 0.0 : ProbItemAtMost(s - 1);
+  return hi - lo;
+}
+
+std::size_t ProbTuple::MaxItem() const {
+  return alternatives_.empty() ? 0 : alternatives_.back().item;
+}
+
+std::size_t TuplePdfInput::total_pairs() const {
+  std::size_t m = 0;
+  for (const ProbTuple& t : tuples_) m += t.size();
+  return m;
+}
+
+Status TuplePdfInput::Validate() const {
+  if (domain_size_ == 0 && !tuples_.empty()) {
+    return Status::InvalidArgument("tuple pdf input with empty domain");
+  }
+  for (std::size_t j = 0; j < tuples_.size(); ++j) {
+    const ProbTuple& t = tuples_[j];
+    if (t.size() == 0) {
+      return Status::InvalidArgument("tuple " + std::to_string(j) +
+                                     " has no alternatives");
+    }
+    if (t.MaxItem() >= domain_size_) {
+      return Status::OutOfRange("tuple " + std::to_string(j) +
+                                " references item outside the domain");
+    }
+    std::size_t prev_item = 0;
+    bool first = true;
+    double total = 0.0;
+    for (const TupleAlternative& a : t.alternatives()) {
+      if (!first && a.item <= prev_item) {
+        return Status::Internal("tuple alternatives not strictly increasing");
+      }
+      first = false;
+      prev_item = a.item;
+      total += a.probability;
+    }
+    if (total > 1.0 + 1e-9) {
+      return Status::InvalidArgument("tuple " + std::to_string(j) +
+                                     " probabilities exceed 1");
+    }
+  }
+  return Status::OK();
+}
+
+std::vector<double> TuplePdfInput::ExpectedFrequencies() const {
+  std::vector<double> mean(domain_size_, 0.0);
+  for (const ProbTuple& t : tuples_) {
+    for (const TupleAlternative& a : t.alternatives()) {
+      mean[a.item] += a.probability;
+    }
+  }
+  return mean;
+}
+
+std::vector<double> TuplePdfInput::FrequencyVariances() const {
+  std::vector<double> var(domain_size_, 0.0);
+  for (const ProbTuple& t : tuples_) {
+    for (const TupleAlternative& a : t.alternatives()) {
+      var[a.item] += a.probability * (1.0 - a.probability);
+    }
+  }
+  return var;
+}
+
+std::vector<double> TuplePdfInput::FrequencySecondMoments() const {
+  std::vector<double> mean = ExpectedFrequencies();
+  std::vector<double> second = FrequencyVariances();
+  for (std::size_t i = 0; i < domain_size_; ++i) {
+    second[i] += mean[i] * mean[i];
+  }
+  return second;
+}
+
+std::vector<std::vector<double>> TuplePdfInput::PerItemTupleProbs() const {
+  std::vector<std::vector<double>> probs(domain_size_);
+  for (const ProbTuple& t : tuples_) {
+    for (const TupleAlternative& a : t.alternatives()) {
+      probs[a.item].push_back(a.probability);
+    }
+  }
+  return probs;
+}
+
+}  // namespace probsyn

@@ -1,0 +1,156 @@
+#include "model/worlds.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace probsyn {
+
+namespace {
+
+// Recursively extends the partial assignment over items (value pdf).
+Status EnumerateValueRec(const ValuePdfInput& input, std::size_t item,
+                         std::vector<double>& freq, double prob,
+                         std::size_t max_worlds,
+                         std::vector<PossibleWorld>& out) {
+  if (item == input.domain_size()) {
+    if (out.size() >= max_worlds) {
+      return Status::OutOfRange("possible-world enumeration exceeded cap");
+    }
+    out.push_back({freq, prob});
+    return Status::OK();
+  }
+  for (const ValueProb& e : input.item(item).entries()) {
+    freq[item] = e.value;
+    PROBSYN_RETURN_IF_ERROR(EnumerateValueRec(
+        input, item + 1, freq, prob * e.probability, max_worlds, out));
+  }
+  freq[item] = 0.0;
+  return Status::OK();
+}
+
+// Recursively extends the partial assignment over tuples (tuple pdf).
+Status EnumerateTupleRec(const TuplePdfInput& input, std::size_t tuple_index,
+                         std::vector<double>& freq, double prob,
+                         std::size_t max_worlds,
+                         std::vector<PossibleWorld>& out) {
+  if (prob == 0.0) return Status::OK();  // Prune impossible branches.
+  if (tuple_index == input.num_tuples()) {
+    if (out.size() >= max_worlds) {
+      return Status::OutOfRange("possible-world enumeration exceeded cap");
+    }
+    out.push_back({freq, prob});
+    return Status::OK();
+  }
+  const ProbTuple& t = input.tuples()[tuple_index];
+  for (const TupleAlternative& a : t.alternatives()) {
+    freq[a.item] += 1.0;
+    PROBSYN_RETURN_IF_ERROR(EnumerateTupleRec(
+        input, tuple_index + 1, freq, prob * a.probability, max_worlds, out));
+    freq[a.item] -= 1.0;
+  }
+  if (t.ProbAbsent() > 0.0) {
+    PROBSYN_RETURN_IF_ERROR(EnumerateTupleRec(input, tuple_index + 1, freq,
+                                              prob * t.ProbAbsent(),
+                                              max_worlds, out));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+StatusOr<std::vector<PossibleWorld>> EnumerateWorlds(const ValuePdfInput& input,
+                                                     std::size_t max_worlds) {
+  PROBSYN_RETURN_IF_ERROR(input.Validate());
+  std::vector<PossibleWorld> out;
+  std::vector<double> freq(input.domain_size(), 0.0);
+  PROBSYN_RETURN_IF_ERROR(
+      EnumerateValueRec(input, 0, freq, 1.0, max_worlds, out));
+  return out;
+}
+
+StatusOr<std::vector<PossibleWorld>> EnumerateWorlds(const TuplePdfInput& input,
+                                                     std::size_t max_worlds) {
+  PROBSYN_RETURN_IF_ERROR(input.Validate());
+  std::vector<PossibleWorld> out;
+  std::vector<double> freq(input.domain_size(), 0.0);
+  PROBSYN_RETURN_IF_ERROR(
+      EnumerateTupleRec(input, 0, freq, 1.0, max_worlds, out));
+  return out;
+}
+
+StatusOr<std::vector<PossibleWorld>> EnumerateWorlds(
+    const BasicModelInput& input, std::size_t max_worlds) {
+  auto tuple_pdf = input.ToTuplePdf();
+  if (!tuple_pdf.ok()) return tuple_pdf.status();
+  return EnumerateWorlds(tuple_pdf.value(), max_worlds);
+}
+
+double ExpectationOverWorlds(
+    const std::vector<PossibleWorld>& worlds,
+    const std::function<double(const std::vector<double>&)>& f) {
+  double total = 0.0;
+  for (const PossibleWorld& w : worlds) {
+    total += w.probability * f(w.frequencies);
+  }
+  return total;
+}
+
+ValuePdfWorldSampler::ValuePdfWorldSampler(const ValuePdfInput& input) {
+  samplers_.reserve(input.domain_size());
+  values_.reserve(input.domain_size());
+  for (const ValuePdf& pdf : input.items()) {
+    std::vector<double> weights;
+    std::vector<double> values;
+    weights.reserve(pdf.size());
+    values.reserve(pdf.size());
+    for (const ValueProb& e : pdf.entries()) {
+      weights.push_back(e.probability);
+      values.push_back(e.value);
+    }
+    samplers_.emplace_back(weights);
+    values_.push_back(std::move(values));
+  }
+}
+
+std::vector<double> ValuePdfWorldSampler::Sample(Rng& rng) const {
+  std::vector<double> freq(samplers_.size());
+  for (std::size_t i = 0; i < samplers_.size(); ++i) {
+    freq[i] = values_[i][samplers_[i].Sample(rng)];
+  }
+  return freq;
+}
+
+TuplePdfWorldSampler::TuplePdfWorldSampler(const TuplePdfInput& input)
+    : domain_size_(input.domain_size()) {
+  samplers_.reserve(input.num_tuples());
+  choice_items_.reserve(input.num_tuples());
+  for (const ProbTuple& t : input.tuples()) {
+    std::vector<double> weights;
+    std::vector<std::size_t> items;
+    weights.reserve(t.size() + 1);
+    items.reserve(t.size() + 1);
+    for (const TupleAlternative& a : t.alternatives()) {
+      weights.push_back(a.probability);
+      items.push_back(a.item);
+    }
+    if (t.ProbAbsent() > 0.0) {
+      weights.push_back(t.ProbAbsent());
+      items.push_back(kAbsent);
+    }
+    samplers_.emplace_back(weights);
+    choice_items_.push_back(std::move(items));
+  }
+}
+
+std::vector<double> TuplePdfWorldSampler::Sample(Rng& rng) const {
+  std::vector<double> freq(domain_size_, 0.0);
+  for (std::size_t j = 0; j < samplers_.size(); ++j) {
+    std::size_t choice = samplers_[j].Sample(rng);
+    std::size_t item = choice_items_[j][choice];
+    if (item != kAbsent) freq[item] += 1.0;
+  }
+  return freq;
+}
+
+}  // namespace probsyn

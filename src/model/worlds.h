@@ -1,0 +1,76 @@
+#ifndef PROBSYN_MODEL_WORLDS_H_
+#define PROBSYN_MODEL_WORLDS_H_
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "model/basic.h"
+#include "model/tuple_pdf.h"
+#include "model/value_pdf.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace probsyn {
+
+/// One grounded possible world: the instantiated frequency vector and its
+/// probability (paper section 2.1). Worlds with identical frequency vectors
+/// arising from different tuple instantiations are NOT merged — expectations
+/// are unaffected, and keeping them distinct matches Definition 1's coin-flip
+/// semantics.
+struct PossibleWorld {
+  std::vector<double> frequencies;
+  double probability = 0.0;
+};
+
+/// Exhaustive possible-world enumeration. Exponential by nature — this is
+/// the library's ground-truth oracle for tests and tiny examples, never part
+/// of synopsis construction. Enumeration aborts with OutOfRange once
+/// `max_worlds` is exceeded.
+StatusOr<std::vector<PossibleWorld>> EnumerateWorlds(
+    const ValuePdfInput& input, std::size_t max_worlds = 1u << 22);
+StatusOr<std::vector<PossibleWorld>> EnumerateWorlds(
+    const TuplePdfInput& input, std::size_t max_worlds = 1u << 22);
+StatusOr<std::vector<PossibleWorld>> EnumerateWorlds(
+    const BasicModelInput& input, std::size_t max_worlds = 1u << 22);
+
+/// E_W[f] = sum_W Pr[W] f(W) over the exhaustively enumerated worlds
+/// (paper equation (1)).
+double ExpectationOverWorlds(
+    const std::vector<PossibleWorld>& worlds,
+    const std::function<double(const std::vector<double>&)>& f);
+
+/// Draws grounded worlds from value-pdf input: one categorical draw per
+/// item. Used by the "Sampled World" baseline of section 5.
+class ValuePdfWorldSampler {
+ public:
+  explicit ValuePdfWorldSampler(const ValuePdfInput& input);
+
+  std::vector<double> Sample(Rng& rng) const;
+  std::size_t domain_size() const { return samplers_.size(); }
+
+ private:
+  std::vector<AliasSampler> samplers_;
+  std::vector<std::vector<double>> values_;  // per item, per entry
+};
+
+/// Draws grounded worlds from tuple-pdf input: one categorical draw per
+/// tuple (alternatives plus "absent").
+class TuplePdfWorldSampler {
+ public:
+  explicit TuplePdfWorldSampler(const TuplePdfInput& input);
+
+  std::vector<double> Sample(Rng& rng) const;
+  std::size_t domain_size() const { return domain_size_; }
+
+ private:
+  std::size_t domain_size_ = 0;
+  std::vector<AliasSampler> samplers_;
+  // Per tuple, per choice: target item, or kAbsent.
+  static constexpr std::size_t kAbsent = static_cast<std::size_t>(-1);
+  std::vector<std::vector<std::size_t>> choice_items_;
+};
+
+}  // namespace probsyn
+
+#endif  // PROBSYN_MODEL_WORLDS_H_

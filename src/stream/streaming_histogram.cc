@@ -1,0 +1,135 @@
+#include "stream/streaming_histogram.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/logging.h"
+#include "util/math.h"
+
+namespace probsyn {
+
+StreamingHistogramBuilder::StreamingHistogramBuilder(std::size_t max_buckets,
+                                                     double epsilon)
+    : max_buckets_(std::max<std::size_t>(1, max_buckets)),
+      delta_(std::min(
+          0.5, std::max(epsilon, 1e-9) / (2.0 * static_cast<double>(
+                                                    std::max<std::size_t>(
+                                                        1, max_buckets))))) {
+  layers_.resize(max_buckets_);
+}
+
+double StreamingHistogramBuilder::BucketCost(const Snapshot& from,
+                                             const Snapshot& to) {
+  PROBSYN_DCHECK(to.position > from.position);
+  double width = static_cast<double>(to.position - from.position);
+  double mean = to.sum_mean - from.sum_mean;
+  double second = to.sum_second - from.sum_second;
+  return ClampTinyNegative(second - mean * mean / width, 1e-6);
+}
+
+double StreamingHistogramBuilder::Representative(const Snapshot& from,
+                                                 const Snapshot& to) {
+  double width = static_cast<double>(to.position - from.position);
+  return (to.sum_mean - from.sum_mean) / width;
+}
+
+void StreamingHistogramBuilder::Push(const ValuePdf& pdf) {
+  ++count_;
+  running_.position = count_;
+  running_.sum_mean += pdf.Mean();
+  running_.sum_second += pdf.SecondMoment();
+
+  // Evaluate every layer's prefix error at the current position using the
+  // PREVIOUS pendings/breakpoints (all at positions <= count_-1).
+  struct Eval {
+    double error = std::numeric_limits<double>::infinity();
+    std::vector<Snapshot> boundaries;
+  };
+  std::vector<Eval> evals(max_buckets_);
+  Snapshot origin;  // zero state at position 0
+  evals[0].error = BucketCost(origin, running_);
+
+  for (std::size_t b = 2; b <= max_buckets_; ++b) {
+    Eval best;
+    auto consider = [&](const Breakpoint& candidate) {
+      if (candidate.at.position >= count_) return;  // empty last bucket
+      double err = candidate.error + BucketCost(candidate.at, running_);
+      if (err < best.error) {
+        best.error = err;
+        best.boundaries = candidate.boundaries;
+        best.boundaries.push_back(candidate.at);
+      }
+    };
+    const Layer& prev = layers_[b - 2];
+    for (const Breakpoint& candidate : prev.committed) consider(candidate);
+    if (prev.has_pending) consider(prev.pending);
+    // "At most b" inheritance keeps layers monotone.
+    if (evals[b - 2].error < best.error) best = evals[b - 2];
+    evals[b - 1] = std::move(best);
+  }
+
+  // Update each layer's pending / committed breakpoints (last-position-of-
+  // class rule: commit the previous pending when the error outgrows its
+  // class).
+  for (std::size_t b = 1; b <= max_buckets_; ++b) {
+    Layer& layer = layers_[b - 1];
+    const Eval& eval = evals[b - 1];
+    bool class_overflow =
+        layer.has_pending &&
+        (eval.error > (1.0 + delta_) * layer.class_base ||
+         (layer.class_base == 0.0 && eval.error > 0.0));
+    if (class_overflow) {
+      layer.committed.push_back(layer.pending);
+      layer.class_base = eval.error;
+    }
+    if (!layer.has_pending) layer.class_base = eval.error;
+    layer.pending.at = running_;
+    layer.pending.error = eval.error;
+    layer.pending.boundaries = eval.boundaries;
+    layer.has_pending = true;
+  }
+  peak_breakpoints_ = std::max(peak_breakpoints_, breakpoints());
+}
+
+std::size_t StreamingHistogramBuilder::breakpoints() const {
+  std::size_t total = 0;
+  for (const Layer& layer : layers_) {
+    total += layer.committed.size() + (layer.has_pending ? 1 : 0);
+  }
+  return total;
+}
+
+StatusOr<StreamingHistogramBuilder::Result> StreamingHistogramBuilder::Finish()
+    const {
+  if (count_ == 0) return Status::FailedPrecondition("empty stream");
+  const Layer& top = layers_[max_buckets_ - 1];
+  PROBSYN_CHECK(top.has_pending);
+  // The top layer's pending is exactly E_B at the final position, with its
+  // boundary chain.
+  const Breakpoint& final_state = top.pending;
+
+  std::vector<HistogramBucket> buckets;
+  std::vector<Snapshot> cuts = final_state.boundaries;
+  cuts.push_back(running_);
+  Snapshot prev;  // origin
+  double total = 0.0;
+  for (const Snapshot& cut : cuts) {
+    PROBSYN_CHECK(cut.position > prev.position);
+    HistogramBucket bucket;
+    bucket.start = prev.position;
+    bucket.end = cut.position - 1;
+    bucket.representative = Representative(prev, cut);
+    total += BucketCost(prev, cut);
+    buckets.push_back(bucket);
+    prev = cut;
+  }
+
+  Result result;
+  result.histogram = Histogram(std::move(buckets));
+  result.cost = total;
+  result.peak_breakpoints = peak_breakpoints_;
+  PROBSYN_RETURN_IF_ERROR(result.histogram.Validate(count_));
+  return result;
+}
+
+}  // namespace probsyn

@@ -1,0 +1,111 @@
+#ifndef PROBSYN_STREAM_STREAMING_HISTOGRAM_H_
+#define PROBSYN_STREAM_STREAMING_HISTOGRAM_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/histogram.h"
+#include "core/metrics.h"
+#include "model/value_pdf.h"
+#include "util/status.h"
+
+namespace probsyn {
+
+/// One-pass (1+epsilon)-approximate histogram construction over a stream
+/// of per-item frequency pdfs arriving in domain order — the streaming
+/// counterpart of SolveApproxHistogramDp, in the style of Guha, Koudas &
+/// Shim's AHIST ([13, 14], which the paper's section 3.5 builds on).
+///
+/// Unlike the offline builders, this never materializes the input: each
+/// layer b keeps only geometric *breakpoints* of its prefix-error curve
+/// E_b(t), and each breakpoint stores an O(1) snapshot of the running
+/// moment sums, from which the cost of any bucket starting right after the
+/// breakpoint is recovered in O(1). Memory is O(B * breakpoints) =
+/// O((B^2/eps) log(error range)) — independent of the stream length.
+///
+/// Supported objective: expected SSE with fixed representatives (the
+/// snapshot is three running sums; other quadratic metrics would slot in
+/// the same way, absolute metrics would need mergeable quantile sketches
+/// and are out of scope, as in the original AHIST work).
+///
+/// Usage:
+///     StreamingHistogramBuilder builder(B, epsilon);
+///     for (each item pdf in domain order) builder.Push(pdf);
+///     StatusOr<StreamingResult> r = builder.Finish();
+class StreamingHistogramBuilder {
+ public:
+  struct Result {
+    Histogram histogram;
+    /// Expected SSE of `histogram` (exact for the returned buckets).
+    double cost = 0.0;
+    /// Peak number of breakpoints retained across all layers (the memory
+    /// footprint driver).
+    std::size_t peak_breakpoints = 0;
+  };
+
+  /// `max_buckets` >= 1; epsilon > 0 (the approximation slack).
+  StreamingHistogramBuilder(std::size_t max_buckets, double epsilon);
+
+  /// Appends the next item's frequency pdf (domain position = arrival
+  /// order).
+  void Push(const ValuePdf& pdf);
+  /// Convenience: deterministic item.
+  void PushDeterministic(double frequency) {
+    Push(ValuePdf::PointMass(frequency));
+  }
+
+  /// Number of items consumed so far.
+  std::size_t items_seen() const { return count_; }
+
+  /// Current number of retained breakpoints across layers.
+  std::size_t breakpoints() const;
+
+  /// Completes the pass and extracts the histogram. Fails on an empty
+  /// stream. The builder can keep consuming afterwards (Finish is
+  /// non-destructive), supporting periodic synopsis refresh.
+  StatusOr<Result> Finish() const;
+
+ private:
+  // Running prefix moments at a cut position: sums over the first
+  // `position` items.
+  struct Snapshot {
+    double sum_mean = 0.0;
+    double sum_second = 0.0;
+    std::size_t position = 0;
+  };
+
+  // A retained position of a layer's prefix-error curve: the prefix state,
+  // the approximate error there, and the boundary chain (split snapshots)
+  // of the solution achieving it — carrying the chain makes traceback
+  // self-contained (no dangling parent indices when pendings rotate).
+  struct Breakpoint {
+    Snapshot at;
+    double error = 0.0;
+    std::vector<Snapshot> boundaries;
+  };
+
+  // Per-layer state: committed breakpoints are the LAST position of each
+  // geometric error class; `pending` tracks the most recent position.
+  struct Layer {
+    std::vector<Breakpoint> committed;
+    Breakpoint pending;
+    bool has_pending = false;
+    double class_base = 0.0;
+  };
+
+  // Expected-SSE cost of the bucket spanning (from.position, to.position]:
+  // prefix-moment differences, best fixed representative.
+  static double BucketCost(const Snapshot& from, const Snapshot& to);
+  static double Representative(const Snapshot& from, const Snapshot& to);
+
+  std::size_t max_buckets_;
+  double delta_;  // per-layer geometric slack
+  std::size_t count_ = 0;
+  Snapshot running_;
+  std::vector<Layer> layers_;
+  std::size_t peak_breakpoints_ = 0;
+};
+
+}  // namespace probsyn
+
+#endif  // PROBSYN_STREAM_STREAMING_HISTOGRAM_H_

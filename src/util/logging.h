@@ -1,0 +1,40 @@
+#ifndef PROBSYN_UTIL_LOGGING_H_
+#define PROBSYN_UTIL_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace probsyn::internal_logging {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* condition) {
+  std::fprintf(stderr, "[probsyn] CHECK failed at %s:%d: %s\n", file, line,
+               condition);
+  std::abort();
+}
+
+}  // namespace probsyn::internal_logging
+
+/// Always-on invariant check. Use for programmer errors that must never
+/// happen regardless of user input; recoverable input errors go through
+/// Status instead. Kept enabled in release builds: synopsis construction is
+/// CPU-bound in tight loops that do not contain CHECKs, so the cost is nil,
+/// and silent memory corruption in a DP table is far worse than an abort.
+#define PROBSYN_CHECK(condition)                                          \
+  do {                                                                    \
+    if (!(condition)) {                                                   \
+      ::probsyn::internal_logging::CheckFailed(__FILE__, __LINE__,        \
+                                               #condition);               \
+    }                                                                     \
+  } while (false)
+
+/// Debug-only check for hot paths.
+#ifndef NDEBUG
+#define PROBSYN_DCHECK(condition) PROBSYN_CHECK(condition)
+#else
+#define PROBSYN_DCHECK(condition) \
+  do {                            \
+  } while (false)
+#endif
+
+#endif  // PROBSYN_UTIL_LOGGING_H_

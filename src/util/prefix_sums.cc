@@ -1,0 +1,17 @@
+#include "util/prefix_sums.h"
+
+#include "util/math.h"
+
+namespace probsyn {
+
+PrefixSums::PrefixSums(std::span<const double> values) {
+  cumulative_.resize(values.size() + 1);
+  cumulative_[0] = 0.0;
+  KahanSum sum;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    sum.Add(values[i]);
+    cumulative_[i + 1] = sum.value();
+  }
+}
+
+}  // namespace probsyn

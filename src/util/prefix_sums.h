@@ -1,0 +1,94 @@
+#ifndef PROBSYN_UTIL_PREFIX_SUMS_H_
+#define PROBSYN_UTIL_PREFIX_SUMS_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace probsyn {
+
+/// One-dimensional inclusive prefix-sum table supporting O(1) range sums.
+///
+/// This is the workhorse behind every O(1) bucket-cost oracle in the paper:
+/// the arrays A/B/C (section 3.1), X/Y/Z (3.2) and the P / P* tables
+/// (3.3, 3.4) are all stored as PrefixSums over item index.
+///
+/// Indexing convention matches the paper: items are 0-based, and
+/// RangeSum(s, e) returns sum_{i=s..e} x_i for 0 <= s <= e < size().
+class PrefixSums {
+ public:
+  PrefixSums() = default;
+
+  /// Builds from raw per-item values.
+  explicit PrefixSums(std::span<const double> values);
+
+  /// Number of underlying items.
+  std::size_t size() const { return cumulative_.empty() ? 0 : cumulative_.size() - 1; }
+
+  /// sum_{i=0..e} x_i. e may be size()-1 at most.
+  double Prefix(std::size_t e) const {
+    PROBSYN_DCHECK(e + 1 < cumulative_.size() + 1 && e < size());
+    return cumulative_[e + 1];
+  }
+
+  /// sum_{i=s..e} x_i (inclusive both ends).
+  double RangeSum(std::size_t s, std::size_t e) const {
+    PROBSYN_DCHECK(s <= e && e < size());
+    return cumulative_[e + 1] - cumulative_[s];
+  }
+
+  /// Total sum over all items.
+  double Total() const { return cumulative_.empty() ? 0.0 : cumulative_.back(); }
+
+ private:
+  // cumulative_[k] = sum of the first k values; cumulative_[0] = 0.
+  std::vector<double> cumulative_;
+};
+
+/// A bank of PrefixSums rows sharing one item domain; used for the
+/// value-indexed tables of sections 3.3/3.4 where we need, for every value
+/// v_j in V, a prefix-sum over items of Pr[g_i <= v_j] (or weighted
+/// variants). Row-major layout keeps the ternary-search probes cache-local.
+class PrefixSumsBank {
+ public:
+  PrefixSumsBank() = default;
+
+  /// rows = |V|, columns = n. `values(row, i)` supplies the entry.
+  template <typename ValueFn>
+  PrefixSumsBank(std::size_t rows, std::size_t columns, ValueFn&& values)
+      : rows_(rows), columns_(columns), cumulative_((columns + 1) * rows, 0.0) {
+    for (std::size_t r = 0; r < rows_; ++r) {
+      double* row = RowData(r);
+      row[0] = 0.0;
+      for (std::size_t i = 0; i < columns_; ++i) {
+        row[i + 1] = row[i] + values(r, i);
+      }
+    }
+  }
+
+  std::size_t rows() const { return rows_; }
+  std::size_t columns() const { return columns_; }
+
+  /// sum over items i in [s, e] of entry(row, i).
+  double RangeSum(std::size_t row, std::size_t s, std::size_t e) const {
+    PROBSYN_DCHECK(row < rows_ && s <= e && e < columns_);
+    const double* data = RowDataConst(row);
+    return data[e + 1] - data[s];
+  }
+
+ private:
+  double* RowData(std::size_t r) { return cumulative_.data() + r * (columns_ + 1); }
+  const double* RowDataConst(std::size_t r) const {
+    return cumulative_.data() + r * (columns_ + 1);
+  }
+
+  std::size_t rows_ = 0;
+  std::size_t columns_ = 0;
+  std::vector<double> cumulative_;
+};
+
+}  // namespace probsyn
+
+#endif  // PROBSYN_UTIL_PREFIX_SUMS_H_

@@ -1,0 +1,140 @@
+#include "util/random.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "util/logging.h"
+
+namespace probsyn {
+
+namespace {
+
+std::uint64_t SplitMix64(std::uint64_t& x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t Rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t s = seed;
+  for (auto& word : state_) word = SplitMix64(s);
+}
+
+std::uint64_t Rng::NextUint64() {
+  // xoshiro256++ step.
+  std::uint64_t result = Rotl(state_[0] + state_[3], 23) + state_[0];
+  std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+double Rng::NextDouble() {
+  // 53 top bits -> [0, 1).
+  return static_cast<double>(NextUint64() >> 11) * 0x1.0p-53;
+}
+
+std::uint64_t Rng::NextBounded(std::uint64_t bound) {
+  PROBSYN_CHECK(bound > 0);
+  // Lemire-style rejection to avoid modulo bias.
+  std::uint64_t threshold = (~bound + 1) % bound;  // 2^64 mod bound
+  for (;;) {
+    std::uint64_t r = NextUint64();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+double Rng::NextUniform(double lo, double hi) {
+  return lo + (hi - lo) * NextDouble();
+}
+
+bool Rng::NextBernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return NextDouble() < p;
+}
+
+double Rng::NextGaussian() {
+  // Box-Muller; u1 in (0,1] to avoid log(0).
+  double u1 = 1.0 - NextDouble();
+  double u2 = NextDouble();
+  return std::sqrt(-2.0 * std::log(u1)) *
+         std::cos(2.0 * std::numbers::pi * u2);
+}
+
+Rng Rng::Fork() { return Rng(NextUint64()); }
+
+ZipfDistribution::ZipfDistribution(std::size_t n, double alpha) {
+  PROBSYN_CHECK(n > 0);
+  cdf_.resize(n);
+  double total = 0.0;
+  for (std::size_t k = 1; k <= n; ++k) {
+    total += 1.0 / std::pow(static_cast<double>(k), alpha);
+    cdf_[k - 1] = total;
+  }
+  for (double& c : cdf_) c /= total;
+  cdf_.back() = 1.0;  // Guard against fp drift at the top.
+}
+
+std::size_t ZipfDistribution::Sample(Rng& rng) const {
+  double u = rng.NextDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::size_t>(it - cdf_.begin()) + 1;
+}
+
+AliasSampler::AliasSampler(std::span<const double> weights) {
+  const std::size_t n = weights.size();
+  PROBSYN_CHECK(n > 0);
+  double total = 0.0;
+  for (double w : weights) {
+    PROBSYN_CHECK(w >= 0.0);
+    total += w;
+  }
+  PROBSYN_CHECK(total > 0.0);
+
+  probability_.assign(n, 0.0);
+  alias_.assign(n, 0);
+  // Scaled probabilities summing to n.
+  std::vector<double> scaled(n);
+  for (std::size_t i = 0; i < n; ++i) scaled[i] = weights[i] * n / total;
+
+  std::vector<std::uint32_t> small, large;
+  small.reserve(n);
+  large.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    (scaled[i] < 1.0 ? small : large).push_back(static_cast<std::uint32_t>(i));
+  }
+  while (!small.empty() && !large.empty()) {
+    std::uint32_t s = small.back();
+    small.pop_back();
+    std::uint32_t l = large.back();
+    large.pop_back();
+    probability_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    (scaled[l] < 1.0 ? small : large).push_back(l);
+  }
+  // Leftovers are 1.0 up to rounding.
+  for (std::uint32_t i : large) probability_[i] = 1.0;
+  for (std::uint32_t i : small) probability_[i] = 1.0;
+}
+
+std::size_t AliasSampler::Sample(Rng& rng) const {
+  std::size_t column = rng.NextBounded(probability_.size());
+  return rng.NextDouble() < probability_[column] ? column : alias_[column];
+}
+
+}  // namespace probsyn

@@ -1,0 +1,31 @@
+#ifndef PROBSYN_UTIL_SEARCH_H_
+#define PROBSYN_UTIL_SEARCH_H_
+
+#include <cstddef>
+#include <functional>
+
+namespace probsyn {
+
+/// Minimizes a unimodal function over the integer range [lo, hi].
+///
+/// "Unimodal" here means: non-increasing up to some minimizer, then
+/// non-decreasing — exactly the shape the paper proves for SAE/SARE/MAE/MARE
+/// bucket cost as a function of the representative's index in V
+/// (sections 3.3, 3.4, 3.6). Plateaus are handled by shrinking toward the
+/// left, so the returned index is a (leftmost-ish) minimizer.
+///
+/// Cost: O(log(hi - lo)) evaluations.
+std::size_t TernarySearchMinIndex(std::size_t lo, std::size_t hi,
+                                  const std::function<double(std::size_t)>& f);
+
+/// Minimizes a convex function of a real variable over [lo, hi] via ternary
+/// search to (roughly) machine precision. Used for the inner 1-D
+/// min-of-max-of-lines step of the MAE/MARE oracle (section 3.6) where the
+/// envelope is convex piecewise-linear. Returns the argmin.
+double TernarySearchMinContinuous(double lo, double hi,
+                                  const std::function<double(double)>& f,
+                                  int iterations = 200);
+
+}  // namespace probsyn
+
+#endif  // PROBSYN_UTIL_SEARCH_H_

@@ -1,0 +1,130 @@
+#ifndef PROBSYN_UTIL_STATUS_H_
+#define PROBSYN_UTIL_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace probsyn {
+
+/// Coarse error taxonomy, modeled after the Status idiom used by storage
+/// engines (RocksDB, Arrow): library entry points that can fail on user
+/// input return a `Status` (or `StatusOr<T>`) instead of throwing.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   ///< Malformed model, probabilities out of range, ...
+  kOutOfRange,        ///< Index/bucket/coefficient outside the domain.
+  kFailedPrecondition,///< Call sequencing violated (e.g. Build() twice).
+  kNotFound,          ///< Lookup miss (I/O paths, registries).
+  kUnimplemented,     ///< Declared but intentionally unsupported combination.
+  kInternal,          ///< Invariant violation inside the library; a bug.
+  kIOError,           ///< Underlying stream/file failure.
+};
+
+/// Returns a stable, human-readable name ("InvalidArgument", ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// A cheap value type carrying success or an (code, message) error.
+///
+/// The default constructor makes an OK status so that `Status s;` composes
+/// well with early-return style:
+///
+///     Status s = input.Validate();
+///     if (!s.ok()) return s;
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "InvalidArgument: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+/// Either a `T` or an error `Status`. Access to the value of a non-OK
+/// result aborts in debug builds (assert) — callers must check `ok()`.
+template <typename T>
+class StatusOr {
+ public:
+  /// Implicit from value and from Status by design: enables
+  /// `return value;` / `return Status::InvalidArgument(...);`.
+  StatusOr(T value) : value_(std::move(value)) {}       // NOLINT
+  StatusOr(Status status) : status_(std::move(status)) {// NOLINT
+    assert(!status_.ok() && "StatusOr(Status) requires a non-OK status");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;  // OK iff value_ holds a T.
+  std::optional<T> value_;
+};
+
+/// Early-return helper: `PROBSYN_RETURN_IF_ERROR(DoThing());`
+#define PROBSYN_RETURN_IF_ERROR(expr)                  \
+  do {                                                 \
+    ::probsyn::Status _probsyn_status = (expr);        \
+    if (!_probsyn_status.ok()) return _probsyn_status; \
+  } while (false)
+
+}  // namespace probsyn
+
+#endif  // PROBSYN_UTIL_STATUS_H_

@@ -1,0 +1,28 @@
+#ifndef PROBSYN_UTIL_TIMER_H_
+#define PROBSYN_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace probsyn {
+
+/// Monotonic wall-clock stopwatch for the timing experiments (Figure 3).
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace probsyn
+
+#endif  // PROBSYN_UTIL_TIMER_H_

@@ -1,0 +1,191 @@
+// Property tests for the histogram DP at sizes where exhaustive search is
+// infeasible: local optimality under boundary perturbation, consistency
+// between DP costs and independent evaluation, and approximation
+// guarantees across seeds.
+
+#include <gtest/gtest.h>
+
+#include "core/builders.h"
+#include "core/evaluate.h"
+#include "core/histogram_dp.h"
+#include "core/oracle_factory.h"
+#include "gen/generators.h"
+#include "model/induced.h"
+
+namespace probsyn {
+namespace {
+
+double HistogramCostUnderOracle(const BucketCostOracle& oracle,
+                                DpCombiner combiner, const Histogram& h) {
+  double total = 0.0;
+  for (const HistogramBucket& b : h.buckets()) {
+    double cost = oracle.Cost(b.start, b.end).cost;
+    total = combiner == DpCombiner::kSum ? total + cost
+                                         : std::max(total, cost);
+  }
+  return total;
+}
+
+struct PropertyCase {
+  ErrorMetric metric;
+  double c;
+  std::uint64_t seed;
+};
+
+class DpLocalOptimalityTest : public ::testing::TestWithParam<PropertyCase> {};
+
+// Moving any single bucket boundary by one item must not improve the
+// optimum — a necessary condition that exercises n far beyond what the
+// exhaustive oracle can cover.
+TEST_P(DpLocalOptimalityTest, BoundaryPerturbationNeverImproves) {
+  const PropertyCase& param = GetParam();
+  ValuePdfInput input = GenerateRandomValuePdf(
+      {.domain_size = 48, .max_support = 4, .max_value = 7,
+       .seed = param.seed});
+  SynopsisOptions options;
+  options.metric = param.metric;
+  options.sanity_c = param.c;
+  options.sse_variant = SseVariant::kFixedRepresentative;
+  auto bundle = MakeBucketOracle(input, options);
+  ASSERT_TRUE(bundle.ok());
+  HistogramDpResult dp = SolveHistogramDp(*bundle->oracle, 8, bundle->combiner);
+  Histogram h = dp.ExtractHistogram(8);
+  double base = HistogramCostUnderOracle(*bundle->oracle, bundle->combiner, h);
+  EXPECT_NEAR(base, dp.OptimalCost(8), 1e-8);
+
+  std::vector<HistogramBucket> buckets = h.buckets();
+  for (std::size_t k = 0; k + 1 < buckets.size(); ++k) {
+    for (int delta : {-1, +1}) {
+      std::vector<HistogramBucket> tweaked = buckets;
+      // Shift the boundary between buckets k and k+1.
+      std::int64_t end = static_cast<std::int64_t>(tweaked[k].end) + delta;
+      if (end < static_cast<std::int64_t>(tweaked[k].start) ||
+          end + 1 > static_cast<std::int64_t>(tweaked[k + 1].end)) {
+        continue;  // perturbation would empty a bucket
+      }
+      tweaked[k].end = static_cast<std::size_t>(end);
+      tweaked[k + 1].start = static_cast<std::size_t>(end) + 1;
+      Histogram candidate(tweaked);
+      ASSERT_TRUE(candidate.Validate(48).ok());
+      double cost = HistogramCostUnderOracle(*bundle->oracle,
+                                             bundle->combiner, candidate);
+      EXPECT_GE(cost, base - 1e-9)
+          << ErrorMetricName(param.metric) << " boundary " << k << " delta "
+          << delta;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    MetricsAndSeeds, DpLocalOptimalityTest,
+    ::testing::Values(PropertyCase{ErrorMetric::kSse, 1.0, 1},
+                      PropertyCase{ErrorMetric::kSse, 1.0, 21},
+                      PropertyCase{ErrorMetric::kSsre, 0.5, 2},
+                      PropertyCase{ErrorMetric::kSsre, 1.0, 22},
+                      PropertyCase{ErrorMetric::kSae, 1.0, 3},
+                      PropertyCase{ErrorMetric::kSae, 1.0, 23},
+                      PropertyCase{ErrorMetric::kSare, 0.5, 4},
+                      PropertyCase{ErrorMetric::kSare, 1.0, 24},
+                      PropertyCase{ErrorMetric::kMae, 1.0, 5},
+                      PropertyCase{ErrorMetric::kMare, 0.5, 6}),
+    [](const ::testing::TestParamInfo<PropertyCase>& info) {
+      return std::string(ErrorMetricName(info.param.metric)) + "_seed" +
+             std::to_string(info.param.seed);
+    });
+
+// The DP's reported optimum must agree with the fully independent
+// evaluator for every per-item-decomposable metric (this ties together the
+// oracle precomputations, the DP transitions, the traceback and the
+// evaluation tables).
+class DpEvaluationConsistencyTest
+    : public ::testing::TestWithParam<PropertyCase> {};
+
+TEST_P(DpEvaluationConsistencyTest, DpCostEqualsEvaluatedCost) {
+  const PropertyCase& param = GetParam();
+  TuplePdfInput input = GenerateRandomTuplePdf(
+      {.domain_size = 32, .num_tuples = 96, .max_alternatives = 4,
+       .seed = param.seed});
+  SynopsisOptions options;
+  options.metric = param.metric;
+  options.sanity_c = param.c;
+  options.sse_variant = SseVariant::kFixedRepresentative;
+  auto builder = HistogramBuilder::Create(input, options, 6);
+  ASSERT_TRUE(builder.ok());
+  for (std::size_t b : {1u, 2u, 4u, 6u}) {
+    Histogram h = builder->Extract(b);
+    auto evaluated = EvaluateHistogram(input, h, options);
+    ASSERT_TRUE(evaluated.ok());
+    EXPECT_NEAR(*evaluated, builder->OptimalCost(b), 1e-8)
+        << ErrorMetricName(param.metric) << " B=" << b;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    MetricsAndSeeds, DpEvaluationConsistencyTest,
+    ::testing::Values(PropertyCase{ErrorMetric::kSse, 1.0, 7},
+                      PropertyCase{ErrorMetric::kSsre, 0.5, 8},
+                      PropertyCase{ErrorMetric::kSae, 1.0, 9},
+                      PropertyCase{ErrorMetric::kSare, 1.0, 10},
+                      PropertyCase{ErrorMetric::kMae, 1.0, 11},
+                      PropertyCase{ErrorMetric::kMare, 0.5, 12}),
+    [](const ::testing::TestParamInfo<PropertyCase>& info) {
+      return std::string(ErrorMetricName(info.param.metric)) + "_seed" +
+             std::to_string(info.param.seed);
+    });
+
+// The (1+eps) guarantee must hold across many random inputs, not just the
+// one exhaustive case.
+class ApproxGuaranteeTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ApproxGuaranteeTest, HoldsOnRandomInputs) {
+  ValuePdfInput input = GenerateRandomValuePdf(
+      {.domain_size = 100, .max_support = 4, .max_value = 9,
+       .seed = GetParam()});
+  const double kEps = 0.2;
+  for (ErrorMetric metric : {ErrorMetric::kSse, ErrorMetric::kSare}) {
+    SynopsisOptions options;
+    options.metric = metric;
+    options.sanity_c = 1.0;
+    options.sse_variant = SseVariant::kFixedRepresentative;
+    auto bundle = MakeBucketOracle(input, options);
+    ASSERT_TRUE(bundle.ok());
+    HistogramDpResult exact =
+        SolveHistogramDp(*bundle->oracle, 7, bundle->combiner);
+    auto approx = SolveApproxHistogramDp(*bundle->oracle, 7, kEps);
+    ASSERT_TRUE(approx.ok());
+    EXPECT_LE(approx->cost, (1.0 + kEps) * exact.OptimalCost(7) + 1e-9)
+        << ErrorMetricName(metric) << " seed " << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ApproxGuaranteeTest,
+                         ::testing::Values(31, 32, 33, 34, 35, 36, 37, 38));
+
+// Cross-model consistency: the basic model, its tuple-pdf embedding, and
+// its induced value pdf must all produce the same optimal histograms for
+// per-item-decomposable metrics.
+TEST(DpCrossModel, BasicTupleAndInducedAgree) {
+  BasicModelInput basic = GenerateMovieLinkage({.domain_size = 40, .seed = 3});
+  auto tuple_pdf = basic.ToTuplePdf();
+  ASSERT_TRUE(tuple_pdf.ok());
+  auto induced = InduceValuePdf(basic);
+  ASSERT_TRUE(induced.ok());
+
+  for (ErrorMetric metric : {ErrorMetric::kSsre, ErrorMetric::kSae,
+                             ErrorMetric::kMare}) {
+    SynopsisOptions options;
+    options.metric = metric;
+    options.sanity_c = 0.5;
+    auto from_tuple = HistogramBuilder::Create(tuple_pdf.value(), options, 5);
+    auto from_value = HistogramBuilder::Create(induced.value(), options, 5);
+    ASSERT_TRUE(from_tuple.ok() && from_value.ok());
+    for (std::size_t b = 1; b <= 5; ++b) {
+      EXPECT_NEAR(from_tuple->OptimalCost(b), from_value->OptimalCost(b),
+                  1e-9)
+          << ErrorMetricName(metric) << " B=" << b;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace probsyn

@@ -1,0 +1,139 @@
+#include "gen/generators.h"
+
+#include <gtest/gtest.h>
+
+#include "model/induced.h"
+
+namespace probsyn {
+namespace {
+
+TEST(MovieLinkage, DeterministicGivenSeed) {
+  MovieLinkageOptions options{.domain_size = 128, .seed = 10};
+  BasicModelInput a = GenerateMovieLinkage(options);
+  BasicModelInput b = GenerateMovieLinkage(options);
+  ASSERT_EQ(a.num_tuples(), b.num_tuples());
+  EXPECT_EQ(a.tuples(), b.tuples());
+}
+
+TEST(MovieLinkage, DifferentSeedsDiffer) {
+  BasicModelInput a = GenerateMovieLinkage({.domain_size = 128, .seed = 1});
+  BasicModelInput b = GenerateMovieLinkage({.domain_size = 128, .seed = 2});
+  EXPECT_NE(a.tuples(), b.tuples());
+}
+
+TEST(MovieLinkage, ProducesValidBasicModel) {
+  BasicModelInput input = GenerateMovieLinkage({.domain_size = 256, .seed = 3});
+  EXPECT_TRUE(input.Validate().ok());
+  // Every item gets at least one candidate match.
+  std::vector<int> count(256, 0);
+  for (const BasicTuple& t : input.tuples()) count[t.item]++;
+  for (int c : count) EXPECT_GE(c, 1);
+  // Match counts are skewed: mean above minimum.
+  EXPECT_GT(input.num_tuples(), 256u);
+  EXPECT_LT(input.num_tuples(), 256u * 12u);
+}
+
+TEST(MovieLinkage, ConfidencesAreBimodal) {
+  BasicModelInput input = GenerateMovieLinkage({.domain_size = 512, .seed = 4});
+  int high = 0, low = 0;
+  for (const BasicTuple& t : input.tuples()) {
+    ASSERT_GT(t.probability, 0.0);
+    ASSERT_LE(t.probability, 1.0);
+    if (t.probability >= 0.7) ++high;
+    if (t.probability <= 0.45) ++low;
+  }
+  EXPECT_GT(high, 0);
+  EXPECT_GT(low, 0);
+  // The two modes must account for all of the mass.
+  EXPECT_EQ(high + low, static_cast<int>(input.num_tuples()));
+}
+
+TEST(MovieLinkage, SmoothSegmentsFlattenLocalExpectations) {
+  MovieLinkageOptions rough{.domain_size = 2048, .seed = 6};
+  MovieLinkageOptions smooth = rough;
+  smooth.smooth_segments = true;
+
+  auto local_roughness = [](const BasicModelInput& input) {
+    std::vector<double> mean(2048, 0.0);
+    for (const BasicTuple& t : input.tuples()) mean[t.item] += t.probability;
+    double total = 0.0;
+    for (std::size_t i = 1; i < mean.size(); ++i) {
+      double d = mean[i] - mean[i - 1];
+      total += d * d;
+    }
+    return total;
+  };
+  BasicModelInput a = GenerateMovieLinkage(rough);
+  BasicModelInput b = GenerateMovieLinkage(smooth);
+  EXPECT_TRUE(b.Validate().ok());
+  // Smooth mode drastically reduces item-to-item expectation jumps.
+  EXPECT_LT(local_roughness(b), 0.5 * local_roughness(a));
+}
+
+TEST(MaybmsTpch, ProducesValidTuplePdf) {
+  TuplePdfInput input = GenerateMaybmsTpch(
+      {.domain_size = 200, .num_tuples = 500, .seed = 5});
+  EXPECT_TRUE(input.Validate().ok());
+  EXPECT_EQ(input.num_tuples(), 500u);
+}
+
+TEST(MaybmsTpch, AlternativesAreUniformWithinEachTuple) {
+  TuplePdfInput input = GenerateMaybmsTpch(
+      {.domain_size = 100, .num_tuples = 200, .max_alternatives = 4,
+       .absent_probability = 0.0, .seed = 6});
+  for (const ProbTuple& t : input.tuples()) {
+    // All alternatives of a row share the same probability (MayBMS-style
+    // uniform alternatives), except where two alternatives collide on the
+    // same item and merge.
+    double total = 0.0;
+    for (const TupleAlternative& a : t.alternatives()) total += a.probability;
+    EXPECT_NEAR(total, 1.0, 1e-9);
+  }
+}
+
+TEST(MaybmsTpch, AbsentMassRespected) {
+  TuplePdfInput input = GenerateMaybmsTpch(
+      {.domain_size = 100, .num_tuples = 300, .absent_probability = 0.3,
+       .seed = 7});
+  bool some_absent = false;
+  for (const ProbTuple& t : input.tuples()) {
+    EXPECT_LE(t.ProbAbsent(), 0.3 + 1e-9);
+    if (t.ProbAbsent() > 0.0) some_absent = true;
+  }
+  EXPECT_TRUE(some_absent);
+}
+
+TEST(RandomValuePdf, ValidAndDeterministic) {
+  RandomValuePdfOptions options{.domain_size = 50, .seed = 8};
+  ValuePdfInput a = GenerateRandomValuePdf(options);
+  ValuePdfInput b = GenerateRandomValuePdf(options);
+  EXPECT_TRUE(a.Validate().ok());
+  ASSERT_EQ(a.domain_size(), 50u);
+  for (std::size_t i = 0; i < 50; ++i) {
+    EXPECT_EQ(a.item(i), b.item(i));
+  }
+}
+
+TEST(RandomTuplePdf, ValidAndInducible) {
+  TuplePdfInput input = GenerateRandomTuplePdf(
+      {.domain_size = 10, .num_tuples = 15, .max_alternatives = 4, .seed = 9});
+  EXPECT_TRUE(input.Validate().ok());
+  auto induced = InduceValuePdf(input);
+  ASSERT_TRUE(induced.ok());
+  EXPECT_TRUE(induced->Validate().ok());
+}
+
+TEST(ZipfFrequencies, MassAndSkew) {
+  std::vector<double> freqs = GenerateZipfFrequencies(100, 1.2, 1000.0, 10);
+  double total = 0.0, top = 0.0;
+  for (double f : freqs) {
+    total += f;
+    top = std::max(top, f);
+  }
+  EXPECT_NEAR(total, 1000.0, 1e-6);
+  // Rank-1 mass dominates under alpha > 1.
+  EXPECT_GT(top, 1000.0 / 100.0);
+}
+
+}  // namespace
+}  // namespace probsyn

@@ -1,0 +1,163 @@
+// One-pass streaming histogram builder: approximation guarantee against
+// the offline exact DP, bounded memory, and exactness of returned costs.
+
+#include "stream/streaming_histogram.h"
+
+#include <gtest/gtest.h>
+
+#include "core/builders.h"
+#include "core/evaluate.h"
+#include "gen/generators.h"
+#include "model/induced.h"
+#include "util/logging.h"
+#include "test_util.h"
+
+namespace probsyn {
+namespace {
+
+SynopsisOptions SseOptions() {
+  SynopsisOptions options;
+  options.metric = ErrorMetric::kSse;
+  options.sse_variant = SseVariant::kFixedRepresentative;
+  return options;
+}
+
+struct StreamCase {
+  std::size_t buckets;
+  double epsilon;
+  std::uint64_t seed;
+};
+
+class StreamingGuaranteeTest : public ::testing::TestWithParam<StreamCase> {};
+
+TEST_P(StreamingGuaranteeTest, WithinFactorOfOfflineOptimum) {
+  const StreamCase& param = GetParam();
+  ValuePdfInput input = GenerateRandomValuePdf(
+      {.domain_size = 200, .max_support = 4, .max_value = 9,
+       .seed = param.seed});
+
+  StreamingHistogramBuilder builder(param.buckets, param.epsilon);
+  for (const ValuePdf& pdf : input.items()) builder.Push(pdf);
+  auto result = builder.Finish();
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_TRUE(result->histogram.Validate(200).ok());
+  EXPECT_LE(result->histogram.num_buckets(), param.buckets);
+
+  // The reported cost is the exact expected SSE of the returned histogram.
+  auto evaluated = EvaluateHistogram(input, result->histogram, SseOptions());
+  ASSERT_TRUE(evaluated.ok());
+  EXPECT_NEAR(*evaluated, result->cost, 1e-7);
+
+  // And it is within (1 + eps) of the offline exact optimum.
+  auto offline = HistogramBuilder::Create(input, SseOptions(), param.buckets);
+  ASSERT_TRUE(offline.ok());
+  double opt = offline->OptimalCost(param.buckets);
+  EXPECT_GE(result->cost, opt - 1e-9);
+  EXPECT_LE(result->cost, (1.0 + param.epsilon) * opt + 1e-6)
+      << "B=" << param.buckets << " eps=" << param.epsilon << " seed "
+      << param.seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, StreamingGuaranteeTest,
+    ::testing::Values(StreamCase{4, 0.1, 1}, StreamCase{4, 0.1, 2},
+                      StreamCase{8, 0.1, 3}, StreamCase{8, 0.25, 4},
+                      StreamCase{8, 0.5, 5}, StreamCase{16, 0.1, 6},
+                      StreamCase{16, 1.0, 7}, StreamCase{2, 0.05, 8},
+                      StreamCase{1, 0.1, 9}),
+    [](const ::testing::TestParamInfo<StreamCase>& info) {
+      return "B" + std::to_string(info.param.buckets) + "_eps" +
+             std::to_string(static_cast<int>(info.param.epsilon * 100)) +
+             "_seed" + std::to_string(info.param.seed);
+    });
+
+TEST(Streaming, MemoryStaysSublinear) {
+  // Breakpoint count is O((B^2/eps) log(error range)) by the geometric-
+  // class argument: doubling the stream must grow memory only by the
+  // log-range increment, not 2x.
+  auto peak_for = [](std::size_t n) {
+    BasicModelInput basic = GenerateMovieLinkage({.domain_size = n, .seed = 77});
+    auto induced = InduceValuePdf(basic);
+    PROBSYN_CHECK(induced.ok());
+    StreamingHistogramBuilder builder(8, 0.25);
+    for (const ValuePdf& pdf : induced->items()) builder.Push(pdf);
+    auto result = builder.Finish();
+    PROBSYN_CHECK(result.ok());
+    PROBSYN_CHECK(result->histogram.Validate(n).ok());
+    return result->peak_breakpoints;
+  };
+  std::size_t at_2000 = peak_for(2000);
+  std::size_t at_4000 = peak_for(4000);
+  EXPECT_LT(at_4000, 4000u);  // far below one-per-item
+  EXPECT_LT(at_4000, at_2000 + at_2000 / 2)
+      << "memory grew superlogarithmically: " << at_2000 << " -> " << at_4000;
+}
+
+TEST(Streaming, DeterministicStreamWithEnoughBucketsIsExact) {
+  StreamingHistogramBuilder builder(4, 0.1);
+  for (double f : {5.0, 5.0, 1.0, 1.0, 9.0, 9.0, 2.0, 2.0}) {
+    builder.PushDeterministic(f);
+  }
+  auto result = builder.Finish();
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->cost, 0.0, 1e-9);
+  EXPECT_EQ(result->histogram.num_buckets(), 4u);
+  EXPECT_DOUBLE_EQ(result->histogram.Estimate(0), 5.0);
+  EXPECT_DOUBLE_EQ(result->histogram.Estimate(4), 9.0);
+}
+
+TEST(Streaming, FinishIsNonDestructiveAndRepeatable) {
+  ValuePdfInput input = GenerateRandomValuePdf({.domain_size = 50, .seed = 3});
+  StreamingHistogramBuilder builder(5, 0.2);
+  for (std::size_t i = 0; i < 25; ++i) builder.Push(input.item(i));
+  auto first = builder.Finish();
+  ASSERT_TRUE(first.ok());
+  EXPECT_TRUE(first->histogram.Validate(25).ok());
+
+  for (std::size_t i = 25; i < 50; ++i) builder.Push(input.item(i));
+  auto second = builder.Finish();
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(second->histogram.Validate(50).ok());
+  EXPECT_EQ(builder.items_seen(), 50u);
+
+  // Costs never report below the offline optimum at either point.
+  auto offline = HistogramBuilder::Create(input, SseOptions(), 5);
+  ASSERT_TRUE(offline.ok());
+  EXPECT_GE(second->cost, offline->OptimalCost(5) - 1e-9);
+}
+
+TEST(Streaming, EmptyStreamFails) {
+  StreamingHistogramBuilder builder(4, 0.1);
+  auto result = builder.Finish();
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(Streaming, SingleItem) {
+  StreamingHistogramBuilder builder(4, 0.1);
+  auto pdf = ValuePdf::Create({{3.0, 0.5}});
+  ASSERT_TRUE(pdf.ok());
+  builder.Push(pdf.value());
+  auto result = builder.Finish();
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->histogram.num_buckets(), 1u);
+  EXPECT_DOUBLE_EQ(result->histogram.Estimate(0), 1.5);
+  // Irreducible variance of {0: .5, 3: .5}.
+  EXPECT_NEAR(result->cost, 0.5 * 9.0 - 1.5 * 1.5, 1e-12);
+}
+
+TEST(Streaming, MatchesPaperExampleOneBucket) {
+  // Value-pdf Example 1 items pushed as a stream, B = 1: cost must equal
+  // the offline 1-bucket SSE (fixed representative).
+  ValuePdfInput input = testing::PaperExampleValuePdf();
+  StreamingHistogramBuilder builder(1, 0.1);
+  for (const ValuePdf& pdf : input.items()) builder.Push(pdf);
+  auto result = builder.Finish();
+  ASSERT_TRUE(result.ok());
+  auto offline = HistogramBuilder::Create(input, SseOptions(), 1);
+  ASSERT_TRUE(offline.ok());
+  EXPECT_NEAR(result->cost, offline->OptimalCost(1), 1e-12);
+}
+
+}  // namespace
+}  // namespace probsyn

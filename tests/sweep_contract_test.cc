@@ -1,0 +1,77 @@
+// Sweep-contract tests: every oracle's StartSweep(e) must deliver exactly
+// Cost(e, e), Cost(e-1, e), ..., Cost(0, e) — the DP relies on this.
+
+#include <gtest/gtest.h>
+
+#include "core/oracle_factory.h"
+#include "gen/generators.h"
+#include "model/induced.h"
+
+namespace probsyn {
+namespace {
+
+void CheckSweepContract(const BucketCostOracle& oracle) {
+  const std::size_t n = oracle.domain_size();
+  for (std::size_t e = 0; e < n; ++e) {
+    auto sweep = oracle.StartSweep(e);
+    for (std::size_t s = e;; --s) {
+      BucketCost from_sweep = sweep->Extend();
+      BucketCost direct = oracle.Cost(s, e);
+      ASSERT_NEAR(from_sweep.cost, direct.cost, 1e-9)
+          << "bucket [" << s << ", " << e << "]";
+      ASSERT_NEAR(from_sweep.representative, direct.representative, 1e-9)
+          << "bucket [" << s << ", " << e << "]";
+      if (s == 0) break;
+    }
+  }
+}
+
+class SweepContractTest : public ::testing::TestWithParam<ErrorMetric> {};
+
+TEST_P(SweepContractTest, ValuePdfOracles) {
+  ValuePdfInput input = GenerateRandomValuePdf(
+      {.domain_size = 14, .max_support = 3, .max_value = 6, .seed = 19});
+  SynopsisOptions options;
+  options.metric = GetParam();
+  options.sanity_c = 0.5;
+  options.sse_variant = SseVariant::kFixedRepresentative;
+  auto bundle = MakeBucketOracle(input, options);
+  ASSERT_TRUE(bundle.ok());
+  CheckSweepContract(*bundle->oracle);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllMetrics, SweepContractTest,
+    ::testing::Values(ErrorMetric::kSse, ErrorMetric::kSsre, ErrorMetric::kSae,
+                      ErrorMetric::kSare, ErrorMetric::kMae,
+                      ErrorMetric::kMare),
+    [](const ::testing::TestParamInfo<ErrorMetric>& info) {
+      return ErrorMetricName(info.param);
+    });
+
+TEST(SweepContract, ExactTupleSseWithWeightsAndAbsentRows) {
+  TuplePdfInput input = GenerateRandomTuplePdf(
+      {.domain_size = 14, .num_tuples = 24, .max_alternatives = 4,
+       .allow_absent = true, .seed = 23});
+  SynopsisOptions options;
+  options.metric = ErrorMetric::kSse;
+  options.sse_variant = SseVariant::kWorldMean;
+  auto bundle = MakeBucketOracle(input, options);
+  ASSERT_TRUE(bundle.ok());
+  CheckSweepContract(*bundle->oracle);
+}
+
+TEST(SweepContract, WeightedOracleSweeps) {
+  ValuePdfInput input = GenerateRandomValuePdf(
+      {.domain_size = 10, .max_support = 3, .max_value = 5, .seed = 29});
+  SynopsisOptions options;
+  options.metric = ErrorMetric::kSare;
+  options.sanity_c = 1.0;
+  options.workload = {2, 0, 1, 3, 0, 0.5, 1, 1, 4, 0.25};
+  auto bundle = MakeBucketOracle(input, options);
+  ASSERT_TRUE(bundle.ok());
+  CheckSweepContract(*bundle->oracle);
+}
+
+}  // namespace
+}  // namespace probsyn

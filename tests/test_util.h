@@ -1,0 +1,48 @@
+#ifndef PROBSYN_TESTS_TEST_UTIL_H_
+#define PROBSYN_TESTS_TEST_UTIL_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/histogram.h"
+#include "core/metrics.h"
+#include "model/basic.h"
+#include "model/tuple_pdf.h"
+#include "model/value_pdf.h"
+#include "model/worlds.h"
+
+namespace probsyn::testing {
+
+/// The paper's Example 1 (section 2.1), mapped to the 0-based domain
+/// {0, 1, 2} (the paper's items 1, 2, 3).
+
+/// Basic model: <1, 1/2>, <2, 1/3>, <2, 1/4>, <3, 1/2>.
+BasicModelInput PaperExampleBasic();
+
+/// Tuple pdf: <(1, 1/2), (2, 1/3)>, <(2, 1/4), (3, 1/2)>.
+TuplePdfInput PaperExampleTuplePdf();
+
+/// Value pdf: g1 ~ {0:1/2, 1:1/2}, g2 ~ {0:5/12, 1:1/3, 2:1/4},
+/// g3 ~ {0:1/2, 1:1/2}.
+ValuePdfInput PaperExampleValuePdf();
+
+/// E_W[err(g_i, v)] by exhaustive possible-world enumeration.
+double EnumeratedItemError(const std::vector<PossibleWorld>& worlds,
+                           std::size_t item, double v, ErrorMetric metric,
+                           double c);
+
+/// The paper's synopsis objective for a concrete histogram, by exhaustive
+/// enumeration: sum_i E_W[err] for cumulative metrics, max_i E_W[err] for
+/// maximum metrics.
+double EnumeratedHistogramCost(const std::vector<PossibleWorld>& worlds,
+                               const Histogram& histogram, ErrorMetric metric,
+                               double c);
+
+/// n_b * E_W[sample variance] summed over buckets (the paper's equation (5)
+/// world-mean SSE objective), by exhaustive enumeration.
+double EnumeratedWorldMeanSse(const std::vector<PossibleWorld>& worlds,
+                              const Histogram& histogram);
+
+}  // namespace probsyn::testing
+
+#endif  // PROBSYN_TESTS_TEST_UTIL_H_

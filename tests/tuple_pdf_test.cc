@@ -1,0 +1,108 @@
+#include "model/tuple_pdf.h"
+
+#include <gtest/gtest.h>
+
+#include "model/basic.h"
+#include "test_util.h"
+
+namespace probsyn {
+namespace {
+
+TEST(ProbTuple, CreateSortsAndMerges) {
+  auto t = ProbTuple::Create({{5, 0.2}, {1, 0.3}, {5, 0.1}});
+  ASSERT_TRUE(t.ok());
+  ASSERT_EQ(t->size(), 2u);
+  EXPECT_EQ(t->alternatives()[0].item, 1u);
+  EXPECT_DOUBLE_EQ(t->alternatives()[0].probability, 0.3);
+  EXPECT_EQ(t->alternatives()[1].item, 5u);
+  EXPECT_DOUBLE_EQ(t->alternatives()[1].probability, 0.3);
+  EXPECT_NEAR(t->ProbAbsent(), 0.4, 1e-12);
+}
+
+TEST(ProbTuple, CreateRejectsMassOverOne) {
+  EXPECT_FALSE(ProbTuple::Create({{0, 0.6}, {1, 0.6}}).ok());
+}
+
+TEST(ProbTuple, CreateRejectsNegativeProbability) {
+  EXPECT_FALSE(ProbTuple::Create({{0, -0.1}}).ok());
+}
+
+TEST(ProbTuple, RangeProbabilities) {
+  auto t = ProbTuple::Create({{1, 0.2}, {3, 0.3}, {6, 0.4}});
+  ASSERT_TRUE(t.ok());
+  EXPECT_DOUBLE_EQ(t->ProbItem(1), 0.2);
+  EXPECT_DOUBLE_EQ(t->ProbItem(2), 0.0);
+  EXPECT_DOUBLE_EQ(t->ProbItemAtMost(0), 0.0);
+  EXPECT_DOUBLE_EQ(t->ProbItemAtMost(1), 0.2);
+  EXPECT_DOUBLE_EQ(t->ProbItemAtMost(5), 0.5);
+  EXPECT_DOUBLE_EQ(t->ProbItemAtMost(6), 0.9);
+  EXPECT_NEAR(t->ProbItemInRange(2, 6), 0.7, 1e-12);
+  EXPECT_NEAR(t->ProbItemInRange(0, 0), 0.0, 1e-12);
+  EXPECT_NEAR(t->ProbItemInRange(3, 3), 0.3, 1e-12);
+}
+
+TEST(TuplePdfInput, PaperExampleMoments) {
+  // Section 3.1 worked example: E[g_i^2] summed over the bucket {0,1,2} is
+  // 252/144, and E[(sum g)^2] = 136/48.
+  TuplePdfInput input = testing::PaperExampleTuplePdf();
+  ASSERT_TRUE(input.Validate().ok());
+
+  auto mean = input.ExpectedFrequencies();
+  EXPECT_NEAR(mean[0], 1.0 / 2, 1e-12);
+  EXPECT_NEAR(mean[1], 1.0 / 3 + 1.0 / 4, 1e-12);
+  EXPECT_NEAR(mean[2], 1.0 / 2, 1e-12);
+
+  auto second = input.FrequencySecondMoments();
+  EXPECT_NEAR(second[0] + second[1] + second[2], 252.0 / 144, 1e-12);
+}
+
+TEST(TuplePdfInput, ValidateCatchesOutOfDomainItems) {
+  auto t = ProbTuple::Create({{7, 0.5}});
+  ASSERT_TRUE(t.ok());
+  TuplePdfInput input(3, {t.value()});
+  EXPECT_FALSE(input.Validate().ok());
+  EXPECT_EQ(input.Validate().code(), StatusCode::kOutOfRange);
+}
+
+TEST(TuplePdfInput, ValidateCatchesEmptyTuple) {
+  TuplePdfInput input(3, {ProbTuple()});
+  EXPECT_FALSE(input.Validate().ok());
+}
+
+TEST(TuplePdfInput, PerItemTupleProbs) {
+  TuplePdfInput input = testing::PaperExampleTuplePdf();
+  auto per_item = input.PerItemTupleProbs();
+  ASSERT_EQ(per_item.size(), 3u);
+  ASSERT_EQ(per_item[0].size(), 1u);
+  ASSERT_EQ(per_item[1].size(), 2u);
+  ASSERT_EQ(per_item[2].size(), 1u);
+  EXPECT_DOUBLE_EQ(per_item[1][0] + per_item[1][1], 1.0 / 3 + 1.0 / 4);
+}
+
+TEST(BasicModel, ValidateAndEmbed) {
+  BasicModelInput basic = testing::PaperExampleBasic();
+  ASSERT_TRUE(basic.Validate().ok());
+  auto tuple_pdf = basic.ToTuplePdf();
+  ASSERT_TRUE(tuple_pdf.ok());
+  EXPECT_EQ(tuple_pdf->num_tuples(), 4u);
+  // The embedding preserves all expected frequencies.
+  auto mean = tuple_pdf->ExpectedFrequencies();
+  EXPECT_NEAR(mean[0], 0.5, 1e-12);
+  EXPECT_NEAR(mean[1], 1.0 / 3 + 1.0 / 4, 1e-12);
+  EXPECT_NEAR(mean[2], 0.5, 1e-12);
+}
+
+TEST(BasicModel, ValidateRejectsBadProbability) {
+  BasicModelInput input(2, {{0, 1.5}});
+  EXPECT_FALSE(input.Validate().ok());
+  BasicModelInput zero(2, {{0, 0.0}});
+  EXPECT_FALSE(zero.Validate().ok());
+}
+
+TEST(BasicModel, ValidateRejectsOutOfDomain) {
+  BasicModelInput input(2, {{5, 0.5}});
+  EXPECT_EQ(input.Validate().code(), StatusCode::kOutOfRange);
+}
+
+}  // namespace
+}  // namespace probsyn

@@ -1,0 +1,216 @@
+// Unrestricted (free-coefficient-value) wavelet DP — the extension the
+// paper sketches in section 4.2's final paragraph.
+
+#include "core/wavelet_unrestricted.h"
+
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "core/evaluate.h"
+#include "core/wavelet.h"
+#include "core/wavelet_dp.h"
+#include "gen/generators.h"
+#include "test_util.h"
+
+namespace probsyn {
+namespace {
+
+struct UnrestrictedCase {
+  ErrorMetric metric;
+  double c;
+  std::size_t domain;
+  std::size_t budget;
+  std::uint64_t seed;
+};
+
+class UnrestrictedWaveletTest
+    : public ::testing::TestWithParam<UnrestrictedCase> {};
+
+// The DP is internally exact: its reported cost must equal the true
+// expected error of the synopsis it returns.
+TEST_P(UnrestrictedWaveletTest, ReportedCostMatchesEvaluation) {
+  const UnrestrictedCase& param = GetParam();
+  ValuePdfInput input = GenerateRandomValuePdf(
+      {.domain_size = param.domain, .max_support = 3, .max_value = 5,
+       .seed = param.seed});
+  SynopsisOptions options;
+  options.metric = param.metric;
+  options.sanity_c = param.c;
+
+  auto result = BuildUnrestrictedWaveletDp(input, param.budget, options,
+                                           {.grid_points = 21});
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_LE(result->synopsis.num_coefficients(), param.budget);
+  EXPECT_TRUE(result->synopsis.Validate().ok());
+
+  auto evaluated = EvaluateWavelet(input, result->synopsis, options);
+  ASSERT_TRUE(evaluated.ok());
+  EXPECT_NEAR(result->cost, *evaluated, 1e-8)
+      << ErrorMetricName(param.metric);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, UnrestrictedWaveletTest,
+    ::testing::Values(
+        UnrestrictedCase{ErrorMetric::kSae, 1.0, 8, 2, 1},
+        UnrestrictedCase{ErrorMetric::kSae, 1.0, 16, 4, 2},
+        UnrestrictedCase{ErrorMetric::kSare, 0.5, 8, 3, 3},
+        UnrestrictedCase{ErrorMetric::kSare, 1.0, 16, 5, 4},
+        UnrestrictedCase{ErrorMetric::kMae, 1.0, 8, 2, 5},
+        UnrestrictedCase{ErrorMetric::kMare, 0.5, 8, 3, 6},
+        UnrestrictedCase{ErrorMetric::kSse, 1.0, 16, 4, 7},
+        UnrestrictedCase{ErrorMetric::kSsre, 1.0, 8, 2, 8},
+        UnrestrictedCase{ErrorMetric::kSae, 1.0, 11, 3, 9}),  // padded
+    [](const ::testing::TestParamInfo<UnrestrictedCase>& info) {
+      return std::string(ErrorMetricName(info.param.metric)) + "_n" +
+             std::to_string(info.param.domain) + "_B" +
+             std::to_string(info.param.budget) + "_seed" +
+             std::to_string(info.param.seed);
+    });
+
+TEST(UnrestrictedWavelet, FullBudgetOnGridValuedDataIsExact) {
+  // Deterministic integer data whose values all lie on the DP grid: with
+  // budget n the DP can reconstruct exactly (cost 0), since any grid-valued
+  // leaf vector is reachable by the symmetric-offset transitions.
+  std::vector<double> freqs{3, 1, 4, 1, 5, 2, 6, 2};
+  ValuePdfInput input;
+  {
+    std::vector<ValuePdf> items;
+    for (double f : freqs) items.push_back(ValuePdf::PointMass(f));
+    input = ValuePdfInput(std::move(items));
+  }
+  SynopsisOptions options;
+  options.metric = ErrorMetric::kSae;
+  // Grid step divides 1: range [0-pad, 6+pad] with padding 0 and 25 points
+  // -> step 0.25, integers representable.
+  auto result = BuildUnrestrictedWaveletDp(
+      input, 8, options, {.grid_points = 25, .range_padding = 0.0});
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->cost, 0.0, 1e-9);
+  std::vector<double> back = result->synopsis.ToFrequencyVector();
+  for (std::size_t i = 0; i < freqs.size(); ++i) {
+    EXPECT_NEAR(back[i], freqs[i], 1e-9);
+  }
+}
+
+TEST(UnrestrictedWavelet, BeatsRestrictedWhenExpectedValuesAreBadEstimates) {
+  // Items with mass {0: 0.9, 10: 0.1}: the expected frequency is 1, but
+  // the SAE-optimal constant estimate is 0 (cost 1.0 per item vs 1.8).
+  // The restricted DP is stuck with mu-valued coefficients; the
+  // unrestricted DP picks the better value.
+  std::vector<ValuePdf> items;
+  for (int i = 0; i < 8; ++i) {
+    auto pdf = ValuePdf::Create({{10.0, 0.1}});
+    ASSERT_TRUE(pdf.ok());
+    items.push_back(std::move(pdf).value());
+  }
+  ValuePdfInput input(std::move(items));
+  SynopsisOptions options;
+  options.metric = ErrorMetric::kSae;
+
+  auto restricted = BuildRestrictedWaveletDp(input, 1, options);
+  auto unrestricted = BuildUnrestrictedWaveletDp(input, 1, options,
+                                                 {.grid_points = 41});
+  ASSERT_TRUE(restricted.ok() && unrestricted.ok());
+  // Restricted with B=1 keeps c0 = mu0 (estimate 1 everywhere, cost 14.4)
+  // or nothing (estimate 0, cost 8); unrestricted can do no worse than the
+  // best of those and here they coincide at 8.
+  EXPECT_LE(unrestricted->cost, restricted->cost + 1e-9);
+  EXPECT_NEAR(unrestricted->cost, 8.0, 1e-9);
+
+  // With nonzero mass worth approximating, unrestricted strictly wins:
+  // shift the distribution to {2: 0.5, 4: 0.5} where mu-based values are
+  // fine but a MEDIAN-seeking metric prefers different levels per half.
+  std::vector<ValuePdf> skew;
+  for (int i = 0; i < 4; ++i) {
+    auto lo = ValuePdf::Create({{0.0, 0.8}, {10.0, 0.2}});
+    auto hi = ValuePdf::Create({{10.0, 0.8}, {0.0, 0.2}});
+    ASSERT_TRUE(lo.ok() && hi.ok());
+    skew.push_back(std::move(lo).value());
+    skew.push_back(std::move(hi).value());
+  }
+  ValuePdfInput skew_input(std::move(skew));
+  auto r2 = BuildRestrictedWaveletDp(skew_input, 2, options);
+  auto u2 = BuildUnrestrictedWaveletDp(skew_input, 2, options,
+                                       {.grid_points = 41});
+  ASSERT_TRUE(r2.ok() && u2.ok());
+  EXPECT_LE(u2->cost, r2->cost + 1e-9);
+}
+
+TEST(UnrestrictedWavelet, MonotoneInBudget) {
+  ValuePdfInput input = GenerateRandomValuePdf(
+      {.domain_size = 16, .max_support = 3, .max_value = 6, .seed = 12});
+  SynopsisOptions options;
+  options.metric = ErrorMetric::kSare;
+  options.sanity_c = 1.0;
+  double prev = std::numeric_limits<double>::infinity();
+  for (std::size_t budget = 0; budget <= 8; ++budget) {
+    auto result = BuildUnrestrictedWaveletDp(input, budget, options,
+                                             {.grid_points = 17});
+    ASSERT_TRUE(result.ok());
+    EXPECT_LE(result->cost, prev + 1e-9) << "budget " << budget;
+    prev = result->cost;
+  }
+}
+
+TEST(UnrestrictedWavelet, FinerGridsNeverHurt) {
+  ValuePdfInput input = GenerateRandomValuePdf(
+      {.domain_size = 16, .max_support = 3, .max_value = 6, .seed = 21});
+  SynopsisOptions options;
+  options.metric = ErrorMetric::kSae;
+  double coarse = 0.0, fine = 0.0;
+  {
+    auto r = BuildUnrestrictedWaveletDp(input, 4, options, {.grid_points = 9});
+    ASSERT_TRUE(r.ok());
+    coarse = r->cost;
+  }
+  {
+    // 9 -> 17 points halves the step over the same range, so every coarse
+    // policy remains representable.
+    auto r = BuildUnrestrictedWaveletDp(input, 4, options, {.grid_points = 17});
+    ASSERT_TRUE(r.ok());
+    fine = r->cost;
+  }
+  EXPECT_LE(fine, coarse + 1e-9);
+}
+
+TEST(UnrestrictedWavelet, SingletonDomain) {
+  auto pdf = ValuePdf::Create({{4.0, 0.5}, {6.0, 0.5}});
+  ASSERT_TRUE(pdf.ok());
+  ValuePdfInput input({pdf.value()});
+  SynopsisOptions options;
+  options.metric = ErrorMetric::kSae;
+  auto result = BuildUnrestrictedWaveletDp(input, 1, options,
+                                           {.grid_points = 41});
+  ASSERT_TRUE(result.ok());
+  // Any estimate in [4, 6] has expected abs error 1.
+  EXPECT_NEAR(result->cost, 1.0, 1e-9);
+}
+
+TEST(UnrestrictedWavelet, RejectsBadOptions) {
+  ValuePdfInput input = testing::PaperExampleValuePdf();
+  SynopsisOptions options;
+  options.metric = ErrorMetric::kSae;
+  EXPECT_FALSE(
+      BuildUnrestrictedWaveletDp(input, 2, options, {.grid_points = 2}).ok());
+  EXPECT_FALSE(BuildUnrestrictedWaveletDp(input, 2, options,
+                                          {.grid_points = 9,
+                                           .range_padding = -0.5})
+                   .ok());
+}
+
+TEST(UnrestrictedWavelet, ZeroBudget) {
+  ValuePdfInput input = testing::PaperExampleValuePdf();
+  SynopsisOptions options;
+  options.metric = ErrorMetric::kSae;
+  auto result = BuildUnrestrictedWaveletDp(input, 0, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->synopsis.num_coefficients(), 0u);
+  double expect = 0.0;
+  for (double m : input.ExpectedFrequencies()) expect += m;  // E|g - 0|
+  EXPECT_NEAR(result->cost, expect, 1e-9);
+}
+
+}  // namespace
+}  // namespace probsyn

@@ -1,0 +1,368 @@
+// probsyn command-line tool: generate probabilistic data, build histogram
+// and wavelet synopses over .pdata files, and (re-)evaluate persisted
+// synopses — the full paper pipeline without writing C++.
+//
+// Usage:
+//   probsyn gen       --kind movie|tpch --n N [--seed S] --out FILE
+//   probsyn info      --in FILE
+//   probsyn histogram --in FILE --buckets B [--metric M] [--c C]
+//                     [--method optimal|approx|expectation|sampled|equidepth]
+//                     [--epsilon E] [--seed S] [--out CSV]
+//   probsyn wavelet   --in FILE --coeffs B [--metric M] [--c C]
+//                     [--method greedy|restricted|unrestricted] [--out CSV]
+//   probsyn evaluate  --in FILE --histogram CSV [--metric M] [--c C]
+//
+// Metrics: SSE SSRE SAE SARE MAE MARE (default SSE).
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "core/baselines.h"
+#include "core/builders.h"
+#include "core/evaluate.h"
+#include "core/oracle_factory.h"
+#include "core/wavelet.h"
+#include "core/wavelet_dp.h"
+#include "core/wavelet_unrestricted.h"
+#include "gen/generators.h"
+#include "io/pdata.h"
+#include "model/induced.h"
+
+namespace probsyn::cli {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Minimal --flag value argument parsing.
+
+class Args {
+ public:
+  Args(int argc, char** argv, int first) {
+    for (int i = first; i + 1 < argc; i += 2) {
+      std::string key = argv[i];
+      if (key.rfind("--", 0) != 0) {
+        ok_ = false;
+        bad_ = key;
+        return;
+      }
+      values_[key.substr(2)] = argv[i + 1];
+    }
+    if ((argc - first) % 2 != 0) {
+      ok_ = false;
+      bad_ = argv[argc - 1];
+    }
+  }
+
+  bool ok() const { return ok_; }
+  const std::string& bad() const { return bad_; }
+
+  std::optional<std::string> Get(const std::string& key) const {
+    auto it = values_.find(key);
+    if (it == values_.end()) return std::nullopt;
+    return it->second;
+  }
+  std::string GetOr(const std::string& key, std::string fallback) const {
+    return Get(key).value_or(std::move(fallback));
+  }
+  std::size_t GetSize(const std::string& key, std::size_t fallback) const {
+    auto v = Get(key);
+    return v ? std::strtoull(v->c_str(), nullptr, 10) : fallback;
+  }
+  double GetDouble(const std::string& key, double fallback) const {
+    auto v = Get(key);
+    return v ? std::strtod(v->c_str(), nullptr) : fallback;
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+  bool ok_ = true;
+  std::string bad_;
+};
+
+int Fail(const std::string& message) {
+  std::fprintf(stderr, "probsyn: %s\n", message.c_str());
+  return 1;
+}
+
+// Loaded input in whichever model the file used, normalized to the two
+// builder-facing models.
+struct LoadedInput {
+  std::string kind;
+  std::optional<ValuePdfInput> value_pdf;
+  std::optional<TuplePdfInput> tuple_pdf;
+
+  std::size_t domain_size() const {
+    return value_pdf ? value_pdf->domain_size() : tuple_pdf->domain_size();
+  }
+};
+
+StatusOr<LoadedInput> Load(const std::string& path) {
+  auto kind = DetectPdataKindFile(path);
+  if (!kind.ok()) return kind.status();
+  LoadedInput loaded;
+  loaded.kind = *kind;
+  if (*kind == "value_pdf") {
+    auto input = LoadValuePdf(path);
+    if (!input.ok()) return input.status();
+    loaded.value_pdf = std::move(input).value();
+  } else if (*kind == "tuple_pdf") {
+    auto input = LoadTuplePdf(path);
+    if (!input.ok()) return input.status();
+    loaded.tuple_pdf = std::move(input).value();
+  } else {
+    auto basic = LoadBasicModel(path);
+    if (!basic.ok()) return basic.status();
+    auto tuple_pdf = basic->ToTuplePdf();
+    if (!tuple_pdf.ok()) return tuple_pdf.status();
+    loaded.tuple_pdf = std::move(tuple_pdf).value();
+  }
+  return loaded;
+}
+
+StatusOr<SynopsisOptions> ParseOptions(const Args& args) {
+  SynopsisOptions options;
+  auto metric = ParseErrorMetric(args.GetOr("metric", "SSE"));
+  if (!metric.ok()) return metric.status();
+  options.metric = *metric;
+  options.sanity_c = args.GetDouble("c", 1.0);
+  options.sse_variant = SseVariant::kFixedRepresentative;
+  PROBSYN_RETURN_IF_ERROR(options.Validate());
+  return options;
+}
+
+Status WriteCsvIfRequested(const Args& args, const Histogram& histogram) {
+  auto out = args.Get("out");
+  if (!out) return Status::OK();
+  std::ofstream os(*out);
+  if (!os) return Status::IOError("cannot open " + *out);
+  return WriteHistogramCsv(os, histogram);
+}
+
+// ---------------------------------------------------------------------------
+// Subcommands.
+
+int RunGen(const Args& args) {
+  std::string kind = args.GetOr("kind", "movie");
+  std::size_t n = args.GetSize("n", 1024);
+  std::uint64_t seed = args.GetSize("seed", 42);
+  auto out = args.Get("out");
+  if (!out) return Fail("gen: --out FILE is required");
+
+  Status status;
+  if (kind == "movie") {
+    BasicModelInput data =
+        GenerateMovieLinkage({.domain_size = n, .seed = seed});
+    status = SaveBasicModel(*out, data);
+    if (status.ok()) {
+      std::printf("wrote %s: basic model, n=%zu, m=%zu\n", out->c_str(), n,
+                  data.num_tuples());
+    }
+  } else if (kind == "tpch") {
+    TuplePdfInput data = GenerateMaybmsTpch(
+        {.domain_size = n, .num_tuples = 4 * n, .seed = seed});
+    status = SaveTuplePdf(*out, data);
+    if (status.ok()) {
+      std::printf("wrote %s: tuple pdf, n=%zu, m=%zu\n", out->c_str(), n,
+                  data.num_tuples());
+    }
+  } else {
+    return Fail("gen: unknown --kind " + kind + " (movie|tpch)");
+  }
+  if (!status.ok()) return Fail(status.ToString());
+  return 0;
+}
+
+int RunInfo(const Args& args) {
+  auto in = args.Get("in");
+  if (!in) return Fail("info: --in FILE is required");
+  auto loaded = Load(*in);
+  if (!loaded.ok()) return Fail(loaded.status().ToString());
+
+  std::printf("model: %s\n", loaded->kind.c_str());
+  std::printf("domain size (n): %zu\n", loaded->domain_size());
+  std::vector<double> mean;
+  if (loaded->value_pdf) {
+    std::printf("pairs (m): %zu\n", loaded->value_pdf->total_pairs());
+    std::printf("|V|: %zu\n", loaded->value_pdf->ValueGrid().size());
+    mean = loaded->value_pdf->ExpectedFrequencies();
+  } else {
+    std::printf("tuples: %zu, pairs (m): %zu\n",
+                loaded->tuple_pdf->num_tuples(),
+                loaded->tuple_pdf->total_pairs());
+    mean = loaded->tuple_pdf->ExpectedFrequencies();
+  }
+  double total = 0.0, max = 0.0;
+  for (double m : mean) {
+    total += m;
+    max = std::max(max, m);
+  }
+  std::printf("expected total frequency: %.3f (max per item %.3f)\n", total,
+              max);
+  return 0;
+}
+
+int RunHistogram(const Args& args) {
+  auto in = args.Get("in");
+  if (!in) return Fail("histogram: --in FILE is required");
+  std::size_t buckets = args.GetSize("buckets", 0);
+  if (buckets == 0) return Fail("histogram: --buckets B is required");
+  auto loaded = Load(*in);
+  if (!loaded.ok()) return Fail(loaded.status().ToString());
+  auto options = ParseOptions(args);
+  if (!options.ok()) return Fail(options.status().ToString());
+  std::string method = args.GetOr("method", "optimal");
+  Rng rng(args.GetSize("seed", 7));
+
+  StatusOr<Histogram> histogram = Status::Internal("unset");
+  auto dispatch = [&](const auto& input) -> StatusOr<Histogram> {
+    if (method == "optimal") {
+      return BuildOptimalHistogram(input, *options, buckets);
+    }
+    if (method == "approx") {
+      auto result = BuildApproxHistogram(input, *options, buckets,
+                                         args.GetDouble("epsilon", 0.1));
+      if (!result.ok()) return result.status();
+      return result->histogram;
+    }
+    if (method == "expectation") {
+      return BuildExpectationHistogram(input, *options, buckets);
+    }
+    if (method == "sampled") {
+      return BuildSampledWorldHistogram(input, *options, buckets, rng);
+    }
+    if (method == "equidepth") {
+      return BuildEquiDepthHistogram(input, *options, buckets);
+    }
+    return Status::InvalidArgument("unknown --method " + method);
+  };
+  histogram = loaded->value_pdf ? dispatch(*loaded->value_pdf)
+                                : dispatch(*loaded->tuple_pdf);
+  if (!histogram.ok()) return Fail(histogram.status().ToString());
+
+  auto cost = loaded->value_pdf
+                  ? EvaluateHistogram(*loaded->value_pdf, *histogram, *options)
+                  : EvaluateHistogram(*loaded->tuple_pdf, *histogram, *options);
+  if (!cost.ok()) return Fail(cost.status().ToString());
+
+  std::printf("%s %s histogram, B=%zu: expected %s = %.6f\n", method.c_str(),
+              ErrorMetricName(options->metric), histogram->num_buckets(),
+              ErrorMetricName(options->metric), *cost);
+  std::printf("%s", histogram->ToString().c_str());
+  if (Status s = WriteCsvIfRequested(args, *histogram); !s.ok()) {
+    return Fail(s.ToString());
+  }
+  return 0;
+}
+
+int RunWavelet(const Args& args) {
+  auto in = args.Get("in");
+  if (!in) return Fail("wavelet: --in FILE is required");
+  std::size_t coeffs = args.GetSize("coeffs", 0);
+  if (coeffs == 0) return Fail("wavelet: --coeffs B is required");
+  auto loaded = Load(*in);
+  if (!loaded.ok()) return Fail(loaded.status().ToString());
+  auto options = ParseOptions(args);
+  if (!options.ok()) return Fail(options.status().ToString());
+  std::string method = args.GetOr("method", "greedy");
+
+  // Non-greedy methods need value-pdf input.
+  std::optional<ValuePdfInput> value_input = loaded->value_pdf;
+  if (!value_input && method != "greedy") {
+    auto induced = InduceValuePdf(*loaded->tuple_pdf);
+    if (!induced.ok()) return Fail(induced.status().ToString());
+    value_input = std::move(induced).value();
+  }
+
+  StatusOr<WaveletSynopsis> synopsis = Status::Internal("unset");
+  if (method == "greedy") {
+    synopsis = loaded->value_pdf
+                   ? BuildSseOptimalWavelet(*loaded->value_pdf, coeffs)
+                   : BuildSseOptimalWavelet(*loaded->tuple_pdf, coeffs);
+  } else if (method == "restricted") {
+    auto result = BuildRestrictedWaveletDp(*value_input, coeffs, *options);
+    if (!result.ok()) return Fail(result.status().ToString());
+    synopsis = result->synopsis;
+  } else if (method == "unrestricted") {
+    auto result = BuildUnrestrictedWaveletDp(*value_input, coeffs, *options);
+    if (!result.ok()) return Fail(result.status().ToString());
+    synopsis = result->synopsis;
+  } else {
+    return Fail("unknown --method " + method);
+  }
+  if (!synopsis.ok()) return Fail(synopsis.status().ToString());
+
+  auto cost = loaded->value_pdf
+                  ? EvaluateWavelet(*loaded->value_pdf, *synopsis, *options)
+                  : EvaluateWavelet(*loaded->tuple_pdf, *synopsis, *options);
+  if (!cost.ok()) return Fail(cost.status().ToString());
+  std::printf("%s wavelet synopsis, B=%zu: expected %s = %.6f\n",
+              method.c_str(), synopsis->num_coefficients(),
+              ErrorMetricName(options->metric), *cost);
+  std::printf("%s", synopsis->ToString().c_str());
+
+  if (auto out = args.Get("out")) {
+    std::ofstream os(*out);
+    if (!os) return Fail("cannot open " + *out);
+    if (Status s = WriteWaveletCsv(os, *synopsis); !s.ok()) {
+      return Fail(s.ToString());
+    }
+  }
+  return 0;
+}
+
+int RunEvaluate(const Args& args) {
+  auto in = args.Get("in");
+  auto hist_path = args.Get("histogram");
+  if (!in || !hist_path) {
+    return Fail("evaluate: --in FILE and --histogram CSV are required");
+  }
+  auto loaded = Load(*in);
+  if (!loaded.ok()) return Fail(loaded.status().ToString());
+  auto options = ParseOptions(args);
+  if (!options.ok()) return Fail(options.status().ToString());
+
+  std::ifstream is(*hist_path);
+  if (!is) return Fail("cannot open " + *hist_path);
+  auto histogram = ReadHistogramCsv(is);
+  if (!histogram.ok()) return Fail(histogram.status().ToString());
+
+  auto cost = loaded->value_pdf
+                  ? EvaluateHistogram(*loaded->value_pdf, *histogram, *options)
+                  : EvaluateHistogram(*loaded->tuple_pdf, *histogram, *options);
+  if (!cost.ok()) return Fail(cost.status().ToString());
+  std::printf("expected %s of %s over %s: %.6f\n",
+              ErrorMetricName(options->metric), hist_path->c_str(),
+              in->c_str(), *cost);
+  return 0;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: probsyn <gen|info|histogram|wavelet|evaluate> "
+               "[--flag value]...\n"
+               "run with a subcommand and no flags for its requirements\n");
+  return 2;
+}
+
+}  // namespace
+}  // namespace probsyn::cli
+
+int main(int argc, char** argv) {
+  using namespace probsyn::cli;
+  if (argc < 2) return Usage();
+  std::string command = argv[1];
+  Args args(argc, argv, 2);
+  if (!args.ok()) {
+    return Fail("malformed arguments near '" + args.bad() +
+                "' (expected --flag value pairs)");
+  }
+  if (command == "gen") return RunGen(args);
+  if (command == "info") return RunInfo(args);
+  if (command == "histogram") return RunHistogram(args);
+  if (command == "wavelet") return RunWavelet(args);
+  if (command == "evaluate") return RunEvaluate(args);
+  return Usage();
+}
