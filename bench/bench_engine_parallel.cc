@@ -1,0 +1,117 @@
+// SynopsisEngine tentpole benchmarks:
+//
+//   (a) exact-DP scaling — sequential vs the blocked parallel solver at
+//       1..8 lanes, n up to 4096 (the acceptance bar for this subsystem is
+//       >= 2x at n >= 4096 with 4+ threads on hardware that has 4+ cores;
+//       the bench reports whatever the current machine delivers),
+//   (b) engine batching — a 16-budget cost-vs-B sweep served as one batch
+//       (one oracle, one DP) vs 16 independent Build calls.
+//
+// Run via the `bench_json` target (or with --benchmark_out=...) to emit
+// machine-readable BENCH_bench_engine_parallel.json.
+
+#include <benchmark/benchmark.h>
+
+#include <cstddef>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/histogram_dp.h"
+#include "core/oracle_factory.h"
+#include "engine/synopsis_engine.h"
+#include "gen/generators.h"
+#include "util/logging.h"
+#include "util/thread_pool.h"
+
+namespace probsyn {
+namespace {
+
+ValuePdfInput MakeInput(std::size_t n) {
+  return GenerateRandomValuePdf({.domain_size = n, .seed = 20090401});
+}
+
+SynopsisOptions SseOptions() {
+  SynopsisOptions options;
+  options.metric = ErrorMetric::kSse;
+  options.sse_variant = SseVariant::kFixedRepresentative;
+  return options;
+}
+
+// (a) The O(B n^2) exact DP, sequential (lanes = 1) vs parallel.
+void BM_ExactDp(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const std::size_t lanes = static_cast<std::size_t>(state.range(1));
+  const std::size_t kBuckets = 32;
+
+  ValuePdfInput input = MakeInput(n);
+  auto bundle = MakeBucketOracle(input, SseOptions());
+  PROBSYN_CHECK(bundle.ok());
+  ThreadPool pool(lanes > 1 ? lanes - 1 : 0);
+  ThreadPool* pool_ptr = lanes > 1 ? &pool : nullptr;
+
+  for (auto _ : state) {
+    HistogramDpResult dp =
+        SolveHistogramDp(*bundle->oracle, kBuckets, bundle->combiner, pool_ptr);
+    benchmark::DoNotOptimize(dp.OptimalCost(kBuckets));
+  }
+  state.counters["n"] = static_cast<double>(n);
+  state.counters["lanes"] = static_cast<double>(lanes);
+  state.counters["B"] = static_cast<double>(kBuckets);
+  // Speedup(n, L) = Time(n, 1) / Time(n, L) across rows of equal n.
+}
+
+// (b) One batched cost-vs-B sweep vs repeated single builds.
+void BM_EngineSweep(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const bool batched = state.range(1) != 0;
+  ValuePdfInput input = MakeInput(n);
+
+  SynopsisEngine engine({.parallelism = 1});
+  std::vector<SynopsisRequest> requests;
+  for (std::size_t b = 4; b <= 64; b *= 2) {
+    for (std::size_t i = 0; i < 3; ++i) {  // 15 requests over 5 budgets
+      SynopsisRequest request;
+      request.budget = b + i;
+      request.options = SseOptions();
+      requests.push_back(request);
+    }
+  }
+
+  for (auto _ : state) {
+    if (batched) {
+      auto results = engine.BuildBatch(input, requests);
+      PROBSYN_CHECK(results.ok());
+      benchmark::DoNotOptimize(results->back().cost);
+    } else {
+      double last = 0.0;
+      for (const SynopsisRequest& request : requests) {
+        auto result = engine.Build(input, request);
+        PROBSYN_CHECK(result.ok());
+        last = result->cost;
+      }
+      benchmark::DoNotOptimize(last);
+    }
+  }
+  state.counters["n"] = static_cast<double>(n);
+  state.counters["requests"] = static_cast<double>(requests.size());
+  state.counters["batched"] = batched ? 1.0 : 0.0;
+}
+
+}  // namespace
+}  // namespace probsyn
+
+BENCHMARK(probsyn::BM_ExactDp)
+    ->Args({1024, 1})
+    ->Args({1024, 4})
+    ->Args({4096, 1})
+    ->Args({4096, 2})
+    ->Args({4096, 4})
+    ->Args({4096, 8})
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK(probsyn::BM_EngineSweep)
+    ->Args({1024, 0})
+    ->Args({1024, 1})
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

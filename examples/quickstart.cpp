@@ -5,13 +5,13 @@
 //
 // Mirrors the paper's running setting (section 2): each item of an ordered
 // domain carries a discrete pdf over frequencies; the synopses minimize
-// *expected* error over all possible worlds.
+// *expected* error over all possible worlds. Both synopses are served by
+// the SynopsisEngine facade — one request type for every construction
+// path (exact/approximate/streaming histograms, all wavelet DPs).
 
 #include <cstdio>
 
-#include "core/builders.h"
-#include "core/evaluate.h"
-#include "core/wavelet.h"
+#include "engine/synopsis_engine.h"
 #include "model/value_pdf.h"
 
 using namespace probsyn;
@@ -21,10 +21,12 @@ int main() {
   // low-frequency region; items 4-7 a high-frequency region; item 5 is
   // wildly uncertain.
   std::vector<ValuePdf> items;
+  bool bad_input = false;
   auto add = [&](std::vector<ValueProb> entries) {
     auto pdf = ValuePdf::Create(std::move(entries));
     if (!pdf.ok()) {
       std::fprintf(stderr, "bad pdf: %s\n", pdf.status().ToString().c_str());
+      bad_input = true;
       return;
     }
     items.push_back(std::move(pdf).value());
@@ -37,35 +39,43 @@ int main() {
   add({{2.0, 0.3}, {9.0, 0.4}, {14.0, 0.3}});  // highly uncertain
   add({{9.0, 0.9}, {10.0, 0.1}});
   add({{8.0, 0.5}, {9.0, 0.5}});
+  if (bad_input) return 1;
   ValuePdfInput input(std::move(items));
 
-  // --- Histogram synopsis: 3 buckets, expected sum-squared error. -------
-  SynopsisOptions options;
-  options.metric = ErrorMetric::kSse;
-  options.sse_variant = SseVariant::kFixedRepresentative;
+  SynopsisEngine engine;
 
-  auto histogram = BuildOptimalHistogram(input, options, 3);
-  if (!histogram.ok()) {
+  // --- Histogram synopsis: 3 buckets, expected sum-squared error. -------
+  SynopsisRequest hist_request;
+  hist_request.kind = SynopsisKind::kHistogram;
+  hist_request.budget = 3;
+  hist_request.options.metric = ErrorMetric::kSse;
+  hist_request.options.sse_variant = SseVariant::kFixedRepresentative;
+
+  auto hist = engine.Build(input, hist_request);
+  if (!hist.ok()) {
     std::fprintf(stderr, "histogram failed: %s\n",
-                 histogram.status().ToString().c_str());
+                 hist.status().ToString().c_str());
     return 1;
   }
-  std::printf("Optimal 3-bucket SSE histogram:\n%s",
-              histogram->ToString().c_str());
-  auto cost = EvaluateHistogram(input, histogram.value(), options);
-  std::printf("expected SSE over all possible worlds: %.4f\n\n", *cost);
+  std::printf("Optimal 3-bucket SSE histogram (%s):\n%s",
+              hist->solver.c_str(), hist->histogram.ToString().c_str());
+  std::printf("expected SSE over all possible worlds: %.4f\n\n", hist->cost);
 
   // --- Wavelet synopsis: 3 coefficients, expected SSE (Theorem 7). ------
-  auto wavelet = BuildSseOptimalWavelet(input, 3);
-  if (!wavelet.ok()) {
+  SynopsisRequest wave_request;
+  wave_request.kind = SynopsisKind::kWavelet;
+  wave_request.budget = 3;
+  wave_request.options = hist_request.options;
+
+  auto wave = engine.Build(input, wave_request);
+  if (!wave.ok()) {
     std::fprintf(stderr, "wavelet failed: %s\n",
-                 wavelet.status().ToString().c_str());
+                 wave.status().ToString().c_str());
     return 1;
   }
-  std::printf("Optimal 3-term SSE wavelet synopsis:\n%s",
-              wavelet->ToString().c_str());
-  auto wcost = EvaluateWavelet(input, wavelet.value(), options);
-  std::printf("expected SSE over all possible worlds: %.4f\n\n", *wcost);
+  std::printf("Optimal 3-term SSE wavelet synopsis (%s):\n%s",
+              wave->solver.c_str(), wave->wavelet.ToString().c_str());
+  std::printf("expected SSE over all possible worlds: %.4f\n\n", wave->cost);
 
   // --- Approximate query answering. --------------------------------------
   // Expected count of items 4..7 under the true distribution vs synopses.
@@ -74,7 +84,7 @@ int main() {
   for (std::size_t i = 4; i <= 7; ++i) truth += means[i];
   std::printf("range-count(4..7): exact expectation %.3f | histogram %.3f | "
               "wavelet %.3f\n",
-              truth, histogram->EstimateRangeSum(4, 7),
-              wavelet->EstimateRangeSum(4, 7));
+              truth, hist->histogram.EstimateRangeSum(4, 7),
+              wave->wavelet.EstimateRangeSum(4, 7));
   return 0;
 }

@@ -6,7 +6,8 @@
 //   1. generate linkage data in the basic model (MystiQ stand-in),
 //   2. embed into the tuple-pdf model and persist it as .pdata,
 //   3. build SSRE-optimal histograms (probabilistic vs the two baselines)
-//      and report the paper's error% measure,
+//      through one SynopsisEngine batch and report the paper's error%
+//      measure,
 //   4. build the SSE-optimal wavelet synopsis and its sampled baseline,
 //   5. export the winning synopses as CSV.
 //
@@ -18,10 +19,8 @@
 #include <string>
 
 #include "core/baselines.h"
-#include "core/builders.h"
 #include "core/evaluate.h"
-#include "core/oracle_factory.h"
-#include "core/wavelet.h"
+#include "engine/synopsis_engine.h"
 #include "gen/generators.h"
 #include "io/pdata.h"
 
@@ -43,55 +42,85 @@ int main(int argc, char** argv) {
     return 1;
   }
   auto tuple_pdf = linkage.ToTuplePdf();
-  if (!tuple_pdf.ok()) return 1;
+  if (!tuple_pdf.ok()) {
+    std::fprintf(stderr, "embed failed: %s\n",
+                 tuple_pdf.status().ToString().c_str());
+    return 1;
+  }
 
-  // 3. Histograms under SSRE (c = 0.5), the paper's headline metric.
+  // 3. Histograms under SSRE (c = 0.5), the paper's headline metric: one
+  // engine batch — the optimal histogram, the two baselines, and the
+  // 1-bucket / n-bucket optima anchoring the error% scale. The exact-DP
+  // requests (indices 0, 5, 6) share one preprocessed SSRE oracle and one
+  // DP; the baselines run their own deterministic builders.
   SynopsisOptions options;
   options.metric = ErrorMetric::kSsre;
   options.sanity_c = 0.5;
 
-  auto builder = HistogramBuilder::Create(tuple_pdf.value(), options, buckets);
-  if (!builder.ok()) {
-    std::fprintf(stderr, "%s\n", builder.status().ToString().c_str());
+  SynopsisEngine engine;
+  std::vector<SynopsisRequest> requests;
+  {
+    SynopsisRequest base;
+    base.budget = buckets;
+    base.options = options;
+    requests.push_back(base);  // optimal
+    base.method = HistogramMethod::kExpectation;
+    requests.push_back(base);
+    base.method = HistogramMethod::kSampledWorld;
+    for (std::uint64_t seed : {5u, 6u, 7u}) {
+      base.seed = seed;
+      requests.push_back(base);
+    }
+    base.method = HistogramMethod::kOptimal;
+    base.budget = 1;  // worst achievable cost
+    requests.push_back(base);
+    base.budget = n;  // best achievable cost
+    requests.push_back(base);
+  }
+  auto batch = engine.BuildBatch(tuple_pdf.value(), requests);
+  if (!batch.ok()) {
+    std::fprintf(stderr, "%s\n", batch.status().ToString().c_str());
     return 1;
   }
-  ErrorScale scale = ComputeErrorScale(builder->oracle(), true);
-  Histogram prob = builder->Extract(buckets);
-  auto cost_prob = EvaluateHistogram(tuple_pdf.value(), prob, options);
 
-  auto expectation =
-      BuildExpectationHistogram(tuple_pdf.value(), options, buckets);
-  auto cost_exp =
-      EvaluateHistogram(tuple_pdf.value(), expectation.value(), options);
+  ErrorScale scale{(*batch)[5].cost, (*batch)[6].cost};
+  const Histogram& prob = (*batch)[0].histogram;
 
   std::printf("\nSSRE histograms (B = %zu, c = 0.5)\n", buckets);
   std::printf("  %-28s %14s %9s\n", "method", "expected SSRE", "error%%");
   std::printf("  %-28s %14.4f %8.2f%%\n", "probabilistic (this paper)",
-              *cost_prob, scale.Percent(*cost_prob));
-  std::printf("  %-28s %14.4f %8.2f%%\n", "expectation baseline", *cost_exp,
-              scale.Percent(*cost_exp));
-  Rng rng(5);
+              (*batch)[0].cost, scale.Percent((*batch)[0].cost));
+  std::printf("  %-28s %14.4f %8.2f%%\n", "expectation baseline",
+              (*batch)[1].cost, scale.Percent((*batch)[1].cost));
   for (int sample = 1; sample <= 3; ++sample) {
-    auto sampled =
-        BuildSampledWorldHistogram(tuple_pdf.value(), options, buckets, rng);
-    auto cost =
-        EvaluateHistogram(tuple_pdf.value(), sampled.value(), options);
+    double cost = (*batch)[1 + sample].cost;
     std::printf("  sampled world #%d             %14.4f %8.2f%%\n", sample,
-                *cost, scale.Percent(*cost));
+                cost, scale.Percent(cost));
   }
 
-  // 4. Wavelets under expected SSE.
+  // 4. Wavelets under expected SSE: engine route vs sampled baseline.
   const std::size_t coeffs = buckets;  // same budget for comparison
-  auto wavelet = BuildSseOptimalWavelet(tuple_pdf.value(), coeffs);
+  SynopsisRequest wave_request;
+  wave_request.kind = SynopsisKind::kWavelet;
+  wave_request.budget = coeffs;
+  auto wavelet = engine.Build(tuple_pdf.value(), wave_request);
+  if (!wavelet.ok()) {
+    std::fprintf(stderr, "%s\n", wavelet.status().ToString().c_str());
+    return 1;
+  }
   Rng wrng(6);
   auto sampled_wavelet =
       BuildSampledWorldWavelet(tuple_pdf.value(), coeffs, wrng);
-  if (!wavelet.ok() || !sampled_wavelet.ok()) return 1;
+  if (!sampled_wavelet.ok()) {
+    std::fprintf(stderr, "%s\n",
+                 sampled_wavelet.status().ToString().c_str());
+    return 1;
+  }
   std::vector<double> mu =
       ExpectedHaarCoefficients(tuple_pdf->ExpectedFrequencies());
   std::printf("\nSSE wavelets (B = %zu coefficients)\n", coeffs);
   std::printf("  probabilistic: %.2f%% of expected energy missed\n",
-              WaveletUnretainedEnergyPercent(mu, wavelet.value()));
+              WaveletUnretainedEnergyPercent(mu, wavelet->wavelet));
   std::printf("  sampled world: %.2f%% of expected energy missed\n",
               WaveletUnretainedEnergyPercent(mu, sampled_wavelet.value()));
 
@@ -100,7 +129,7 @@ int main(int argc, char** argv) {
   std::string wave_csv = out_dir + "/record_linkage_wavelet.csv";
   std::ofstream hist_os(hist_csv), wave_os(wave_csv);
   if (!WriteHistogramCsv(hist_os, prob).ok() ||
-      !WriteWaveletCsv(wave_os, wavelet.value()).ok()) {
+      !WriteWaveletCsv(wave_os, wavelet->wavelet).ok()) {
     std::fprintf(stderr, "CSV export failed\n");
     return 1;
   }

@@ -16,8 +16,8 @@
 #include <cstdlib>
 #include <vector>
 
-#include "core/builders.h"
 #include "core/evaluate.h"
+#include "engine/synopsis_engine.h"
 #include "gen/generators.h"
 #include "util/random.h"
 
@@ -60,12 +60,23 @@ int main(int argc, char** argv) {
   SynopsisOptions aware = uniform;
   aware.workload = weights;
 
-  auto hist_uniform = BuildOptimalHistogram(relation, uniform, buckets);
-  auto hist_aware = BuildOptimalHistogram(relation, aware, buckets);
-  if (!hist_uniform.ok() || !hist_aware.ok()) {
-    std::fprintf(stderr, "histogram construction failed\n");
+  // Both histograms come from one engine batch; the workloads differ, so
+  // each request plans its own oracle, but the request/result surface and
+  // the parallel DP are shared machinery.
+  SynopsisEngine engine;
+  std::vector<SynopsisRequest> requests(2);
+  requests[0].budget = buckets;
+  requests[0].options = uniform;
+  requests[1].budget = buckets;
+  requests[1].options = aware;
+  auto batch = engine.BuildBatch(relation, requests);
+  if (!batch.ok()) {
+    std::fprintf(stderr, "histogram construction failed: %s\n",
+                 batch.status().ToString().c_str());
     return 1;
   }
+  const Histogram& hist_uniform = (*batch)[0].histogram;
+  const Histogram& hist_aware = (*batch)[1].histogram;
 
   std::printf("selectivity estimates over %zu uncertain keys, B = %zu\n\n", n,
               buckets);
@@ -89,8 +100,8 @@ int main(int argc, char** argv) {
       query = {a, a + rng.NextBounded(n - a)};
     }
     double truth = TrueExpectedCount(mean, query);
-    double est_u = hist_uniform->EstimateRangeSum(query.lo, query.hi);
-    double est_a = hist_aware->EstimateRangeSum(query.lo, query.hi);
+    double est_u = hist_uniform.EstimateRangeSum(query.lo, query.hi);
+    double est_a = hist_aware.EstimateRangeSum(query.lo, query.hi);
     err_uniform += std::fabs(est_u - truth);
     err_aware += std::fabs(est_a - truth);
     std::printf("      [%6zu, %6zu] %12.2f %12.2f %12.2f\n", query.lo,
@@ -100,11 +111,14 @@ int main(int argc, char** argv) {
               "workload-aware %.2f (%d/8 hot queries)\n",
               err_uniform, err_aware, hot_queries);
 
-  auto cost_u = EvaluateHistogram(relation, hist_uniform.value(), aware);
-  auto cost_a = EvaluateHistogram(relation, hist_aware.value(), aware);
-  if (cost_u.ok() && cost_a.ok()) {
-    std::printf("weighted expected SSE: uniform %.4f vs workload-aware %.4f\n",
-                *cost_u, *cost_a);
+  auto cost_u = EvaluateHistogram(relation, hist_uniform, aware);
+  auto cost_a = EvaluateHistogram(relation, hist_aware, aware);
+  if (!cost_u.ok() || !cost_a.ok()) {
+    std::fprintf(stderr, "evaluation failed: %s\n",
+                 (!cost_u.ok() ? cost_u : cost_a).status().ToString().c_str());
+    return 1;
   }
+  std::printf("weighted expected SSE: uniform %.4f vs workload-aware %.4f\n",
+              *cost_u, *cost_a);
   return 0;
 }

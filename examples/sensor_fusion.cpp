@@ -5,21 +5,20 @@
 //
 // Scenario: n sensors along a pipeline each report a discretized reading;
 // transmission noise makes the reading uncertain, so the gateway stores a
-// per-sensor pdf (value-pdf model). We build a B-bucket SARE-optimal
-// histogram as the gateway's compact state, compare it against the two
-// naive baselines, and show the max-error (MARE) histogram's per-item
-// guarantee.
+// per-sensor pdf (value-pdf model). One SynopsisEngine batch builds the
+// SARE-optimal histogram, the two naive baselines, and the max-error
+// (MARE) guard histogram — the SARE requests share one preprocessed
+// oracle inside the engine.
 //
 //   $ ./examples/sensor_fusion [n] [buckets]
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
 
-#include "core/baselines.h"
-#include "core/builders.h"
 #include "core/evaluate.h"
-#include "core/oracle_factory.h"
+#include "engine/synopsis_engine.h"
 #include "model/value_pdf.h"
 #include "util/random.h"
 
@@ -72,44 +71,65 @@ int main(int argc, char** argv) {
   options.metric = ErrorMetric::kSare;
   options.sanity_c = 1.0;
 
-  auto builder = HistogramBuilder::Create(sensors, options, buckets);
-  if (!builder.ok()) {
-    std::fprintf(stderr, "%s\n", builder.status().ToString().c_str());
+  // One batch: the SARE-optimal histogram, the two baselines, the MARE
+  // guard, and the 1-bucket / n-bucket SARE optima that anchor the
+  // paper's error% scale. The three SARE exact-DP requests (0, 4, 5)
+  // share one preprocessed oracle and one DP inside the engine; the
+  // baselines route through their own deterministic builders.
+  SynopsisEngine engine;
+  std::vector<SynopsisRequest> requests(6);
+  requests[0].budget = buckets;
+  requests[0].options = options;
+  requests[1] = requests[0];
+  requests[1].method = HistogramMethod::kExpectation;
+  requests[2] = requests[0];
+  requests[2].method = HistogramMethod::kSampledWorld;
+  requests[2].seed = 7;
+  requests[3].budget = buckets;
+  requests[3].options.metric = ErrorMetric::kMare;
+  requests[3].options.sanity_c = 1.0;
+  requests[4] = requests[0];
+  requests[4].budget = 1;  // worst achievable cost
+  requests[5] = requests[0];
+  requests[5].budget = n;  // best achievable cost
+
+  auto batch = engine.BuildBatch(sensors, requests);
+  if (!batch.ok()) {
+    std::fprintf(stderr, "%s\n", batch.status().ToString().c_str());
     return 1;
   }
-  ErrorScale scale = ComputeErrorScale(builder->oracle(), true);
-  Histogram prob = builder->Extract(buckets);
+  const SynopsisResult& prob = (*batch)[0];
+  const SynopsisResult& expectation = (*batch)[1];
+  const SynopsisResult& sampled = (*batch)[2];
+  const SynopsisResult& guard = (*batch)[3];
 
-  Rng rng(7);
-  auto expectation = BuildExpectationHistogram(sensors, options, buckets);
-  auto sampled = BuildSampledWorldHistogram(sensors, options, buckets, rng);
-  if (!expectation.ok() || !sampled.ok()) return 1;
+  // The paper's error% normalization between the 1-bucket and n-bucket
+  // optima — both already solved by the shared DP above.
+  ErrorScale scale{(*batch)[4].cost, (*batch)[5].cost};
 
-  auto cost_prob = EvaluateHistogram(sensors, prob, options);
-  auto cost_exp = EvaluateHistogram(sensors, expectation.value(), options);
-  auto cost_smp = EvaluateHistogram(sensors, sampled.value(), options);
+  // The optimal route reports the oracle cost; re-cost it the same way as
+  // the baselines so the comparison uses one evaluator.
+  auto cost_prob = EvaluateHistogram(sensors, prob.histogram, options);
+  if (!cost_prob.ok()) {
+    std::fprintf(stderr, "%s\n", cost_prob.status().ToString().c_str());
+    return 1;
+  }
 
-  std::printf("SARE-optimal histogram over %zu sensors, B = %zu\n", n,
-              buckets);
+  std::printf("SARE-optimal histogram over %zu sensors, B = %zu (%s)\n", n,
+              buckets, prob.solver.c_str());
   std::printf("  %-28s %12s %9s\n", "method", "expected SARE", "error%%");
   std::printf("  %-28s %12.4f %8.2f%%\n", "probabilistic (this paper)",
               *cost_prob, scale.Percent(*cost_prob));
-  std::printf("  %-28s %12.4f %8.2f%%\n", "expectation baseline", *cost_exp,
-              scale.Percent(*cost_exp));
-  std::printf("  %-28s %12.4f %8.2f%%\n", "sampled-world baseline", *cost_smp,
-              scale.Percent(*cost_smp));
+  std::printf("  %-28s %12.4f %8.2f%%\n", "expectation baseline",
+              expectation.cost, scale.Percent(expectation.cost));
+  std::printf("  %-28s %12.4f %8.2f%%\n", "sampled-world baseline",
+              sampled.cost, scale.Percent(sampled.cost));
 
   // Max-error variant: per-sensor guarantee for alarm thresholds.
-  SynopsisOptions max_options;
-  max_options.metric = ErrorMetric::kMare;
-  max_options.sanity_c = 1.0;
-  auto guard = BuildOptimalHistogram(sensors, max_options, buckets);
-  if (!guard.ok()) return 1;
-  auto worst = EvaluateHistogram(sensors, guard.value(), max_options);
   std::printf(
       "\nMARE-optimal histogram bounds every sensor's expected relative "
       "error by %.4f\n",
-      *worst);
+      guard.cost);
 
   // Gateway query: expected total level in a zone.
   std::size_t zone_lo = n / 4, zone_hi = n / 2;
@@ -117,6 +137,7 @@ int main(int argc, char** argv) {
   auto means = sensors.ExpectedFrequencies();
   for (std::size_t i = zone_lo; i <= zone_hi; ++i) truth += means[i];
   std::printf("\nzone [%zu, %zu] expected total: exact %.2f, histogram %.2f\n",
-              zone_lo, zone_hi, truth, prob.EstimateRangeSum(zone_lo, zone_hi));
+              zone_lo, zone_hi, truth,
+              prob.histogram.EstimateRangeSum(zone_lo, zone_hi));
   return 0;
 }

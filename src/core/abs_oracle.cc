@@ -5,12 +5,14 @@
 #include "util/logging.h"
 #include "util/math.h"
 #include "util/search.h"
+#include "util/thread_pool.h"
 
 namespace probsyn {
 
 AbsCumulativeOracle::AbsCumulativeOracle(const ValuePdfInput& input,
                                          bool relative, double sanity_c,
-                                         std::span<const double> weights)
+                                         std::span<const double> weights,
+                                         ThreadPool* pool)
     : n_(input.domain_size()), grid_(input.ValueGrid()) {
   const std::size_t K = grid_.size();
 
@@ -20,9 +22,11 @@ AbsCumulativeOracle::AbsCumulativeOracle(const ValuePdfInput& input,
 
   // Per item: walk the grid accumulating cumulative weight W_i(j), filling
   // U_i(l) = U_i(l-1) + W_i(l-1) d_{l-1} upward and
-  // D_i(l) = D_i(l+1) + W*_i(l) d_l downward.
+  // D_i(l) = D_i(l+1) + W*_i(l) d_l downward. Items write disjoint matrix
+  // columns, so the fill parallelizes cleanly across item ranges.
+  auto fill_items = [&](std::size_t item_begin, std::size_t item_end) {
   std::vector<double> cw(K);  // W_i(j) for the current item.
-  for (std::size_t i = 0; i < n_; ++i) {
+  for (std::size_t i = item_begin; i < item_end; ++i) {
     const ValuePdf& pdf = input.item(i);
     std::size_t entry = 0;
     double acc = 0.0;
@@ -49,6 +53,12 @@ AbsCumulativeOracle::AbsCumulativeOracle(const ValuePdfInput& input,
       if (l + 1 < K) run_above += (total - cw[l]) * (grid_[l + 1] - grid_[l]);
       above[l * n_ + i] = run_above;
     }
+  }
+  };
+  if (pool != nullptr) {
+    pool->ParallelFor(0, n_, fill_items);
+  } else {
+    fill_items(0, n_);
   }
 
   below_ = PrefixSumsBank(K, n_, [&](std::size_t l, std::size_t i) {

@@ -11,6 +11,8 @@
 
 namespace probsyn {
 
+class ThreadPool;
+
 /// Sum-Absolute-Error / Sum-Absolute-Relative-Error bucket oracle
 /// (paper sections 3.3 and 3.4; SAE is the w_ij = Pr[g_i = v_j] special
 /// case of the weighted SARE machinery).
@@ -34,9 +36,11 @@ class AbsCumulativeOracle : public BucketCostOracle {
   /// relative == false -> SAE; true -> SARE with sanity constant c.
   /// `weights` are optional per-item workload weights (empty = uniform);
   /// they scale each item's w_ij. The paper's machinery already allows
-  /// "arbitrary non-negative weights" here (section 3.4).
+  /// "arbitrary non-negative weights" here (section 3.4). A non-null
+  /// `pool` parallelizes the O(n |V|) U/D table fill (independent items).
   AbsCumulativeOracle(const ValuePdfInput& input, bool relative,
-                      double sanity_c, std::span<const double> weights = {});
+                      double sanity_c, std::span<const double> weights = {},
+                      ThreadPool* pool = nullptr);
 
   std::size_t domain_size() const override { return n_; }
   BucketCost Cost(std::size_t s, std::size_t e) const override;

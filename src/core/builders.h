@@ -15,6 +15,8 @@
 
 namespace probsyn {
 
+class ThreadPool;
+
 /// Wraps a frequency vector as deterministic value-pdf input (point masses)
 /// — the paper's device for running one code path over probabilistic and
 /// deterministic data alike (section 5, "for consistency, we use the same
@@ -30,16 +32,20 @@ ValuePdfInput PointMassInput(std::span<const double> frequencies);
 /// Move-only; extraction is const and cheap.
 class HistogramBuilder {
  public:
+  /// A non-null `pool` parallelizes both the oracle preprocessing and the
+  /// exact DP (bit-identical results; see SolveHistogramDp).
   static StatusOr<HistogramBuilder> Create(const ValuePdfInput& input,
                                            const SynopsisOptions& options,
-                                           std::size_t max_buckets);
+                                           std::size_t max_buckets,
+                                           ThreadPool* pool = nullptr);
   static StatusOr<HistogramBuilder> Create(const TuplePdfInput& input,
                                            const SynopsisOptions& options,
-                                           std::size_t max_buckets);
+                                           std::size_t max_buckets,
+                                           ThreadPool* pool = nullptr);
   /// Deterministic data (expectation / sampled-world baselines).
   static StatusOr<HistogramBuilder> CreateDeterministic(
       std::span<const double> frequencies, const SynopsisOptions& options,
-      std::size_t max_buckets);
+      std::size_t max_buckets, ThreadPool* pool = nullptr);
 
   HistogramBuilder(HistogramBuilder&&) = default;
   HistogramBuilder& operator=(HistogramBuilder&&) = default;
@@ -59,7 +65,8 @@ class HistogramBuilder {
   const BucketCostOracle& oracle() const { return *bundle_.oracle; }
 
  private:
-  HistogramBuilder(OracleBundle bundle, std::size_t max_buckets);
+  HistogramBuilder(OracleBundle bundle, std::size_t max_buckets,
+                   ThreadPool* pool);
 
   OracleBundle bundle_;
   HistogramDpResult dp_;

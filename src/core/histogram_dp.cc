@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "util/logging.h"
+#include "util/thread_pool.h"
 
 namespace probsyn {
 
@@ -12,6 +13,27 @@ namespace {
 double Combine(DpCombiner combiner, double prefix, double bucket) {
   return combiner == DpCombiner::kSum ? prefix + bucket
                                       : std::max(prefix, bucket);
+}
+
+// One DP cell for layer b >= 2: err[b-1][j] over splits l < j plus the
+// inherit transition. `prev` is layer b-2 (budget b-1), `costcol[s]` is
+// Cost([s, j]). This single scalar scan is shared by the sequential and
+// parallel solvers, which is what makes their outputs bit-identical.
+inline void ComputeCell(DpCombiner combiner, const double* prev,
+                        const double* costcol, std::size_t j, double* err_out,
+                        std::int64_t* choice_out) {
+  // Start from "b-1 buckets were already enough".
+  double best = prev[j];
+  std::int64_t best_choice = HistogramDpResult::kInheritChoice;
+  for (std::size_t l = 0; l < j; ++l) {
+    double v = Combine(combiner, prev[l], costcol[l + 1]);
+    if (v < best) {
+      best = v;
+      best_choice = static_cast<std::int64_t>(l);
+    }
+  }
+  *err_out = best;
+  *choice_out = best_choice;
 }
 
 }  // namespace
@@ -52,8 +74,8 @@ Histogram HistogramDpResult::ExtractHistogram(std::size_t num_buckets) const {
 }
 
 HistogramDpResult SolveHistogramDp(const BucketCostOracle& oracle,
-                                   std::size_t max_buckets,
-                                   DpCombiner combiner) {
+                                   std::size_t max_buckets, DpCombiner combiner,
+                                   ThreadPool* pool) {
   const std::size_t n = oracle.domain_size();
   PROBSYN_CHECK(n > 0 && max_buckets >= 1);
   // Budgets beyond n buckets cannot help; cap the table, not the API.
@@ -67,33 +89,60 @@ HistogramDpResult SolveHistogramDp(const BucketCostOracle& oracle,
   result.choice_.assign(
       cap, std::vector<std::int64_t>(n, HistogramDpResult::kWholePrefix));
 
-  // costcol[s] = Cost([s, j]) for the current right end j.
-  std::vector<BucketCost> costcol(n);
-
-  for (std::size_t j = 0; j < n; ++j) {
-    auto sweep = oracle.StartSweep(j);
-    for (std::size_t s = j;; --s) {
-      costcol[s] = sweep->Extend();
-      if (s == 0) break;
-    }
-
-    result.err_[0][j] = costcol[0].cost;
-    result.choice_[0][j] = HistogramDpResult::kWholePrefix;
-
-    for (std::size_t b = 2; b <= cap; ++b) {
-      // Start from "b-1 buckets were already enough".
-      double best = result.err_[b - 2][j];
-      std::int64_t best_choice = HistogramDpResult::kInheritChoice;
-      const double* prev = result.err_[b - 2].data();
-      for (std::size_t l = 0; l < j; ++l) {
-        double v = Combine(combiner, prev[l], costcol[l + 1].cost);
-        if (v < best) {
-          best = v;
-          best_choice = static_cast<std::int64_t>(l);
-        }
+  if (pool == nullptr || pool->num_threads() == 0 || n < 2) {
+    // Sequential reference path: one leftward sweep per right end j,
+    // then every budget layer's cell for column j.
+    std::vector<double> costcol(n);  // costcol[s] = Cost([s, j])
+    for (std::size_t j = 0; j < n; ++j) {
+      auto sweep = oracle.StartSweep(j);
+      for (std::size_t s = j;; --s) {
+        costcol[s] = sweep->Extend().cost;
+        if (s == 0) break;
       }
-      result.err_[b - 1][j] = best;
-      result.choice_[b - 1][j] = best_choice;
+
+      result.err_[0][j] = costcol[0];
+      result.choice_[0][j] = HistogramDpResult::kWholePrefix;
+
+      for (std::size_t b = 2; b <= cap; ++b) {
+        ComputeCell(combiner, result.err_[b - 2].data(), costcol.data(), j,
+                    &result.err_[b - 1][j], &result.choice_[b - 1][j]);
+      }
+    }
+    return result;
+  }
+
+  // Blocked parallel path. Columns are processed in blocks; per block the
+  // oracle sweeps (one per column, mutually independent) fan out first,
+  // then each budget layer's cells fan out — cell (b, j) only reads layer
+  // b-1 at columns <= j, all complete by then (earlier blocks ran every
+  // layer already; this block ran layer b-1 in the previous iteration).
+  // The block size balances fork-join overhead against the O(block * n)
+  // bucket-cost buffer (~32 MB cap).
+  const std::size_t block =
+      std::clamp<std::size_t>((32u << 20) / (sizeof(double) * n), 16, 256);
+  std::vector<double> costs(block * n);  // row j - j0, entry s: Cost([s, j])
+  for (std::size_t j0 = 0; j0 < n; j0 += block) {
+    const std::size_t j1 = std::min(n, j0 + block);
+    pool->ParallelFor(j0, j1, [&](std::size_t jb, std::size_t je) {
+      for (std::size_t j = jb; j < je; ++j) {
+        double* costcol = &costs[(j - j0) * n];
+        auto sweep = oracle.StartSweep(j);
+        for (std::size_t s = j;; --s) {
+          costcol[s] = sweep->Extend().cost;
+          if (s == 0) break;
+        }
+        result.err_[0][j] = costcol[0];
+        result.choice_[0][j] = HistogramDpResult::kWholePrefix;
+      }
+    });
+    for (std::size_t b = 2; b <= cap; ++b) {
+      const double* prev = result.err_[b - 2].data();
+      pool->ParallelFor(j0, j1, [&](std::size_t jb, std::size_t je) {
+        for (std::size_t j = jb; j < je; ++j) {
+          ComputeCell(combiner, prev, &costs[(j - j0) * n], j,
+                      &result.err_[b - 1][j], &result.choice_[b - 1][j]);
+        }
+      });
     }
   }
   return result;

@@ -10,6 +10,8 @@
 
 namespace probsyn {
 
+class ThreadPool;
+
 /// How per-bucket errors aggregate into the histogram error: the paper's
 /// h(x, y) — sum for cumulative objectives, max for maximum objectives
 /// (equation (2)).
@@ -44,7 +46,8 @@ class HistogramDpResult {
 
  private:
   friend HistogramDpResult SolveHistogramDp(const BucketCostOracle&,
-                                            std::size_t, DpCombiner);
+                                            std::size_t, DpCombiner,
+                                            ThreadPool*);
 
   // err_[b-1][j]: optimal cost of covering prefix [0..j] with <= b buckets.
   // choice_[b-1][j]: split l (last bucket is [l+1, j]).
@@ -66,9 +69,20 @@ class HistogramDpResult {
 ///
 /// The principle of optimality holds for probabilistic data because
 /// expectation distributes over the per-bucket sum/max (section 3, opening).
+///
+/// When `pool` is non-null the DP runs in a blocked data-parallel form:
+/// columns are processed in blocks, each block's bucket-cost sweeps run in
+/// parallel (one independent oracle sweep per column), and within every
+/// budget layer the block's cells are computed in parallel — legal because
+/// a cell (b, j) depends only on layer b-1 at columns <= j, all finished
+/// before layer b starts. Every cell is produced by the same scalar scan
+/// in the same order as the sequential solver, so the result (costs AND
+/// traceback choices) is bit-identical; a null pool is the reference
+/// sequential path.
 HistogramDpResult SolveHistogramDp(const BucketCostOracle& oracle,
                                    std::size_t max_buckets,
-                                   DpCombiner combiner);
+                                   DpCombiner combiner,
+                                   ThreadPool* pool = nullptr);
 
 /// Result of the approximate DP: the histogram and its (exact) cost under
 /// the oracle, guaranteed within (1 + epsilon) of the optimum.

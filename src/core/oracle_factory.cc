@@ -9,7 +9,8 @@
 namespace probsyn {
 
 StatusOr<OracleBundle> MakeBucketOracle(const ValuePdfInput& input,
-                                        const SynopsisOptions& options) {
+                                        const SynopsisOptions& options,
+                                        ThreadPool* pool) {
   PROBSYN_RETURN_IF_ERROR(options.Validate());
   PROBSYN_RETURN_IF_ERROR(input.Validate());
   if (input.domain_size() == 0) {
@@ -37,16 +38,16 @@ StatusOr<OracleBundle> MakeBucketOracle(const ValuePdfInput& input,
       break;
     case ErrorMetric::kSae:
       bundle.oracle = std::make_unique<AbsCumulativeOracle>(
-          input, /*relative=*/false, options.sanity_c, options.workload);
+          input, /*relative=*/false, options.sanity_c, options.workload, pool);
       break;
     case ErrorMetric::kSare:
       bundle.oracle = std::make_unique<AbsCumulativeOracle>(
-          input, /*relative=*/true, options.sanity_c, options.workload);
+          input, /*relative=*/true, options.sanity_c, options.workload, pool);
       break;
     case ErrorMetric::kMae:
     case ErrorMetric::kMare: {
-      auto tables =
-          std::make_shared<const PointErrorTables>(input, options.sanity_c);
+      auto tables = std::make_shared<const PointErrorTables>(
+          input, options.sanity_c, pool);
       bundle.tables = tables;
       bundle.oracle = std::make_unique<MaxErrorOracle>(
           tables, /*relative=*/options.metric == ErrorMetric::kMare,
@@ -58,7 +59,8 @@ StatusOr<OracleBundle> MakeBucketOracle(const ValuePdfInput& input,
 }
 
 StatusOr<OracleBundle> MakeBucketOracle(const TuplePdfInput& input,
-                                        const SynopsisOptions& options) {
+                                        const SynopsisOptions& options,
+                                        ThreadPool* pool) {
   PROBSYN_RETURN_IF_ERROR(options.Validate());
   PROBSYN_RETURN_IF_ERROR(input.Validate());
   if (input.domain_size() == 0) {
@@ -86,7 +88,7 @@ StatusOr<OracleBundle> MakeBucketOracle(const TuplePdfInput& input,
 
   auto induced = InduceValuePdf(input);
   if (!induced.ok()) return induced.status();
-  return MakeBucketOracle(induced.value(), options);
+  return MakeBucketOracle(induced.value(), options, pool);
 }
 
 }  // namespace probsyn

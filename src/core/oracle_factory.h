@@ -13,6 +13,8 @@
 
 namespace probsyn {
 
+class ThreadPool;
+
 /// A bucket oracle plus everything it needs to stay alive, and the DP
 /// combiner matching the metric.
 struct OracleBundle {
@@ -24,16 +26,20 @@ struct OracleBundle {
 };
 
 /// Builds the bucket-cost oracle for value-pdf input under the given
-/// metric (paper sections 3.1-3.4, 3.6 — value-pdf branches).
+/// metric (paper sections 3.1-3.4, 3.6 — value-pdf branches). A non-null
+/// `pool` parallelizes the O(n |V|) prefix-table preprocessing of the
+/// absolute/maximum-error oracles; the produced oracle is identical.
 StatusOr<OracleBundle> MakeBucketOracle(const ValuePdfInput& input,
-                                        const SynopsisOptions& options);
+                                        const SynopsisOptions& options,
+                                        ThreadPool* pool = nullptr);
 
 /// Builds the bucket-cost oracle for tuple-pdf input. All metrics other
 /// than world-mean SSE route through the induced value pdf (exact, since
 /// those costs are per-item decomposable — sections 3.2-3.6); world-mean
 /// SSE uses the exact joint-distribution oracle.
 StatusOr<OracleBundle> MakeBucketOracle(const TuplePdfInput& input,
-                                        const SynopsisOptions& options);
+                                        const SynopsisOptions& options,
+                                        ThreadPool* pool = nullptr);
 
 }  // namespace probsyn
 

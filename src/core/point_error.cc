@@ -4,10 +4,12 @@
 
 #include "util/logging.h"
 #include "util/math.h"
+#include "util/thread_pool.h"
 
 namespace probsyn {
 
-PointErrorTables::PointErrorTables(const ValuePdfInput& input, double sanity_c)
+PointErrorTables::PointErrorTables(const ValuePdfInput& input, double sanity_c,
+                                   ThreadPool* pool)
     : n_(input.domain_size()), c_(sanity_c), grid_(input.ValueGrid()) {
   grid_size_ = grid_.size();
   m1_.resize(n_);
@@ -20,7 +22,10 @@ PointErrorTables::PointErrorTables(const ValuePdfInput& input, double sanity_c)
   cw_rel_.assign(n_ * grid_size_, 0.0);
   cwv_rel_.assign(n_ * grid_size_, 0.0);
 
-  for (std::size_t i = 0; i < n_; ++i) {
+  // Every item fills disjoint table rows against the shared read-only
+  // grid, so the O(n |V|) preprocessing is a clean parallel-for.
+  auto fill_items = [&](std::size_t item_begin, std::size_t item_end) {
+  for (std::size_t i = item_begin; i < item_end; ++i) {
     const ValuePdf& pdf = input.item(i);
     m1_[i] = pdf.Mean();
     m2_[i] = pdf.SecondMoment();
@@ -59,6 +64,12 @@ PointErrorTables::PointErrorTables(const ValuePdfInput& input, double sanity_c)
       cwv_rel[l] = acc_rwv;
     }
     PROBSYN_CHECK(entry == pdf.size());
+  }
+  };
+  if (pool != nullptr) {
+    pool->ParallelFor(0, n_, fill_items);
+  } else {
+    fill_items(0, n_);
   }
 }
 

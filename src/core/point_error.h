@@ -10,6 +10,8 @@
 
 namespace probsyn {
 
+class ThreadPool;
+
 /// Precomputed per-item tables for evaluating expected point errors
 /// E_W[err(g_i, v)] for arbitrary estimates v in O(1) / O(log |V|).
 ///
@@ -32,7 +34,11 @@ class PointErrorTables {
  public:
   /// Builds tables for the given input and sanity constant. All six metrics
   /// are then answerable from the one object. Cost: O(n |V|) time/space.
-  PointErrorTables(const ValuePdfInput& input, double sanity_c);
+  /// A non-null `pool` fans the per-item table fills out across workers
+  /// (rows are independent given the shared value grid); results are
+  /// identical to the sequential build.
+  PointErrorTables(const ValuePdfInput& input, double sanity_c,
+                   ThreadPool* pool = nullptr);
 
   std::size_t domain_size() const { return n_; }
   double sanity_c() const { return c_; }

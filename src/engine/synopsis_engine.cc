@@ -1,0 +1,459 @@
+#include "engine/synopsis_engine.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <tuple>
+#include <type_traits>
+#include <utility>
+
+#include "core/baselines.h"
+#include "core/builders.h"
+#include "core/evaluate.h"
+#include "core/histogram_dp.h"
+#include "core/oracle_factory.h"
+#include "core/wavelet_dp.h"
+#include "model/induced.h"
+#include "stream/streaming_histogram.h"
+#include "util/random.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+namespace probsyn {
+
+namespace {
+
+// Two histogram requests may share one preprocessed oracle iff these
+// agree (the oracle reads nothing else from the request). The SSE variant
+// only matters under kSse; normalizing it keeps non-SSE groups maximal.
+using OracleKey = std::tuple<int, double, int, std::vector<double>>;
+
+OracleKey MakeOracleKey(const SynopsisOptions& options) {
+  int variant = options.metric == ErrorMetric::kSse
+                    ? static_cast<int>(options.sse_variant)
+                    : 0;
+  return {static_cast<int>(options.metric), options.sanity_c, variant,
+          options.workload};
+}
+
+std::string FormatSolver(const char* route, ThreadPool* pool) {
+  char buffer[96];
+  if (pool != nullptr) {
+    std::snprintf(buffer, sizeof(buffer), "%s[parallel=%zu]", route,
+                  pool->num_threads() + 1);
+  } else {
+    std::snprintf(buffer, sizeof(buffer), "%s[sequential]", route);
+  }
+  return buffer;
+}
+
+std::string FormatSolverEps(const char* route, double epsilon,
+                            ThreadPool* pool) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%s(eps=%g)", route, epsilon);
+  return FormatSolver(buffer, pool);
+}
+
+/// Baseline histograms have no oracle-native cost; re-cost them under the
+/// true distribution (the section-5 experimental protocol).
+template <typename Input>
+StatusOr<double> EvaluateHistogramCost(const Input& input, const Histogram& h,
+                                       const SynopsisOptions& options) {
+  if (options.metric == ErrorMetric::kSse &&
+      options.sse_variant == SseVariant::kWorldMean) {
+    return EvaluateHistogramWorldMeanSse(input, h);
+  }
+  return EvaluateHistogram(input, h, options);
+}
+
+StatusOr<SynopsisResult> ExecStreamingOnValuePdf(const ValuePdfInput& input,
+                                                 const SynopsisRequest& request,
+                                                 double preprocess_seconds) {
+  Stopwatch watch;
+  StreamingHistogramBuilder builder(request.budget, request.epsilon);
+  for (const ValuePdf& pdf : input.items()) builder.Push(pdf);
+  auto finished = builder.Finish();
+  if (!finished.ok()) return finished.status();
+
+  SynopsisResult result;
+  result.kind = SynopsisKind::kHistogram;
+  result.histogram = std::move(finished->histogram);
+  result.cost = finished->cost;
+  result.solver =
+      FormatSolverEps("histogram/streaming-ahist", request.epsilon, nullptr);
+  result.timing.preprocess_seconds = preprocess_seconds;
+  result.timing.solve_seconds = watch.ElapsedSeconds();
+  return result;
+}
+
+template <typename Input>
+StatusOr<SynopsisResult> ExecStreaming(const Input& input,
+                                       const SynopsisRequest& request) {
+  if constexpr (std::is_same_v<Input, ValuePdfInput>) {
+    return ExecStreamingOnValuePdf(input, request, 0.0);
+  } else {
+    // The stream consumes per-item frequency pdfs; tuple input induces
+    // them first (exact — SSE fixed-rep is per-item decomposable).
+    Stopwatch watch;
+    auto induced = InduceValuePdf(input);
+    if (!induced.ok()) return induced.status();
+    return ExecStreamingOnValuePdf(induced.value(), request,
+                                   watch.ElapsedSeconds());
+  }
+}
+
+template <typename Input>
+StatusOr<SynopsisResult> ExecHistogramBaseline(const Input& input,
+                                               const SynopsisRequest& request) {
+  Stopwatch watch;
+  StatusOr<Histogram> histogram = Status::Internal("unrouted baseline");
+  const char* route = "";
+  switch (request.method) {
+    case HistogramMethod::kExpectation:
+      histogram =
+          BuildExpectationHistogram(input, request.options, request.budget);
+      route = "histogram/baseline-expectation";
+      break;
+    case HistogramMethod::kSampledWorld: {
+      Rng rng(request.seed);
+      histogram = BuildSampledWorldHistogram(input, request.options,
+                                             request.budget, rng);
+      route = "histogram/baseline-sampled-world";
+      break;
+    }
+    case HistogramMethod::kEquiDepth:
+      histogram =
+          BuildEquiDepthHistogram(input, request.options, request.budget);
+      route = "histogram/baseline-equidepth";
+      break;
+    default:
+      return Status::Internal("non-baseline method routed to baseline path");
+  }
+  if (!histogram.ok()) return histogram.status();
+  double solve_seconds = watch.ElapsedSeconds();
+
+  watch.Restart();
+  auto cost = EvaluateHistogramCost(input, *histogram, request.options);
+  if (!cost.ok()) return cost.status();
+
+  SynopsisResult result;
+  result.kind = SynopsisKind::kHistogram;
+  result.histogram = std::move(histogram).value();
+  result.cost = *cost;
+  result.solver = FormatSolver(route, nullptr);
+  result.timing.solve_seconds = solve_seconds;
+  result.timing.preprocess_seconds = watch.ElapsedSeconds();  // re-costing
+  return result;
+}
+
+template <typename Input>
+StatusOr<SynopsisResult> ExecWavelet(const Input& input,
+                                     const SynopsisRequest& request) {
+  WaveletMethod method = request.wavelet_method;
+  if (method == WaveletMethod::kAuto) {
+    method = request.options.metric == ErrorMetric::kSse
+                 ? WaveletMethod::kGreedySse
+                 : WaveletMethod::kRestrictedDp;
+  }
+
+  SynopsisResult result;
+  result.kind = SynopsisKind::kWavelet;
+
+  if (method == WaveletMethod::kGreedySse) {
+    Stopwatch watch;
+    auto synopsis = BuildSseOptimalWavelet(input, request.budget);
+    if (!synopsis.ok()) return synopsis.status();
+    result.wavelet = std::move(synopsis).value();
+    result.timing.solve_seconds = watch.ElapsedSeconds();
+    watch.Restart();
+    auto cost = EvaluateWavelet(input, result.wavelet, request.options);
+    if (!cost.ok()) return cost.status();
+    result.cost = *cost;
+    result.timing.preprocess_seconds = watch.ElapsedSeconds();
+    result.solver = FormatSolver("wavelet/greedy-sse", nullptr);
+    return result;
+  }
+
+  // The coefficient-tree DPs consume value-pdf input; induce for tuples.
+  Stopwatch preprocess_watch;
+  StatusOr<ValuePdfInput> induced = Status::Internal("unset");
+  const ValuePdfInput* value_input = nullptr;
+  if constexpr (std::is_same_v<Input, ValuePdfInput>) {
+    value_input = &input;
+  } else {
+    induced = InduceValuePdf(input);
+    if (!induced.ok()) return induced.status();
+    value_input = &induced.value();
+  }
+  result.timing.preprocess_seconds = preprocess_watch.ElapsedSeconds();
+
+  Stopwatch watch;
+  if (method == WaveletMethod::kRestrictedDp) {
+    auto dp = BuildRestrictedWaveletDp(*value_input, request.budget,
+                                       request.options,
+                                       request.wavelet_max_domain);
+    if (!dp.ok()) return dp.status();
+    result.wavelet = std::move(dp->synopsis);
+    result.cost = dp->cost;
+    result.solver = FormatSolver("wavelet/restricted-dp", nullptr);
+  } else {
+    auto dp = BuildUnrestrictedWaveletDp(*value_input, request.budget,
+                                         request.options,
+                                         request.unrestricted);
+    if (!dp.ok()) return dp.status();
+    result.wavelet = std::move(dp->synopsis);
+    result.cost = dp->cost;
+    result.solver = FormatSolver("wavelet/unrestricted-dp", nullptr);
+  }
+  result.timing.solve_seconds = watch.ElapsedSeconds();
+  return result;
+}
+
+template <typename Input>
+StatusOr<SynopsisResult> ExecuteSingle(const Input& input,
+                                       const SynopsisRequest& request) {
+  if (request.kind == SynopsisKind::kWavelet) {
+    return ExecWavelet(input, request);
+  }
+  if (request.method == HistogramMethod::kStreaming) {
+    return ExecStreaming(input, request);
+  }
+  return ExecHistogramBaseline(input, request);
+}
+
+}  // namespace
+
+Status SynopsisRequest::Validate() const {
+  if (budget < 1) {
+    return Status::InvalidArgument("synopsis budget must be >= 1");
+  }
+  PROBSYN_RETURN_IF_ERROR(options.Validate());
+  if (kind == SynopsisKind::kHistogram) {
+    switch (method) {
+      case HistogramMethod::kApprox:
+        if (!(epsilon > 0.0)) {
+          return Status::InvalidArgument("epsilon must be positive");
+        }
+        if (!IsCumulativeMetric(options.metric)) {
+          return Status::Unimplemented(
+              "approximate histogram construction targets cumulative "
+              "metrics (paper Theorem 5)");
+        }
+        break;
+      case HistogramMethod::kStreaming:
+        if (!(epsilon > 0.0)) {
+          return Status::InvalidArgument("epsilon must be positive");
+        }
+        if (options.metric != ErrorMetric::kSse ||
+            options.sse_variant != SseVariant::kFixedRepresentative) {
+          return Status::Unimplemented(
+              "streaming construction supports expected SSE with fixed "
+              "representatives only");
+        }
+        if (options.HasWorkload()) {
+          return Status::Unimplemented(
+              "streaming construction does not support workload weights");
+        }
+        break;
+      default:
+        break;
+    }
+  }
+  return Status::OK();
+}
+
+SynopsisEngine::SynopsisEngine(Options options) : options_(options) {
+  // Bound explicit lane counts too: `--threads -1` style input reaches us
+  // as a huge unsigned value and must not turn into a thread-spawn storm.
+  constexpr std::size_t kMaxLanes = 256;
+  std::size_t lanes = options_.parallelism == 0
+                          ? ThreadPool::DefaultThreadCount()
+                          : std::min(options_.parallelism, kMaxLanes);
+  if (lanes < 1) lanes = 1;
+  options_.parallelism = lanes;
+  if (lanes > 1) pool_ = std::make_unique<ThreadPool>(lanes - 1);
+}
+
+SynopsisEngine::~SynopsisEngine() = default;
+SynopsisEngine::SynopsisEngine(SynopsisEngine&&) noexcept = default;
+SynopsisEngine& SynopsisEngine::operator=(SynopsisEngine&&) noexcept = default;
+
+std::size_t SynopsisEngine::parallelism() const { return options_.parallelism; }
+
+ThreadPool* SynopsisEngine::PoolFor(std::size_t domain_size) const {
+  if (pool_ == nullptr || domain_size < options_.min_parallel_domain) {
+    return nullptr;
+  }
+  return pool_.get();
+}
+
+template <typename Input>
+StatusOr<std::vector<SynopsisResult>> SynopsisEngine::BuildBatchImpl(
+    const Input& input, std::span<const SynopsisRequest> requests) const {
+  // --- Plan: validate everything up front (all-or-nothing batches), then
+  // group histogram exact/approx requests by their oracle requirements.
+  Stopwatch plan_watch;
+  if (input.domain_size() == 0) {
+    return Status::InvalidArgument("empty domain");
+  }
+  for (const SynopsisRequest& request : requests) {
+    PROBSYN_RETURN_IF_ERROR(request.Validate());
+  }
+
+  std::map<OracleKey, std::vector<std::size_t>> oracle_groups;
+  std::vector<std::size_t> singles;
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    const SynopsisRequest& request = requests[i];
+    bool oracle_backed =
+        request.kind == SynopsisKind::kHistogram &&
+        (request.method == HistogramMethod::kOptimal ||
+         request.method == HistogramMethod::kApprox);
+    if (oracle_backed) {
+      oracle_groups[MakeOracleKey(request.options)].push_back(i);
+    } else {
+      singles.push_back(i);
+    }
+  }
+  const double plan_seconds = plan_watch.ElapsedSeconds();
+
+  std::vector<SynopsisResult> results(requests.size());
+  ThreadPool* pool = PoolFor(input.domain_size());
+
+  // --- Execute oracle-backed groups: one preprocessed oracle per group,
+  // one exact DP per group (solved to the largest requested budget).
+  for (const auto& [key, indices] : oracle_groups) {
+    Stopwatch watch;
+    auto bundle =
+        MakeBucketOracle(input, requests[indices.front()].options, pool);
+    if (!bundle.ok()) return bundle.status();
+    const double oracle_seconds = watch.ElapsedSeconds();
+
+    std::size_t max_exact_budget = 0;
+    for (std::size_t i : indices) {
+      if (requests[i].method == HistogramMethod::kOptimal) {
+        max_exact_budget = std::max(max_exact_budget, requests[i].budget);
+      }
+    }
+    if (max_exact_budget > 0) {
+      watch.Restart();
+      HistogramDpResult dp = SolveHistogramDp(*bundle->oracle,
+                                              max_exact_budget,
+                                              bundle->combiner, pool);
+      const double dp_seconds = watch.ElapsedSeconds();
+      for (std::size_t i : indices) {
+        if (requests[i].method != HistogramMethod::kOptimal) continue;
+        Stopwatch extract_watch;
+        SynopsisResult& result = results[i];
+        result.kind = SynopsisKind::kHistogram;
+        result.histogram = dp.ExtractHistogram(requests[i].budget);
+        result.cost = dp.OptimalCost(requests[i].budget);
+        result.solver = FormatSolver("histogram/exact-dp", pool);
+        result.timing.plan_seconds = plan_seconds;
+        result.timing.preprocess_seconds = oracle_seconds;
+        result.timing.solve_seconds =
+            dp_seconds + extract_watch.ElapsedSeconds();
+      }
+    }
+
+    for (std::size_t i : indices) {
+      if (requests[i].method != HistogramMethod::kApprox) continue;
+      watch.Restart();
+      auto approx = SolveApproxHistogramDp(*bundle->oracle,
+                                           requests[i].budget,
+                                           requests[i].epsilon);
+      if (!approx.ok()) return approx.status();
+      SynopsisResult& result = results[i];
+      result.kind = SynopsisKind::kHistogram;
+      result.histogram = std::move(approx->histogram);
+      result.cost = approx->cost;
+      result.oracle_evaluations = approx->oracle_evaluations;
+      result.solver =
+          FormatSolverEps("histogram/approx-dp", requests[i].epsilon, nullptr);
+      result.timing.plan_seconds = plan_seconds;
+      result.timing.preprocess_seconds = oracle_seconds;
+      result.timing.solve_seconds = watch.ElapsedSeconds();
+    }
+  }
+
+  // --- Execute everything else individually.
+  for (std::size_t i : singles) {
+    auto result = ExecuteSingle(input, requests[i]);
+    if (!result.ok()) return result.status();
+    results[i] = std::move(result).value();
+    results[i].timing.plan_seconds = plan_seconds;
+  }
+  return results;
+}
+
+StatusOr<SynopsisResult> SynopsisEngine::Build(
+    const ValuePdfInput& input, const SynopsisRequest& request) const {
+  auto batch = BuildBatch(input, {&request, 1});
+  if (!batch.ok()) return batch.status();
+  return std::move(batch->front());
+}
+
+StatusOr<SynopsisResult> SynopsisEngine::Build(
+    const TuplePdfInput& input, const SynopsisRequest& request) const {
+  auto batch = BuildBatch(input, {&request, 1});
+  if (!batch.ok()) return batch.status();
+  return std::move(batch->front());
+}
+
+StatusOr<std::vector<SynopsisResult>> SynopsisEngine::BuildBatch(
+    const ValuePdfInput& input,
+    std::span<const SynopsisRequest> requests) const {
+  return BuildBatchImpl(input, requests);
+}
+
+StatusOr<std::vector<SynopsisResult>> SynopsisEngine::BuildBatch(
+    const TuplePdfInput& input,
+    std::span<const SynopsisRequest> requests) const {
+  return BuildBatchImpl(input, requests);
+}
+
+const char* SynopsisKindName(SynopsisKind kind) {
+  return kind == SynopsisKind::kHistogram ? "histogram" : "wavelet";
+}
+
+const char* HistogramMethodName(HistogramMethod method) {
+  switch (method) {
+    case HistogramMethod::kOptimal: return "optimal";
+    case HistogramMethod::kApprox: return "approx";
+    case HistogramMethod::kStreaming: return "streaming";
+    case HistogramMethod::kExpectation: return "expectation";
+    case HistogramMethod::kSampledWorld: return "sampled";
+    case HistogramMethod::kEquiDepth: return "equidepth";
+  }
+  return "?";
+}
+
+const char* WaveletMethodName(WaveletMethod method) {
+  switch (method) {
+    case WaveletMethod::kAuto: return "auto";
+    case WaveletMethod::kGreedySse: return "greedy";
+    case WaveletMethod::kRestrictedDp: return "restricted";
+    case WaveletMethod::kUnrestrictedDp: return "unrestricted";
+  }
+  return "?";
+}
+
+StatusOr<HistogramMethod> ParseHistogramMethod(const std::string& name) {
+  for (HistogramMethod m :
+       {HistogramMethod::kOptimal, HistogramMethod::kApprox,
+        HistogramMethod::kStreaming, HistogramMethod::kExpectation,
+        HistogramMethod::kSampledWorld, HistogramMethod::kEquiDepth}) {
+    if (name == HistogramMethodName(m)) return m;
+  }
+  return Status::InvalidArgument("unknown histogram method: " + name);
+}
+
+StatusOr<WaveletMethod> ParseWaveletMethod(const std::string& name) {
+  for (WaveletMethod m :
+       {WaveletMethod::kAuto, WaveletMethod::kGreedySse,
+        WaveletMethod::kRestrictedDp, WaveletMethod::kUnrestrictedDp}) {
+    if (name == WaveletMethodName(m)) return m;
+  }
+  return Status::InvalidArgument("unknown wavelet method: " + name);
+}
+
+}  // namespace probsyn

@@ -1,0 +1,189 @@
+#ifndef PROBSYN_ENGINE_SYNOPSIS_ENGINE_H_
+#define PROBSYN_ENGINE_SYNOPSIS_ENGINE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/histogram.h"
+#include "core/metrics.h"
+#include "core/wavelet.h"
+#include "core/wavelet_unrestricted.h"
+#include "model/tuple_pdf.h"
+#include "model/value_pdf.h"
+#include "util/status.h"
+
+namespace probsyn {
+
+class ThreadPool;
+
+/// Which synopsis family a request asks for (the paper's two synopsis
+/// types over probabilistic data).
+enum class SynopsisKind { kHistogram, kWavelet };
+
+/// Construction route for histogram requests. The first three are the
+/// paper's algorithmic contributions (exact DP, (1+eps)-approximate DP,
+/// one-pass streaming); the rest are the section-5 comparison baselines,
+/// served through the same entry point so callers can sweep methods
+/// without touching per-method APIs.
+enum class HistogramMethod {
+  kOptimal,      ///< Exact DP (equation (2)); any metric.
+  kApprox,       ///< (1+eps) DP (Theorem 5); cumulative metrics only.
+  kStreaming,    ///< One-pass AHIST-style (section 3.5); SSE fixed-rep only.
+  kExpectation,  ///< Optimal synopsis of the expected frequencies.
+  kSampledWorld, ///< Optimal synopsis of one sampled world.
+  kEquiDepth,    ///< Probabilistic quantiles; boundaries ignore the metric.
+};
+
+/// Construction route for wavelet requests.
+enum class WaveletMethod {
+  kAuto,            ///< Greedy for SSE (Theorem 7), restricted DP otherwise.
+  kGreedySse,       ///< B largest expected coefficients (section 4.1).
+  kRestrictedDp,    ///< Coefficient-tree DP, standard values (section 4.2).
+  kUnrestrictedDp,  ///< Free coefficient values on a quantized grid.
+};
+
+/// One synopsis-construction request: input model is carried by the
+/// Build/BuildBatch overload, everything else lives here. This is the
+/// single entry type the paper's four disconnected construction paths
+/// (exact DP, approximate DP, streaming, wavelet DPs) are unified behind.
+struct SynopsisRequest {
+  SynopsisKind kind = SynopsisKind::kHistogram;
+  /// Bucket budget (histograms) or coefficient budget (wavelets); >= 1.
+  std::size_t budget = 0;
+  /// Metric, sanity constant, SSE variant, optional workload weights.
+  SynopsisOptions options;
+
+  // --- Histogram routing (ignored for kWavelet). ---
+  HistogramMethod method = HistogramMethod::kOptimal;
+  /// Approximation slack of kApprox / kStreaming; must be > 0 there.
+  double epsilon = 0.1;
+  /// Seed of the kSampledWorld baseline.
+  std::uint64_t seed = 42;
+
+  // --- Wavelet routing (ignored for kHistogram). ---
+  WaveletMethod wavelet_method = WaveletMethod::kAuto;
+  /// Domain cap of the restricted DP's O(n^2 B) state table.
+  std::size_t wavelet_max_domain = 2048;
+  /// Grid options of the unrestricted DP.
+  UnrestrictedWaveletOptions unrestricted;
+
+  /// Static (input-independent) validation: budget, epsilon, and
+  /// method/metric combinations that can never execute.
+  Status Validate() const;
+};
+
+/// Wall-clock breakdown of one served request. In a batch, `preprocess`
+/// and, for exact-DP requests, the DP part of `solve` are shared across
+/// the group that reused the same oracle — each result reports the full
+/// shared time (not a per-request split), so summing across a batch
+/// overcounts deliberately-shared work.
+struct SynopsisTiming {
+  double plan_seconds = 0.0;        ///< Request validation + routing.
+  double preprocess_seconds = 0.0;  ///< Oracle / table construction.
+  double solve_seconds = 0.0;       ///< DP / stream / selection + extract.
+
+  double total_seconds() const {
+    return plan_seconds + preprocess_seconds + solve_seconds;
+  }
+};
+
+/// Uniform result of every construction path.
+struct SynopsisResult {
+  SynopsisKind kind = SynopsisKind::kHistogram;
+  Histogram histogram;      ///< Set when kind == kHistogram.
+  WaveletSynopsis wavelet;  ///< Set when kind == kWavelet.
+  /// Achieved objective value. For the optimal/approximate/streaming and
+  /// wavelet-DP routes this is the solver's own (exact) cost — bit-equal
+  /// to calling the underlying solver directly; for baselines it is the
+  /// synopsis re-costed under the true distribution.
+  double cost = 0.0;
+  /// Bucket-oracle evaluations (kApprox route only; Theorem 5's currency).
+  std::size_t oracle_evaluations = 0;
+  /// Human-readable route, e.g. "histogram/exact-dp[parallel=4]".
+  std::string solver;
+  SynopsisTiming timing;
+};
+
+/// The unified construction facade: plan/execute split over one request
+/// type. Planning validates the request and picks the oracle (via
+/// oracle_factory) and solver (exact DP, approximate DP, streaming, or a
+/// wavelet route); execution runs the solver on the engine's worker pool,
+/// which parallelizes the exact DP's per-budget row sweeps and the
+/// oracles' O(n |V|) prefix-table preprocessing.
+///
+/// BuildBatch serves many requests against ONE input: histogram requests
+/// with identical oracle requirements (metric, sanity constant, SSE
+/// variant, workload) share a single preprocessed oracle, and exact-DP
+/// requests in such a group share one DP solved to the largest budget —
+/// the whole cost-vs-B curve of the paper's Figure 2 then costs one DP run
+/// instead of |batch|.
+///
+/// Every path's output is bit-identical to calling the underlying
+/// builder/solver directly (a property the engine parity tests pin down);
+/// the engine adds routing, sharing, parallelism, and timing — never a
+/// different answer.
+class SynopsisEngine {
+ public:
+  struct Options {
+    /// Total parallel lanes (the calling thread included). 0 = auto
+    /// (ThreadPool::DefaultThreadCount(), overridable via the
+    /// PROBSYN_THREADS environment variable); 1 = fully sequential.
+    std::size_t parallelism = 0;
+    /// Domains smaller than this run sequentially even when a pool
+    /// exists: fork-join overhead beats the win on tiny inputs.
+    std::size_t min_parallel_domain = 256;
+  };
+
+  SynopsisEngine() : SynopsisEngine(Options{}) {}
+  explicit SynopsisEngine(Options options);
+  ~SynopsisEngine();
+
+  SynopsisEngine(SynopsisEngine&&) noexcept;
+  SynopsisEngine& operator=(SynopsisEngine&&) noexcept;
+
+  /// Resolved lane count (>= 1).
+  std::size_t parallelism() const;
+
+  StatusOr<SynopsisResult> Build(const ValuePdfInput& input,
+                                 const SynopsisRequest& request) const;
+  StatusOr<SynopsisResult> Build(const TuplePdfInput& input,
+                                 const SynopsisRequest& request) const;
+
+  /// Serves all requests against one input, sharing oracles and exact DPs
+  /// where requests allow (see class comment). All-or-nothing: the first
+  /// failing request fails the batch. Results are positionally aligned
+  /// with `requests`.
+  StatusOr<std::vector<SynopsisResult>> BuildBatch(
+      const ValuePdfInput& input,
+      std::span<const SynopsisRequest> requests) const;
+  StatusOr<std::vector<SynopsisResult>> BuildBatch(
+      const TuplePdfInput& input,
+      std::span<const SynopsisRequest> requests) const;
+
+ private:
+  template <typename Input>
+  StatusOr<std::vector<SynopsisResult>> BuildBatchImpl(
+      const Input& input, std::span<const SynopsisRequest> requests) const;
+
+  /// The pool to hand a solver working on `domain_size` items; null when
+  /// the engine is sequential or the input is below the parallel cutoff.
+  ThreadPool* PoolFor(std::size_t domain_size) const;
+
+  Options options_;
+  std::unique_ptr<ThreadPool> pool_;  // null when parallelism() == 1
+};
+
+/// Stable display names for logs and CLIs.
+const char* SynopsisKindName(SynopsisKind kind);
+const char* HistogramMethodName(HistogramMethod method);
+const char* WaveletMethodName(WaveletMethod method);
+StatusOr<HistogramMethod> ParseHistogramMethod(const std::string& name);
+StatusOr<WaveletMethod> ParseWaveletMethod(const std::string& name);
+
+}  // namespace probsyn
+
+#endif  // PROBSYN_ENGINE_SYNOPSIS_ENGINE_H_

@@ -1,0 +1,112 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <memory>
+
+namespace probsyn {
+
+namespace {
+
+// Set while a pool worker is executing a task; nested ParallelFor calls
+// from library code then run inline instead of re-entering the queue and
+// risking a wait-on-self deadlock.
+thread_local bool t_inside_worker = false;
+
+// Completion latch of one ParallelFor call.
+struct CallState {
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::size_t remaining = 0;
+};
+
+}  // namespace
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  workers_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::WorkerLoop() {
+  t_inside_worker = true;
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutdown with a drained queue
+      task = std::move(queue_.back());
+      queue_.pop_back();
+    }
+    task();
+  }
+}
+
+void ThreadPool::ParallelFor(
+    std::size_t begin, std::size_t end,
+    const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (begin >= end) return;
+  const std::size_t n = end - begin;
+  if (workers_.empty() || n == 1 || t_inside_worker) {
+    fn(begin, end);
+    return;
+  }
+
+  const std::size_t chunks = std::min(workers_.size() + 1, n);
+  const std::size_t base = n / chunks;
+  const std::size_t extra = n % chunks;  // first `extra` chunks get +1
+
+  auto state = std::make_shared<CallState>();
+  state->remaining = chunks - 1;
+
+  // Enqueue chunks 1..chunks-1, run chunk 0 on the calling thread, then
+  // wait for the latch.
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    std::size_t start = begin + base + (extra > 0 ? 1 : 0);
+    for (std::size_t c = 1; c < chunks; ++c) {
+      std::size_t len = base + (c < extra ? 1 : 0);
+      queue_.push_back([&fn, state, start, len] {
+        fn(start, start + len);
+        std::unique_lock<std::mutex> state_lock(state->mutex);
+        if (--state->remaining == 0) state->cv.notify_one();
+      });
+      start += len;
+    }
+  }
+  work_cv_.notify_all();
+
+  fn(begin, begin + base + (extra > 0 ? 1 : 0));
+
+  std::unique_lock<std::mutex> state_lock(state->mutex);
+  state->cv.wait(state_lock, [&state] { return state->remaining == 0; });
+}
+
+std::size_t ThreadPool::DefaultThreadCount() {
+  // Negative numbers wrap through strtoul; clamp to [1, kMaxThreads] so a
+  // stray PROBSYN_THREADS=-1 degrades to a bounded pool, not a spawn storm.
+  constexpr std::size_t kMaxThreads = 256;
+  if (const char* env = std::getenv("PROBSYN_THREADS")) {
+    char* endp = nullptr;
+    unsigned long v = std::strtoul(env, &endp, 10);
+    if (endp != env) {
+      return std::clamp<std::size_t>(static_cast<std::size_t>(v), 1,
+                                     kMaxThreads);
+    }
+  }
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : std::min<std::size_t>(hw, kMaxThreads);
+}
+
+}  // namespace probsyn

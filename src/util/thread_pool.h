@@ -1,0 +1,69 @@
+#ifndef PROBSYN_UTIL_THREAD_POOL_H_
+#define PROBSYN_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace probsyn {
+
+/// Fixed-size worker pool for the data-parallel cuts of synopsis
+/// construction: the exact DP's per-budget row sweeps and the oracles'
+/// O(n |V|) prefix-table preprocessing (both are embarrassingly parallel
+/// given the previous DP layer / the shared value grid).
+///
+/// Design notes:
+///  * `ParallelFor` is a blocking fork-join over an index range; the
+///    calling thread executes one chunk itself, so a pool with W workers
+///    yields W+1-way parallelism and a 0-worker pool degrades to a plain
+///    sequential loop (useful for parity tests and tiny inputs).
+///  * Calls from inside a worker run inline (no nested fan-out), so
+///    library code can use the pool without tracking call depth; this also
+///    makes accidental reentrancy deadlock-free.
+///  * Determinism: chunks are contiguous, each index is executed exactly
+///    once by exactly one thread, and callers are expected to write to
+///    disjoint output slots per index — the engine's parallel DP is
+///    bit-identical to the sequential solver because every DP cell is
+///    computed by the same scalar scan regardless of which thread runs it.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers. 0 is valid: every ParallelFor runs
+  /// inline on the caller.
+  explicit ThreadPool(std::size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t num_threads() const { return workers_.size(); }
+
+  /// Invokes `fn(chunk_begin, chunk_end)` over a partition of [begin, end)
+  /// into at most num_threads()+1 contiguous chunks and blocks until every
+  /// chunk has finished. `fn` must not touch shared mutable state across
+  /// chunks (each index's outputs must be disjoint).
+  void ParallelFor(std::size_t begin, std::size_t end,
+                   const std::function<void(std::size_t, std::size_t)>& fn);
+
+  /// Worker count to use when the caller does not specify one: the
+  /// PROBSYN_THREADS environment variable if set, else
+  /// std::thread::hardware_concurrency() (at least 1).
+  static std::size_t DefaultThreadCount();
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  std::vector<std::function<void()>> queue_;
+  bool shutdown_ = false;
+  std::size_t in_flight_ = 0;
+};
+
+}  // namespace probsyn
+
+#endif  // PROBSYN_UTIL_THREAD_POOL_H_

@@ -1,0 +1,82 @@
+#include "util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <vector>
+
+namespace probsyn {
+namespace {
+
+TEST(ThreadPool, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(3);
+  const std::size_t n = 1013;  // prime: uneven chunking
+  std::vector<std::atomic<int>> hits(n);
+  pool.ParallelFor(0, n, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+  });
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ThreadPool, NonZeroRangeOffsets) {
+  ThreadPool pool(2);
+  std::vector<std::atomic<int>> hits(50);
+  pool.ParallelFor(17, 42, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+  });
+  for (std::size_t i = 0; i < 50; ++i) {
+    EXPECT_EQ(hits[i].load(), (i >= 17 && i < 42) ? 1 : 0) << i;
+  }
+}
+
+TEST(ThreadPool, ZeroWorkersRunsInline) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 0u);
+  std::size_t calls = 0, covered = 0;
+  pool.ParallelFor(0, 10, [&](std::size_t begin, std::size_t end) {
+    ++calls;
+    covered += end - begin;
+  });
+  EXPECT_EQ(calls, 1u);  // single inline chunk
+  EXPECT_EQ(covered, 10u);
+}
+
+TEST(ThreadPool, EmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.ParallelFor(5, 5, [&](std::size_t, std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, NestedCallsRunInline) {
+  ThreadPool pool(3);
+  std::atomic<int> inner_total{0};
+  pool.ParallelFor(0, 8, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      // A nested fan-out must not deadlock; it degrades to inline.
+      pool.ParallelFor(0, 4, [&](std::size_t b, std::size_t e) {
+        inner_total.fetch_add(static_cast<int>(e - b));
+      });
+    }
+  });
+  EXPECT_EQ(inner_total.load(), 8 * 4);
+}
+
+TEST(ThreadPool, ManySmallCallsDoNotWedge) {
+  ThreadPool pool(4);
+  std::atomic<std::size_t> total{0};
+  for (int round = 0; round < 200; ++round) {
+    pool.ParallelFor(0, 7, [&](std::size_t begin, std::size_t end) {
+      total.fetch_add(end - begin);
+    });
+  }
+  EXPECT_EQ(total.load(), 200u * 7u);
+}
+
+TEST(ThreadPool, DefaultThreadCountIsPositive) {
+  EXPECT_GE(ThreadPool::DefaultThreadCount(), 1u);
+}
+
+}  // namespace
+}  // namespace probsyn

@@ -1,18 +1,25 @@
 // probsyn command-line tool: generate probabilistic data, build histogram
 // and wavelet synopses over .pdata files, and (re-)evaluate persisted
-// synopses — the full paper pipeline without writing C++.
+// synopses — the full paper pipeline without writing C++. Construction
+// routes through the SynopsisEngine facade: one request type, shared
+// preprocessed oracles across a bucket sweep, parallel exact DP.
 //
 // Usage:
 //   probsyn gen       --kind movie|tpch --n N [--seed S] --out FILE
 //   probsyn info      --in FILE
-//   probsyn histogram --in FILE --buckets B [--metric M] [--c C]
-//                     [--method optimal|approx|expectation|sampled|equidepth]
-//                     [--epsilon E] [--seed S] [--out CSV]
+//   probsyn histogram --in FILE --buckets B[,B2,...] [--metric M] [--c C]
+//                     [--method optimal|approx|streaming|expectation|
+//                      sampled|equidepth]
+//                     [--epsilon E] [--seed S] [--threads T] [--out CSV]
 //   probsyn wavelet   --in FILE --coeffs B [--metric M] [--c C]
-//                     [--method greedy|restricted|unrestricted] [--out CSV]
+//                     [--method auto|greedy|restricted|unrestricted]
+//                     [--out CSV]
 //   probsyn evaluate  --in FILE --histogram CSV [--metric M] [--c C]
 //
-// Metrics: SSE SSRE SAE SARE MAE MARE (default SSE).
+// Metrics: SSE SSRE SAE SARE MAE MARE (default SSE). A comma-separated
+// --buckets list is served as one engine batch: the oracle is
+// preprocessed once and the exact DP solved once for the whole sweep.
+// --threads 0 (default) uses every core; 1 forces sequential.
 
 #include <cstdio>
 #include <cstdlib>
@@ -21,16 +28,12 @@
 #include <optional>
 #include <string>
 
-#include "core/baselines.h"
-#include "core/builders.h"
+#include <vector>
+
 #include "core/evaluate.h"
-#include "core/oracle_factory.h"
-#include "core/wavelet.h"
-#include "core/wavelet_dp.h"
-#include "core/wavelet_unrestricted.h"
+#include "engine/synopsis_engine.h"
 #include "gen/generators.h"
 #include "io/pdata.h"
-#include "model/induced.h"
 
 namespace probsyn::cli {
 namespace {
@@ -204,54 +207,75 @@ int RunInfo(const Args& args) {
   return 0;
 }
 
+std::vector<std::size_t> ParseSizeList(const std::string& text) {
+  std::vector<std::size_t> values;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t comma = text.find(',', pos);
+    if (comma == std::string::npos) comma = text.size();
+    values.push_back(
+        std::strtoull(text.substr(pos, comma - pos).c_str(), nullptr, 10));
+    pos = comma + 1;
+  }
+  return values;
+}
+
+void PrintTiming(const SynopsisResult& result) {
+  std::printf("  route %s | plan %.3f ms | preprocess %.3f ms | solve %.3f ms\n",
+              result.solver.c_str(), result.timing.plan_seconds * 1e3,
+              result.timing.preprocess_seconds * 1e3,
+              result.timing.solve_seconds * 1e3);
+}
+
 int RunHistogram(const Args& args) {
   auto in = args.Get("in");
   if (!in) return Fail("histogram: --in FILE is required");
-  std::size_t buckets = args.GetSize("buckets", 0);
-  if (buckets == 0) return Fail("histogram: --buckets B is required");
+  auto buckets_arg = args.Get("buckets");
+  if (!buckets_arg) return Fail("histogram: --buckets B[,B2,...] is required");
+  std::vector<std::size_t> budgets = ParseSizeList(*buckets_arg);
+  if (budgets.empty()) return Fail("histogram: empty --buckets list");
   auto loaded = Load(*in);
   if (!loaded.ok()) return Fail(loaded.status().ToString());
   auto options = ParseOptions(args);
   if (!options.ok()) return Fail(options.status().ToString());
-  std::string method = args.GetOr("method", "optimal");
-  Rng rng(args.GetSize("seed", 7));
+  auto method = ParseHistogramMethod(args.GetOr("method", "optimal"));
+  if (!method.ok()) return Fail(method.status().ToString());
 
-  StatusOr<Histogram> histogram = Status::Internal("unset");
-  auto dispatch = [&](const auto& input) -> StatusOr<Histogram> {
-    if (method == "optimal") {
-      return BuildOptimalHistogram(input, *options, buckets);
-    }
-    if (method == "approx") {
-      auto result = BuildApproxHistogram(input, *options, buckets,
-                                         args.GetDouble("epsilon", 0.1));
-      if (!result.ok()) return result.status();
-      return result->histogram;
-    }
-    if (method == "expectation") {
-      return BuildExpectationHistogram(input, *options, buckets);
-    }
-    if (method == "sampled") {
-      return BuildSampledWorldHistogram(input, *options, buckets, rng);
-    }
-    if (method == "equidepth") {
-      return BuildEquiDepthHistogram(input, *options, buckets);
-    }
-    return Status::InvalidArgument("unknown --method " + method);
-  };
-  histogram = loaded->value_pdf ? dispatch(*loaded->value_pdf)
-                                : dispatch(*loaded->tuple_pdf);
-  if (!histogram.ok()) return Fail(histogram.status().ToString());
+  SynopsisEngine engine({.parallelism = args.GetSize("threads", 0)});
+  std::vector<SynopsisRequest> requests;
+  requests.reserve(budgets.size());
+  for (std::size_t budget : budgets) {
+    SynopsisRequest request;
+    request.kind = SynopsisKind::kHistogram;
+    request.method = *method;
+    request.budget = budget;
+    request.options = *options;
+    request.epsilon = args.GetDouble("epsilon", 0.1);
+    request.seed = args.GetSize("seed", 7);
+    requests.push_back(request);
+  }
 
-  auto cost = loaded->value_pdf
-                  ? EvaluateHistogram(*loaded->value_pdf, *histogram, *options)
-                  : EvaluateHistogram(*loaded->tuple_pdf, *histogram, *options);
-  if (!cost.ok()) return Fail(cost.status().ToString());
+  auto results = loaded->value_pdf
+                     ? engine.BuildBatch(*loaded->value_pdf, requests)
+                     : engine.BuildBatch(*loaded->tuple_pdf, requests);
+  if (!results.ok()) return Fail(results.status().ToString());
 
-  std::printf("%s %s histogram, B=%zu: expected %s = %.6f\n", method.c_str(),
-              ErrorMetricName(options->metric), histogram->num_buckets(),
-              ErrorMetricName(options->metric), *cost);
-  std::printf("%s", histogram->ToString().c_str());
-  if (Status s = WriteCsvIfRequested(args, *histogram); !s.ok()) {
+  for (const SynopsisResult& result : *results) {
+    std::printf("%s %s histogram, B=%zu: expected %s = %.6f\n",
+                HistogramMethodName(*method),
+                ErrorMetricName(options->metric),
+                result.histogram.num_buckets(),
+                ErrorMetricName(options->metric), result.cost);
+    PrintTiming(result);
+    if (results->size() == 1) {
+      std::printf("%s", result.histogram.ToString().c_str());
+    }
+  }
+  if (args.Get("out") && results->size() != 1) {
+    return Fail("histogram: --out requires a single --buckets value");
+  }
+  if (Status s = WriteCsvIfRequested(args, results->front().histogram);
+      !s.ok()) {
     return Fail(s.ToString());
   }
   return 0;
@@ -266,47 +290,30 @@ int RunWavelet(const Args& args) {
   if (!loaded.ok()) return Fail(loaded.status().ToString());
   auto options = ParseOptions(args);
   if (!options.ok()) return Fail(options.status().ToString());
-  std::string method = args.GetOr("method", "greedy");
+  auto method = ParseWaveletMethod(args.GetOr("method", "greedy"));
+  if (!method.ok()) return Fail(method.status().ToString());
 
-  // Non-greedy methods need value-pdf input.
-  std::optional<ValuePdfInput> value_input = loaded->value_pdf;
-  if (!value_input && method != "greedy") {
-    auto induced = InduceValuePdf(*loaded->tuple_pdf);
-    if (!induced.ok()) return Fail(induced.status().ToString());
-    value_input = std::move(induced).value();
-  }
+  SynopsisEngine engine({.parallelism = args.GetSize("threads", 0)});
+  SynopsisRequest request;
+  request.kind = SynopsisKind::kWavelet;
+  request.budget = coeffs;
+  request.options = *options;
+  request.wavelet_method = *method;
 
-  StatusOr<WaveletSynopsis> synopsis = Status::Internal("unset");
-  if (method == "greedy") {
-    synopsis = loaded->value_pdf
-                   ? BuildSseOptimalWavelet(*loaded->value_pdf, coeffs)
-                   : BuildSseOptimalWavelet(*loaded->tuple_pdf, coeffs);
-  } else if (method == "restricted") {
-    auto result = BuildRestrictedWaveletDp(*value_input, coeffs, *options);
-    if (!result.ok()) return Fail(result.status().ToString());
-    synopsis = result->synopsis;
-  } else if (method == "unrestricted") {
-    auto result = BuildUnrestrictedWaveletDp(*value_input, coeffs, *options);
-    if (!result.ok()) return Fail(result.status().ToString());
-    synopsis = result->synopsis;
-  } else {
-    return Fail("unknown --method " + method);
-  }
-  if (!synopsis.ok()) return Fail(synopsis.status().ToString());
+  auto result = loaded->value_pdf ? engine.Build(*loaded->value_pdf, request)
+                                  : engine.Build(*loaded->tuple_pdf, request);
+  if (!result.ok()) return Fail(result.status().ToString());
 
-  auto cost = loaded->value_pdf
-                  ? EvaluateWavelet(*loaded->value_pdf, *synopsis, *options)
-                  : EvaluateWavelet(*loaded->tuple_pdf, *synopsis, *options);
-  if (!cost.ok()) return Fail(cost.status().ToString());
   std::printf("%s wavelet synopsis, B=%zu: expected %s = %.6f\n",
-              method.c_str(), synopsis->num_coefficients(),
-              ErrorMetricName(options->metric), *cost);
-  std::printf("%s", synopsis->ToString().c_str());
+              WaveletMethodName(*method), result->wavelet.num_coefficients(),
+              ErrorMetricName(options->metric), result->cost);
+  PrintTiming(*result);
+  std::printf("%s", result->wavelet.ToString().c_str());
 
   if (auto out = args.Get("out")) {
     std::ofstream os(*out);
     if (!os) return Fail("cannot open " + *out);
-    if (Status s = WriteWaveletCsv(os, *synopsis); !s.ok()) {
+    if (Status s = WriteWaveletCsv(os, result->wavelet); !s.ok()) {
       return Fail(s.ToString());
     }
   }
