@@ -1,11 +1,16 @@
 // SynopsisEngine tentpole benchmarks:
 //
-//   (a) exact-DP scaling — sequential vs the blocked parallel solver at
-//       1..8 lanes, n up to 4096 (the acceptance bar for this subsystem is
-//       >= 2x at n >= 4096 with 4+ threads on hardware that has 4+ cores;
-//       the bench reports whatever the current machine delivers),
-//   (b) engine batching — a 16-budget cost-vs-B sweep served as one batch
-//       (one oracle, one DP) vs 16 independent Build calls.
+//   (a) exact-DP kernels — the reference virtual-dispatch solver vs the
+//       specialized devirtualized kernel (core/dp_kernels.h) at 1..8 lanes,
+//       n up to 4096, B = 64. The acceptance bar for the kernel subsystem
+//       is >= 2x single-thread at n = 4096, B = 64 on the O(1) SSE oracle
+//       (kernel=1 vs kernel=0 rows at lanes = 1); the bench reports
+//       whatever the current machine delivers.
+//   (b) exact-DP max-combiner — same comparison under DpCombiner::kMax,
+//       where the kernel's monotone-split bisection replaces the O(j) scan
+//       per cell with O(log j).
+//   (c) engine batching — a 15-budget cost-vs-B sweep served as one batch
+//       (one oracle, one DP, one workspace) vs 15 independent Build calls.
 //
 // Run via the `bench_json` target (or with --benchmark_out=...) to emit
 // machine-readable BENCH_bench_engine_parallel.json.
@@ -16,6 +21,7 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "core/dp_kernels.h"
 #include "core/histogram_dp.h"
 #include "core/oracle_factory.h"
 #include "engine/synopsis_engine.h"
@@ -37,30 +43,50 @@ SynopsisOptions SseOptions() {
   return options;
 }
 
-// (a) The O(B n^2) exact DP, sequential (lanes = 1) vs parallel.
-void BM_ExactDp(benchmark::State& state) {
+// (a)/(b) The O(B n^2) exact DP: reference scalar solver (kernelized = 0)
+// vs specialized kernel (kernelized = 1), sequential (lanes = 1) vs
+// parallel. A reused workspace keeps steady-state allocation at zero, as
+// the engine does.
+void RunExactDp(benchmark::State& state, DpCombiner combiner) {
   const std::size_t n = static_cast<std::size_t>(state.range(0));
   const std::size_t lanes = static_cast<std::size_t>(state.range(1));
-  const std::size_t kBuckets = 32;
+  const bool kernelized = state.range(2) != 0;
+  const std::size_t kBuckets = 64;
 
   ValuePdfInput input = MakeInput(n);
   auto bundle = MakeBucketOracle(input, SseOptions());
   PROBSYN_CHECK(bundle.ok());
   ThreadPool pool(lanes > 1 ? lanes - 1 : 0);
-  ThreadPool* pool_ptr = lanes > 1 ? &pool : nullptr;
+
+  DpWorkspace workspace;
+  DpKernelOptions options;
+  options.pool = lanes > 1 ? &pool : nullptr;
+  options.workspace = &workspace;
+  options.kernel =
+      kernelized ? DpKernelKind::kAuto : DpKernelKind::kReference;
 
   for (auto _ : state) {
-    HistogramDpResult dp =
-        SolveHistogramDp(*bundle->oracle, kBuckets, bundle->combiner, pool_ptr);
+    HistogramDpResult dp = SolveHistogramDpWithKernel(*bundle->oracle,
+                                                      kBuckets, combiner,
+                                                      options);
     benchmark::DoNotOptimize(dp.OptimalCost(kBuckets));
   }
   state.counters["n"] = static_cast<double>(n);
   state.counters["lanes"] = static_cast<double>(lanes);
   state.counters["B"] = static_cast<double>(kBuckets);
-  // Speedup(n, L) = Time(n, 1) / Time(n, L) across rows of equal n.
+  state.counters["kernel"] = kernelized ? 1.0 : 0.0;
+  // Speedup(n, L, k) = Time(n, 1, 0) / Time(n, L, k) across rows of equal n.
 }
 
-// (b) One batched cost-vs-B sweep vs repeated single builds.
+void BM_ExactDp(benchmark::State& state) {
+  RunExactDp(state, DpCombiner::kSum);
+}
+
+void BM_ExactDpMaxCombiner(benchmark::State& state) {
+  RunExactDp(state, DpCombiner::kMax);
+}
+
+// (c) One batched cost-vs-B sweep vs repeated single builds.
 void BM_EngineSweep(benchmark::State& state) {
   const std::size_t n = static_cast<std::size_t>(state.range(0));
   const bool batched = state.range(1) != 0;
@@ -101,12 +127,18 @@ void BM_EngineSweep(benchmark::State& state) {
 }  // namespace probsyn
 
 BENCHMARK(probsyn::BM_ExactDp)
-    ->Args({1024, 1})
-    ->Args({1024, 4})
-    ->Args({4096, 1})
-    ->Args({4096, 2})
-    ->Args({4096, 4})
-    ->Args({4096, 8})
+    ->Args({1024, 1, 0})
+    ->Args({1024, 1, 1})
+    ->Args({4096, 1, 0})
+    ->Args({4096, 1, 1})
+    ->Args({4096, 2, 1})
+    ->Args({4096, 4, 1})
+    ->Args({4096, 8, 1})
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK(probsyn::BM_ExactDpMaxCombiner)
+    ->Args({4096, 1, 0})
+    ->Args({4096, 1, 1})
     ->Unit(benchmark::kMillisecond);
 
 BENCHMARK(probsyn::BM_EngineSweep)

@@ -31,7 +31,7 @@ class ThreadPool;
 /// so any (bucket, l) evaluation is two O(1) range sums, and locate the
 /// optimal l by convex ternary search — O(log |V|) per bucket after
 /// O(n |V|) preprocessing (the paper's Theorems 3 and 4).
-class AbsCumulativeOracle : public BucketCostOracle {
+class AbsCumulativeOracle final : public BucketCostOracle {
  public:
   /// relative == false -> SAE; true -> SARE with sanity constant c.
   /// `weights` are optional per-item workload weights (empty = uniform);

@@ -1,0 +1,649 @@
+#include "core/dp_kernels.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "core/abs_oracle.h"
+#include "core/max_oracle.h"
+#include "core/sse_oracle.h"
+#include "core/ssre_oracle.h"
+#include "util/logging.h"
+#include "util/math.h"
+#include "util/search.h"
+#include "util/thread_pool.h"
+
+namespace probsyn {
+
+namespace {
+
+constexpr double kInfinity = std::numeric_limits<double>::infinity();
+
+double Combine(DpCombiner combiner, double prefix, double bucket) {
+  return combiner == DpCombiner::kSum ? prefix + bucket
+                                      : std::max(prefix, bucket);
+}
+
+// One DP cell for layer b >= 2: err[b-1][j] over splits l < j plus the
+// inherit transition. `prev` is layer b-2 (budget b-1), `cost[s]` is
+// Cost([s, j]). This scalar scan defines the reference semantics every
+// fast path below must reproduce bit-exactly: the winning choice is the
+// FIRST split attaining the candidate minimum, and the inherit transition
+// wins all ties against splits.
+inline void ComputeCellReference(DpCombiner combiner, const double* prev,
+                                 const double* cost, std::size_t j,
+                                 double* err_out, std::int64_t* choice_out) {
+  // Start from "b-1 buckets were already enough".
+  double best = prev[j];
+  std::int64_t best_choice = HistogramDpResult::kInheritChoice;
+  for (std::size_t l = 0; l < j; ++l) {
+    double v = Combine(combiner, prev[l], cost[l + 1]);
+    if (v < best) {
+      best = v;
+      best_choice = static_cast<std::int64_t>(l);
+    }
+  }
+  *err_out = best;
+  *choice_out = best_choice;
+}
+
+// kSum fast cell: chunked branch-free min-reduction, then the reference
+// tie-break — the first split attaining the minimum — resolved inside the
+// FIRST chunk attaining it. Four independent min accumulators break the
+// loop-carried minsd latency chain (and give the vectorizer parallel
+// lanes); floating-point min is exact whatever the accumulation order, so
+// the chunked minimum is bit-equal to the sequential scan's. ~0.4 ns per
+// candidate against the reference scan's ~1.8 (compare-branch per
+// candidate, GCC 12 -O3 x86-64 baseline).
+inline void ComputeCellSumFast(const double* prev, const double* cost,
+                               std::size_t j, double* err_out,
+                               std::int64_t* choice_out) {
+  constexpr std::size_t kChunk = 512;
+  const double inherit = prev[j];
+  double best = kInfinity;
+  std::size_t best_begin = 0;
+  const double* cost1 = cost + 1;  // cost1[l] = Cost([l+1, j])
+  for (std::size_t begin = 0; begin < j; begin += kChunk) {
+    const std::size_t end = std::min(j, begin + kChunk);
+    double m0 = kInfinity;
+    double m1 = kInfinity;
+    double m2 = kInfinity;
+    double m3 = kInfinity;
+    std::size_t l = begin;
+    for (; l + 4 <= end; l += 4) {
+      m0 = std::min(m0, prev[l] + cost1[l]);
+      m1 = std::min(m1, prev[l + 1] + cost1[l + 1]);
+      m2 = std::min(m2, prev[l + 2] + cost1[l + 2]);
+      m3 = std::min(m3, prev[l + 3] + cost1[l + 3]);
+    }
+    double m = std::min(std::min(m0, m1), std::min(m2, m3));
+    for (; l < end; ++l) {
+      m = std::min(m, prev[l] + cost1[l]);
+    }
+    // Strict < keeps the earliest chunk attaining the global minimum, which
+    // is where the first attaining split lives.
+    if (m < best) {
+      best = m;
+      best_begin = begin;
+    }
+  }
+  if (best < inherit) {
+    const std::size_t end = std::min(j, best_begin + kChunk);
+    for (std::size_t l = best_begin; l < end; ++l) {
+      if (prev[l] + cost1[l] == best) {
+        *err_out = best;
+        *choice_out = static_cast<std::int64_t>(l);
+        return;
+      }
+    }
+    PROBSYN_CHECK(false);  // the chunk's minimum is attained in the chunk
+  }
+  *err_out = inherit;
+  *choice_out = HistogramDpResult::kInheritChoice;
+}
+
+// Shared chunk geometry of the fast kMax cell and its bound tables.
+constexpr std::size_t kMaxChunk = 512;
+
+inline std::size_t NumChunks(std::size_t n) {
+  return (n + kMaxChunk - 1) / kMaxChunk;
+}
+
+// Branch-free min over l in [begin, end) of max(prev[l], cost1[l]); four
+// accumulators as in the kSum cell. min/max are exact whatever the
+// accumulation order.
+inline double ChunkMaxMin(const double* prev, const double* cost1,
+                          std::size_t begin, std::size_t end) {
+  double m0 = kInfinity;
+  double m1 = kInfinity;
+  double m2 = kInfinity;
+  double m3 = kInfinity;
+  std::size_t l = begin;
+  for (; l + 4 <= end; l += 4) {
+    m0 = std::min(m0, std::max(prev[l], cost1[l]));
+    m1 = std::min(m1, std::max(prev[l + 1], cost1[l + 1]));
+    m2 = std::min(m2, std::max(prev[l + 2], cost1[l + 2]));
+    m3 = std::min(m3, std::max(prev[l + 3], cost1[l + 3]));
+  }
+  double m = std::min(std::min(m0, m1), std::min(m2, m3));
+  for (; l < end; ++l) {
+    m = std::min(m, std::max(prev[l], cost1[l]));
+  }
+  return m;
+}
+
+// kMax fast cell: bisection-seeded monotone-split pruning with an EXACT
+// bound-verified sweep. Candidate l has value v(l) = max(prev[l],
+// cost1[l]) where, mathematically, prev[] (prefix errors under a fixed
+// budget) is non-decreasing in l and cost1[l] (the cost of bucket
+// [l+1, j], shrinking as l grows) is non-increasing — so v is the max of a
+// falling and a rising curve, minimized at their crossing. The COMPUTED
+// arrays can violate that monotonicity by rounding (catastrophic
+// cancellation in the variance-style cost formulas), so a raw bisection is
+// not bit-safe. Instead:
+//
+//  1. bisect for the crossing and take real candidate values there as the
+//     starting minimum `m` (any true v value only helps pruning, never
+//     correctness);
+//  2. exact-minimum sweep: per chunk of 512 splits, skip iff
+//     max(prev_cmin[c], cost_cmin[c]) >= m — a true lower bound of every
+//     v in the chunk, from maintained chunk minima of the prev row and the
+//     cost column — else scan the chunk branch-free and lower m. On
+//     monotone data the bisection seed prunes everything except the
+//     crossing neighborhood (the paper's O(log j) behavior, plus O(j/512)
+//     bound probes); on adversarial data this degrades gracefully to the
+//     vectorized scan, never to a wrong answer.
+//  3. reference tie-break: first chunk whose lower bound admits m
+//     (strict >) is equality-scanned for the first split attaining m.
+inline void ComputeCellMaxFast(const double* prev, const double* cost,
+                               std::size_t j, const double* prev_cmin,
+                               const double* cost_cmin, double* err_out,
+                               std::int64_t* choice_out) {
+  const double inherit = prev[j];
+  if (j == 0) {
+    *err_out = inherit;
+    *choice_out = HistogramDpResult::kInheritChoice;
+    return;
+  }
+  const double* cost1 = cost + 1;  // cost1[l] = Cost([l+1, j])
+
+  // 1. Seed from the (approximate) crossing: first l with
+  // prev[l] >= cost1[l] under bisection, clamped into [0, j); probe it and
+  // its left neighbor — on monotone data one of them is the true minimum.
+  std::size_t lo = 0;
+  std::size_t hi = j;
+  while (lo < hi) {
+    std::size_t mid = lo + (hi - lo) / 2;
+    if (prev[mid] >= cost1[mid]) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  const std::size_t seed = lo < j ? lo : j - 1;
+  double m = std::max(prev[seed], cost1[seed]);
+  if (seed > 0) {
+    m = std::min(m, std::max(prev[seed - 1], cost1[seed - 1]));
+  }
+
+  // 2. Exact minimum with chunk-bound pruning. Skipping on >= is safe for
+  // the VALUE: a skipped chunk's minimum is >= its bound >= m.
+  const std::size_t chunks = NumChunks(j);
+  for (std::size_t c = 0; c < chunks; ++c) {
+    if (std::max(prev_cmin[c], cost_cmin[c]) >= m) continue;
+    const std::size_t begin = c * kMaxChunk;
+    const std::size_t end = std::min(j, begin + kMaxChunk);
+    m = std::min(m, ChunkMaxMin(prev, cost1, begin, end));
+  }
+
+  if (m < inherit) {
+    // 3. First split attaining m; chunks whose bound EQUALS m may contain
+    // it, so only strictly-greater bounds are skipped.
+    for (std::size_t c = 0; c < chunks; ++c) {
+      if (std::max(prev_cmin[c], cost_cmin[c]) > m) continue;
+      const std::size_t begin = c * kMaxChunk;
+      const std::size_t end = std::min(j, begin + kMaxChunk);
+      for (std::size_t l = begin; l < end; ++l) {
+        if (std::max(prev[l], cost1[l]) == m) {
+          *err_out = m;
+          *choice_out = static_cast<std::int64_t>(l);
+          return;
+        }
+      }
+    }
+    PROBSYN_CHECK(false);  // the minimum is attained in some chunk
+  }
+  *err_out = inherit;
+  *choice_out = HistogramDpResult::kInheritChoice;
+}
+
+template <bool kFastCells>
+inline void ComputeCellKernel(DpCombiner combiner, const double* prev,
+                              const double* cost, std::size_t j,
+                              const double* prev_cmin, const double* cost_cmin,
+                              double* err_out, std::int64_t* choice_out) {
+  if constexpr (kFastCells) {
+    if (combiner == DpCombiner::kSum) {
+      ComputeCellSumFast(prev, cost, j, err_out, choice_out);
+    } else {
+      ComputeCellMaxFast(prev, cost, j, prev_cmin, cost_cmin, err_out,
+                         choice_out);
+    }
+  } else {
+    ComputeCellReference(combiner, prev, cost, j, err_out, choice_out);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Cost-column fillers: cost[s] = Cost([s, j]).cost and rep[s] = its optimal
+// representative, for s = 0..j. One filler per specialized kernel; each
+// reproduces the corresponding oracle's Cost()/Extend() arithmetic verbatim
+// (same expression sequence over the same arrays), which is what makes the
+// kernels bit-identical to the virtual-dispatch reference.
+
+// Virtual-dispatch baseline (and the route for oracle types without a
+// specialized kernel).
+struct ReferenceFiller {
+  const BucketCostOracle* oracle;
+
+  void Fill(std::size_t j, double* cost, double* rep) const {
+    auto sweep = oracle->StartSweep(j);
+    for (std::size_t s = j;; --s) {
+      BucketCost c = sweep->Extend();
+      cost[s] = c.cost;
+      rep[s] = c.representative;
+      if (s == 0) break;
+    }
+  }
+};
+
+// SseMomentOracle::Cost over hoisted raw cumulative arrays.
+struct SseMomentFiller {
+  const double* weight;    // weight_prefix().cumulative()
+  const double* mean;      // mean_prefix().cumulative()
+  const double* second;    // second_prefix().cumulative()
+  const double* variance;  // variance_prefix().cumulative()
+  const double* raw_mean;  // raw_mean_prefix().cumulative()
+  bool world_mean;
+
+  void Fill(std::size_t j, double* cost, double* rep) const {
+    const double w_hi = weight[j + 1];
+    const double m_hi = mean[j + 1];
+    const double s_hi = second[j + 1];
+    const double v_hi = variance[j + 1];
+    const double r_hi = raw_mean[j + 1];
+    for (std::size_t s = 0; s <= j; ++s) {
+      const double sum_weight = w_hi - weight[s];
+      const double sum_mean = m_hi - mean[s];
+      const double sum_second = s_hi - second[s];
+      if (sum_weight <= 0.0) {
+        // Workload ignores every item in the bucket (see
+        // SseMomentOracle::Cost).
+        const double nb = static_cast<double>(j - s + 1);
+        rep[s] = (r_hi - raw_mean[s]) / nb;
+        cost[s] = 0.0;
+        continue;
+      }
+      const double representative = sum_mean / sum_weight;
+      double expected_square_of_sum = sum_mean * sum_mean;
+      if (world_mean) expected_square_of_sum += v_hi - variance[s];
+      const double c = sum_second - expected_square_of_sum / sum_weight;
+      rep[s] = representative;
+      cost[s] = ClampTinyNegative(c, 1e-6);
+    }
+  }
+};
+
+// SsreOracle::Cost over hoisted raw X/Y/Z cumulative arrays.
+struct SsreFiller {
+  const double* x;
+  const double* y;
+  const double* z;
+
+  void Fill(std::size_t j, double* cost, double* rep) const {
+    const double x_hi = x[j + 1];
+    const double y_hi = y[j + 1];
+    const double z_hi = z[j + 1];
+    for (std::size_t s = 0; s <= j; ++s) {
+      const double xs = x_hi - x[s];
+      const double ys = y_hi - y[s];
+      const double zs = z_hi - z[s];
+      if (zs <= 0.0) {
+        // Every item in the bucket has zero workload weight.
+        rep[s] = 0.0;
+        cost[s] = 0.0;
+        continue;
+      }
+      rep[s] = ys / zs;
+      const double c = xs - ys * ys / zs;
+      cost[s] = ClampTinyNegative(c, 1e-6);
+    }
+  }
+};
+
+// AbsCumulativeOracle::Cost with the ternary search inlined over the U/D
+// banks: same probe sequence as the std::function-based search (both are
+// TernarySearchMinIndexOver), no virtual or type-erased calls per probe.
+struct AbsFiller {
+  const AbsCumulativeOracle* oracle;
+
+  void Fill(std::size_t j, double* cost, double* rep) const {
+    const std::vector<double>& grid = oracle->grid();
+    const std::size_t hi = grid.size() - 1;
+    for (std::size_t s = 0; s <= j; ++s) {
+      const std::size_t best = TernarySearchMinIndexOver(
+          std::size_t{0}, hi,
+          [&](std::size_t l) { return oracle->CostAtGridIndex(s, j, l); });
+      rep[s] = grid[best];
+      cost[s] = std::max(0.0, oracle->CostAtGridIndex(s, j, best));
+    }
+  }
+};
+
+// MaxErrorOracle: per-bucket envelope minimization is irreducibly
+// O(n_b log(n_b |V|)); the kernel's win is the devirtualized concrete call
+// (the class is final) and skipping the per-column sweep allocation.
+struct MaxErrorFiller {
+  const MaxErrorOracle* oracle;
+
+  void Fill(std::size_t j, double* cost, double* rep) const {
+    for (std::size_t s = 0; s <= j; ++s) {
+      BucketCost c = oracle->Cost(s, j);
+      cost[s] = c.cost;
+      rep[s] = c.representative;
+    }
+  }
+};
+
+// SseTupleWorldMeanOracle: drive the concrete FlatSweep directly — the
+// identical incremental sum_q2 arithmetic, minus the virtual adapter.
+struct TupleSseFiller {
+  const SseTupleWorldMeanOracle* oracle;
+
+  void Fill(std::size_t j, double* cost, double* rep) const {
+    SseTupleWorldMeanOracle::FlatSweep sweep(*oracle, j);
+    for (std::size_t s = j;; --s) {
+      BucketCost c = sweep.Extend();
+      cost[s] = c.cost;
+      rep[s] = c.representative;
+      if (s == 0) break;
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// The DP driver, shared by every kernel. Sequential and blocked-parallel
+// forms compute every cell from identical inputs with the identical cell
+// function, so all configurations produce the same table bit-for-bit.
+
+// The workspace's buffers, unwrapped by the friend entry point (only it can
+// reach DpWorkspace's privates).
+struct DpTables {
+  std::vector<double>& err;
+  std::vector<std::int64_t>& choice;
+  std::vector<double>& rep;
+  std::vector<double>& cost_cols;
+  std::vector<double>& rep_cols;
+  std::vector<double>& layer_cmin;
+  std::vector<double>& cost_cmin;
+};
+
+template <bool kFastCells, typename Filler>
+void RunDp(const Filler& filler, std::size_t n, std::size_t cap,
+           DpCombiner combiner, ThreadPool* pool, DpTables ws) {
+  ws.err.resize(cap * n);
+  ws.choice.resize(cap * n);
+  ws.rep.resize(cap * n);
+  double* err = ws.err.data();
+  std::int64_t* choice = ws.choice.data();
+  double* rep = ws.rep.data();
+
+  // The fast kMax cell consumes chunk-minimum lower bounds of the err rows
+  // and of each cost column (see ComputeCellMaxFast); maintain them only
+  // when that cell runs.
+  const bool track_bounds = kFastCells && combiner == DpCombiner::kMax;
+  const std::size_t nchunks = NumChunks(n);
+  double* layer_cmin = nullptr;
+  if (track_bounds) {
+    ws.layer_cmin.resize(cap * nchunks);
+    layer_cmin = ws.layer_cmin.data();
+  }
+  // Chunk minima of err row `layer_idx` are rebuilt left-to-right as the
+  // row's columns are produced: the first column of a chunk assigns (which
+  // is what makes reused workspaces safe), later columns fold in.
+  auto update_layer_cmin = [&](std::size_t layer_idx, std::size_t j) {
+    double* slot = &layer_cmin[layer_idx * nchunks + j / kMaxChunk];
+    double v = err[layer_idx * n + j];
+    *slot = (j % kMaxChunk == 0) ? v : std::min(*slot, v);
+  };
+  // Chunk minima over cost[l+1] for splits l in [0, j), per column.
+  auto fill_cost_cmin = [](const double* costcol, std::size_t j,
+                           double* cmin) {
+    for (std::size_t begin = 0; begin < j; begin += kMaxChunk) {
+      const std::size_t end = std::min(j, begin + kMaxChunk);
+      double m = kInfinity;
+      for (std::size_t l = begin; l < end; ++l) {
+        m = std::min(m, costcol[l + 1]);
+      }
+      cmin[begin / kMaxChunk] = m;
+    }
+  };
+
+  auto first_layer = [&](std::size_t j, const double* costcol,
+                         const double* repcol) {
+    err[j] = costcol[0];
+    choice[j] = HistogramDpResult::kWholePrefix;
+    rep[j] = repcol[0];
+  };
+  auto finish_cell = [&](std::size_t b, std::size_t j, const double* costcol,
+                         const double* repcol, const double* costcol_cmin) {
+    double* err_cell = &err[(b - 1) * n + j];
+    std::int64_t* choice_cell = &choice[(b - 1) * n + j];
+    const double* prev_cmin =
+        track_bounds ? &layer_cmin[(b - 2) * nchunks] : nullptr;
+    ComputeCellKernel<kFastCells>(combiner, &err[(b - 2) * n], costcol, j,
+                                  prev_cmin, costcol_cmin, err_cell,
+                                  choice_cell);
+    // Cache the traceback bucket's representative so ExtractHistogram never
+    // calls back into the oracle. Inherit cells end no bucket at j.
+    rep[(b - 1) * n + j] =
+        *choice_cell >= 0 ? repcol[*choice_cell + 1] : 0.0;
+  };
+
+  if (pool == nullptr || pool->num_threads() == 0 || n < 2) {
+    // Sequential path: one leftward cost-column fill per right end j, then
+    // every budget layer's cell for column j.
+    ws.cost_cols.resize(n);
+    ws.rep_cols.resize(n);
+    if (track_bounds) ws.cost_cmin.resize(nchunks);
+    double* costcol = ws.cost_cols.data();
+    double* repcol = ws.rep_cols.data();
+    double* cost_cmin = track_bounds ? ws.cost_cmin.data() : nullptr;
+    for (std::size_t j = 0; j < n; ++j) {
+      filler.Fill(j, costcol, repcol);
+      if (track_bounds) fill_cost_cmin(costcol, j, cost_cmin);
+      first_layer(j, costcol, repcol);
+      if (track_bounds) update_layer_cmin(0, j);
+      for (std::size_t b = 2; b <= cap; ++b) {
+        finish_cell(b, j, costcol, repcol, cost_cmin);
+        if (track_bounds) update_layer_cmin(b - 1, j);
+      }
+    }
+    return;
+  }
+
+  // Blocked parallel path. Columns are processed in blocks; per block the
+  // column fills (mutually independent) fan out first, then each budget
+  // layer's cells fan out — cell (b, j) only reads layer b-1 at columns
+  // <= j, all complete by then (earlier blocks ran every layer already;
+  // this block ran layer b-1 in the previous iteration). Chunk-minimum
+  // maintenance runs on the calling thread between fan-outs (block size <=
+  // 256 < chunk size 512, so concurrent workers could otherwise race on a
+  // shared chunk slot). The block size balances fork-join overhead against
+  // the two column buffers (~32 MB total cap).
+  const std::size_t block =
+      std::clamp<std::size_t>((16u << 20) / (sizeof(double) * n), 16, 256);
+  ws.cost_cols.resize(block * n);
+  ws.rep_cols.resize(block * n);
+  if (track_bounds) ws.cost_cmin.resize(block * nchunks);
+  double* cost_block = ws.cost_cols.data();
+  double* rep_block = ws.rep_cols.data();
+  double* cost_cmin_block = track_bounds ? ws.cost_cmin.data() : nullptr;
+  for (std::size_t j0 = 0; j0 < n; j0 += block) {
+    const std::size_t j1 = std::min(n, j0 + block);
+    pool->ParallelFor(j0, j1, [&](std::size_t jb, std::size_t je) {
+      for (std::size_t j = jb; j < je; ++j) {
+        double* costcol = &cost_block[(j - j0) * n];
+        double* repcol = &rep_block[(j - j0) * n];
+        filler.Fill(j, costcol, repcol);
+        if (track_bounds) {
+          fill_cost_cmin(costcol, j, &cost_cmin_block[(j - j0) * nchunks]);
+        }
+        first_layer(j, costcol, repcol);
+      }
+    });
+    if (track_bounds) {
+      for (std::size_t j = j0; j < j1; ++j) update_layer_cmin(0, j);
+    }
+    for (std::size_t b = 2; b <= cap; ++b) {
+      pool->ParallelFor(j0, j1, [&](std::size_t jb, std::size_t je) {
+        for (std::size_t j = jb; j < je; ++j) {
+          finish_cell(b, j, &cost_block[(j - j0) * n],
+                      &rep_block[(j - j0) * n],
+                      track_bounds ? &cost_cmin_block[(j - j0) * nchunks]
+                                   : nullptr);
+        }
+      });
+      if (track_bounds) {
+        for (std::size_t j = j0; j < j1; ++j) update_layer_cmin(b - 1, j);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void DpWorkspacePool::Lease::Release() {
+  if (pool_ != nullptr && workspace_ != nullptr) {
+    std::lock_guard<std::mutex> lock(pool_->mutex_);
+    pool_->free_.push_back(std::move(workspace_));
+  }
+}
+
+DpWorkspacePool::Lease DpWorkspacePool::Acquire() {
+  std::unique_ptr<DpWorkspace> workspace;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!free_.empty()) {
+      workspace = std::move(free_.back());
+      free_.pop_back();
+    }
+  }
+  if (workspace == nullptr) workspace = std::make_unique<DpWorkspace>();
+  return Lease(this, std::move(workspace));
+}
+
+DpKernelKind SelectDpKernel(const BucketCostOracle& oracle) {
+  if (dynamic_cast<const SseMomentOracle*>(&oracle) != nullptr) {
+    return DpKernelKind::kSseMoment;
+  }
+  if (dynamic_cast<const SsreOracle*>(&oracle) != nullptr) {
+    return DpKernelKind::kSsre;
+  }
+  if (dynamic_cast<const AbsCumulativeOracle*>(&oracle) != nullptr) {
+    return DpKernelKind::kAbsCumulative;
+  }
+  if (dynamic_cast<const MaxErrorOracle*>(&oracle) != nullptr) {
+    return DpKernelKind::kMaxError;
+  }
+  if (dynamic_cast<const SseTupleWorldMeanOracle*>(&oracle) != nullptr) {
+    return DpKernelKind::kTupleSse;
+  }
+  return DpKernelKind::kReference;
+}
+
+HistogramDpResult SolveHistogramDpWithKernel(const BucketCostOracle& oracle,
+                                             std::size_t max_buckets,
+                                             DpCombiner combiner,
+                                             const DpKernelOptions& options) {
+  const std::size_t n = oracle.domain_size();
+  PROBSYN_CHECK(n > 0 && max_buckets >= 1);
+  // Budgets beyond n buckets cannot help; cap the table, not the API.
+  const std::size_t cap = std::min(max_buckets, n);
+
+  HistogramDpResult result;
+  result.n_ = n;
+  result.max_buckets_ = max_buckets;
+  result.cap_ = cap;
+  DpWorkspace* ws = options.workspace;
+  if (ws == nullptr) {
+    result.owned_ = std::make_shared<DpWorkspace>();
+    ws = result.owned_.get();
+  }
+
+  const DpKernelKind kind = options.kernel == DpKernelKind::kAuto
+                                ? SelectDpKernel(oracle)
+                                : options.kernel;
+  ThreadPool* pool = options.pool;
+  DpTables tables{ws->err_,      ws->choice_,    ws->rep_,
+                  ws->cost_cols_, ws->rep_cols_, ws->layer_cmin_,
+                  ws->cost_cmin_};
+  switch (kind) {
+    case DpKernelKind::kReference: {
+      ReferenceFiller filler{&oracle};
+      RunDp<false>(filler, n, cap, combiner, pool, tables);
+      break;
+    }
+    case DpKernelKind::kSseMoment: {
+      const auto* sse = dynamic_cast<const SseMomentOracle*>(&oracle);
+      PROBSYN_CHECK(sse != nullptr);
+      SseMomentFiller filler{sse->weight_prefix().cumulative().data(),
+                             sse->mean_prefix().cumulative().data(),
+                             sse->second_prefix().cumulative().data(),
+                             sse->variance_prefix().cumulative().data(),
+                             sse->raw_mean_prefix().cumulative().data(),
+                             sse->variant() == SseVariant::kWorldMean};
+      RunDp<true>(filler, n, cap, combiner, pool, tables);
+      break;
+    }
+    case DpKernelKind::kSsre: {
+      const auto* ssre = dynamic_cast<const SsreOracle*>(&oracle);
+      PROBSYN_CHECK(ssre != nullptr);
+      SsreFiller filler{ssre->x_prefix().cumulative().data(),
+                        ssre->y_prefix().cumulative().data(),
+                        ssre->z_prefix().cumulative().data()};
+      RunDp<true>(filler, n, cap, combiner, pool, tables);
+      break;
+    }
+    case DpKernelKind::kAbsCumulative: {
+      const auto* abs = dynamic_cast<const AbsCumulativeOracle*>(&oracle);
+      PROBSYN_CHECK(abs != nullptr);
+      AbsFiller filler{abs};
+      RunDp<true>(filler, n, cap, combiner, pool, tables);
+      break;
+    }
+    case DpKernelKind::kMaxError: {
+      const auto* max = dynamic_cast<const MaxErrorOracle*>(&oracle);
+      PROBSYN_CHECK(max != nullptr);
+      MaxErrorFiller filler{max};
+      RunDp<true>(filler, n, cap, combiner, pool, tables);
+      break;
+    }
+    case DpKernelKind::kTupleSse: {
+      const auto* tuple = dynamic_cast<const SseTupleWorldMeanOracle*>(&oracle);
+      PROBSYN_CHECK(tuple != nullptr);
+      TupleSseFiller filler{tuple};
+      RunDp<true>(filler, n, cap, combiner, pool, tables);
+      break;
+    }
+    case DpKernelKind::kAuto:
+      PROBSYN_CHECK(false);  // resolved above
+  }
+
+  result.kernel_ = kind;
+  result.err_ = ws->err_.data();
+  result.choice_ = ws->choice_.data();
+  result.rep_ = ws->rep_.data();
+  return result;
+}
+
+}  // namespace probsyn

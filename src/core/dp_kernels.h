@@ -1,0 +1,138 @@
+#ifndef PROBSYN_CORE_DP_KERNELS_H_
+#define PROBSYN_CORE_DP_KERNELS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "core/bucket_oracle.h"
+#include "core/histogram_dp.h"
+
+namespace probsyn {
+
+class ThreadPool;
+
+/// Reusable storage arena for the exact-DP solver: the err/choice/rep
+/// layers plus the bucket-cost column buffers of the sequential and blocked
+/// parallel paths. Repeated solves through the same workspace reach zero
+/// steady-state allocation — buffers are resized (never shrunk below
+/// capacity) and every cell is overwritten before it is read, so no
+/// clearing pass is needed either.
+///
+/// A workspace serves ONE solve at a time; results borrow its storage (see
+/// HistogramDpResult), so reuse only after the previous result is consumed.
+/// The solver's internal parallelism is fine — a workspace is not tied to a
+/// thread — but two concurrent solves need two workspaces (DpWorkspacePool).
+class DpWorkspace {
+ public:
+  DpWorkspace() = default;
+
+  DpWorkspace(const DpWorkspace&) = delete;
+  DpWorkspace& operator=(const DpWorkspace&) = delete;
+
+ private:
+  friend HistogramDpResult SolveHistogramDpWithKernel(const BucketCostOracle&,
+                                                      std::size_t,
+                                                      DpCombiner,
+                                                      const DpKernelOptions&);
+
+  std::vector<double> err_;            // cap x n, row-major
+  std::vector<std::int64_t> choice_;   // cap x n
+  std::vector<double> rep_;            // cap x n
+  std::vector<double> cost_cols_;      // n (sequential) or block x n
+  std::vector<double> rep_cols_;       // same shape as cost_cols_
+  // Chunk-minimum bound tables of the fast kMax cell (see dp_kernels.cc):
+  // per-layer minima of the err rows and per-column minima of the cost
+  // columns, at 512-split granularity.
+  std::vector<double> layer_cmin_;     // cap x ceil(n/512)
+  std::vector<double> cost_cmin_;     // ceil(n/512) or block x ceil(n/512)
+};
+
+/// Mutex-guarded free list of DpWorkspaces for engines whose const entry
+/// points may run on many user threads at once: each solve leases a
+/// workspace (creating one only when the list is empty) and returns it on
+/// destruction of the lease, so steady-state batches allocate nothing.
+class DpWorkspacePool {
+ public:
+  class Lease {
+   public:
+    Lease(Lease&& other) noexcept
+        : pool_(other.pool_), workspace_(std::move(other.workspace_)) {}
+    Lease& operator=(Lease&& other) noexcept {
+      if (this != &other) {
+        Release();  // return the current workspace, don't destroy it
+        pool_ = other.pool_;
+        workspace_ = std::move(other.workspace_);
+      }
+      return *this;
+    }
+    ~Lease() { Release(); }
+
+    DpWorkspace* get() const { return workspace_.get(); }
+
+   private:
+    friend class DpWorkspacePool;
+    Lease(DpWorkspacePool* pool, std::unique_ptr<DpWorkspace> workspace)
+        : pool_(pool), workspace_(std::move(workspace)) {}
+
+    void Release();
+
+    DpWorkspacePool* pool_;
+    std::unique_ptr<DpWorkspace> workspace_;
+  };
+
+  Lease Acquire();
+
+ private:
+  std::mutex mutex_;
+  std::vector<std::unique_ptr<DpWorkspace>> free_;
+};
+
+/// Maps an oracle's dynamic type to its specialized kernel; kReference for
+/// oracle types without one. The engine's planner records the factory-known
+/// kind instead (OracleBundle::kernel) and skips this dynamic_cast chain.
+DpKernelKind SelectDpKernel(const BucketCostOracle& oracle);
+
+/// Knobs of the kernel-level solve entry point. Defaults reproduce
+/// SolveHistogramDp(oracle, max_buckets, combiner): auto-selected kernel,
+/// sequential, self-owned storage.
+struct DpKernelOptions {
+  /// Non-null runs the blocked data-parallel DP (bit-identical output).
+  ThreadPool* pool = nullptr;
+  /// Non-null reuses the given arena; the result then only borrows its
+  /// storage (see HistogramDpResult lifetime note).
+  DpWorkspace* workspace = nullptr;
+  /// kAuto resolves via SelectDpKernel. A concrete kind must match the
+  /// oracle's dynamic type (checked); kReference always applies and is the
+  /// parity baseline the kernel tests compare against.
+  DpKernelKind kernel = DpKernelKind::kAuto;
+};
+
+/// The exact-DP solver behind SolveHistogramDp, with explicit control over
+/// kernel choice, parallelism, and storage reuse. All configurations are
+/// bit-identical in costs, traceback choices, and representatives; the
+/// specialized kernels only change how fast the table is filled:
+///
+///  * column fills run devirtualized — each concrete oracle's prefix-sum
+///    tables are hoisted into flat spans (SSE/SSRE), its ternary search is
+///    inlined over the raw U/D banks (SAE/SARE), or its concrete sweep is
+///    driven directly (tuple SSE) — instead of one virtual
+///    Cost()/Extend() call per cell;
+///  * kSum transitions use a chunked branch-free min-reduction that
+///    auto-vectorizes, then resolve the reference tie-break (first index
+///    attaining the minimum, inherit wins ties) inside the winning chunk;
+///  * kMax transitions exploit that prefix errors are non-decreasing and
+///    bucket costs non-increasing in the split point: the optimal split is
+///    bisected at the crossing in O(log j) instead of scanned in O(j),
+///    with the same first-attaining-index tie-break.
+HistogramDpResult SolveHistogramDpWithKernel(const BucketCostOracle& oracle,
+                                             std::size_t max_buckets,
+                                             DpCombiner combiner,
+                                             const DpKernelOptions& options);
+
+}  // namespace probsyn
+
+#endif  // PROBSYN_CORE_DP_KERNELS_H_

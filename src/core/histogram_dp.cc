@@ -3,149 +3,83 @@
 #include <algorithm>
 #include <limits>
 
+#include "core/dp_kernels.h"
 #include "util/logging.h"
 #include "util/thread_pool.h"
 
 namespace probsyn {
 
-namespace {
-
-double Combine(DpCombiner combiner, double prefix, double bucket) {
-  return combiner == DpCombiner::kSum ? prefix + bucket
-                                      : std::max(prefix, bucket);
-}
-
-// One DP cell for layer b >= 2: err[b-1][j] over splits l < j plus the
-// inherit transition. `prev` is layer b-2 (budget b-1), `costcol[s]` is
-// Cost([s, j]). This single scalar scan is shared by the sequential and
-// parallel solvers, which is what makes their outputs bit-identical.
-inline void ComputeCell(DpCombiner combiner, const double* prev,
-                        const double* costcol, std::size_t j, double* err_out,
-                        std::int64_t* choice_out) {
-  // Start from "b-1 buckets were already enough".
-  double best = prev[j];
-  std::int64_t best_choice = HistogramDpResult::kInheritChoice;
-  for (std::size_t l = 0; l < j; ++l) {
-    double v = Combine(combiner, prev[l], costcol[l + 1]);
-    if (v < best) {
-      best = v;
-      best_choice = static_cast<std::int64_t>(l);
-    }
+const char* DpKernelKindName(DpKernelKind kind) {
+  switch (kind) {
+    case DpKernelKind::kAuto: return "auto";
+    case DpKernelKind::kReference: return "reference";
+    case DpKernelKind::kSseMoment: return "sse-moment";
+    case DpKernelKind::kSsre: return "ssre";
+    case DpKernelKind::kAbsCumulative: return "abs-cumulative";
+    case DpKernelKind::kMaxError: return "max-error";
+    case DpKernelKind::kTupleSse: return "tuple-sse";
   }
-  *err_out = best;
-  *choice_out = best_choice;
+  return "?";
 }
-
-}  // namespace
 
 double HistogramDpResult::OptimalCost(std::size_t num_buckets) const {
   PROBSYN_CHECK(num_buckets >= 1 && n_ > 0);
-  std::size_t b = std::min(num_buckets, err_.size());
-  return err_[b - 1][n_ - 1];
+  std::size_t b = std::min(num_buckets, cap_);
+  return err_[(b - 1) * n_ + (n_ - 1)];
+}
+
+std::span<const double> HistogramDpResult::ErrorRow(
+    std::size_t num_buckets) const {
+  PROBSYN_CHECK(num_buckets >= 1 && num_buckets <= cap_);
+  return {err_ + (num_buckets - 1) * n_, n_};
+}
+
+std::span<const std::int64_t> HistogramDpResult::ChoiceRow(
+    std::size_t num_buckets) const {
+  PROBSYN_CHECK(num_buckets >= 1 && num_buckets <= cap_);
+  return {choice_ + (num_buckets - 1) * n_, n_};
+}
+
+std::span<const double> HistogramDpResult::RepresentativeRow(
+    std::size_t num_buckets) const {
+  PROBSYN_CHECK(num_buckets >= 1 && num_buckets <= cap_);
+  return {rep_ + (num_buckets - 1) * n_, n_};
 }
 
 Histogram HistogramDpResult::ExtractHistogram(std::size_t num_buckets) const {
   PROBSYN_CHECK(num_buckets >= 1 && n_ > 0);
-  std::size_t layer = std::min(num_buckets, err_.size());
+  std::size_t layer = std::min(num_buckets, cap_);
   std::vector<HistogramBucket> buckets;
   std::size_t j = n_ - 1;
   for (;;) {
-    std::int64_t c = choice_[layer - 1][j];
+    std::int64_t c = choice_[(layer - 1) * n_ + j];
     if (c == kInheritChoice) {
       PROBSYN_CHECK(layer > 1);
       --layer;
       continue;
     }
+    // The representative was cached alongside the choice during the DP's
+    // cost sweeps, so extraction never calls back into the oracle.
     if (c == kWholePrefix) {
-      buckets.push_back({0, j, 0.0});
+      buckets.push_back({0, j, rep_[(layer - 1) * n_ + j]});
       break;
     }
     std::size_t l = static_cast<std::size_t>(c);
-    buckets.push_back({l + 1, j, 0.0});
+    buckets.push_back({l + 1, j, rep_[(layer - 1) * n_ + j]});
     j = l;
     PROBSYN_CHECK(layer > 1);
     --layer;
   }
   std::reverse(buckets.begin(), buckets.end());
-  for (HistogramBucket& b : buckets) {
-    b.representative = oracle_->Cost(b.start, b.end).representative;
-  }
   return Histogram(std::move(buckets));
 }
 
 HistogramDpResult SolveHistogramDp(const BucketCostOracle& oracle,
                                    std::size_t max_buckets, DpCombiner combiner,
                                    ThreadPool* pool) {
-  const std::size_t n = oracle.domain_size();
-  PROBSYN_CHECK(n > 0 && max_buckets >= 1);
-  // Budgets beyond n buckets cannot help; cap the table, not the API.
-  const std::size_t cap = std::min(max_buckets, n);
-
-  HistogramDpResult result;
-  result.n_ = n;
-  result.max_buckets_ = max_buckets;
-  result.oracle_ = &oracle;
-  result.err_.assign(cap, std::vector<double>(n, 0.0));
-  result.choice_.assign(
-      cap, std::vector<std::int64_t>(n, HistogramDpResult::kWholePrefix));
-
-  if (pool == nullptr || pool->num_threads() == 0 || n < 2) {
-    // Sequential reference path: one leftward sweep per right end j,
-    // then every budget layer's cell for column j.
-    std::vector<double> costcol(n);  // costcol[s] = Cost([s, j])
-    for (std::size_t j = 0; j < n; ++j) {
-      auto sweep = oracle.StartSweep(j);
-      for (std::size_t s = j;; --s) {
-        costcol[s] = sweep->Extend().cost;
-        if (s == 0) break;
-      }
-
-      result.err_[0][j] = costcol[0];
-      result.choice_[0][j] = HistogramDpResult::kWholePrefix;
-
-      for (std::size_t b = 2; b <= cap; ++b) {
-        ComputeCell(combiner, result.err_[b - 2].data(), costcol.data(), j,
-                    &result.err_[b - 1][j], &result.choice_[b - 1][j]);
-      }
-    }
-    return result;
-  }
-
-  // Blocked parallel path. Columns are processed in blocks; per block the
-  // oracle sweeps (one per column, mutually independent) fan out first,
-  // then each budget layer's cells fan out — cell (b, j) only reads layer
-  // b-1 at columns <= j, all complete by then (earlier blocks ran every
-  // layer already; this block ran layer b-1 in the previous iteration).
-  // The block size balances fork-join overhead against the O(block * n)
-  // bucket-cost buffer (~32 MB cap).
-  const std::size_t block =
-      std::clamp<std::size_t>((32u << 20) / (sizeof(double) * n), 16, 256);
-  std::vector<double> costs(block * n);  // row j - j0, entry s: Cost([s, j])
-  for (std::size_t j0 = 0; j0 < n; j0 += block) {
-    const std::size_t j1 = std::min(n, j0 + block);
-    pool->ParallelFor(j0, j1, [&](std::size_t jb, std::size_t je) {
-      for (std::size_t j = jb; j < je; ++j) {
-        double* costcol = &costs[(j - j0) * n];
-        auto sweep = oracle.StartSweep(j);
-        for (std::size_t s = j;; --s) {
-          costcol[s] = sweep->Extend().cost;
-          if (s == 0) break;
-        }
-        result.err_[0][j] = costcol[0];
-        result.choice_[0][j] = HistogramDpResult::kWholePrefix;
-      }
-    });
-    for (std::size_t b = 2; b <= cap; ++b) {
-      const double* prev = result.err_[b - 2].data();
-      pool->ParallelFor(j0, j1, [&](std::size_t jb, std::size_t je) {
-        for (std::size_t j = jb; j < je; ++j) {
-          ComputeCell(combiner, prev, &costs[(j - j0) * n], j,
-                      &result.err_[b - 1][j], &result.choice_[b - 1][j]);
-        }
-      });
-    }
-  }
-  return result;
+  DpKernelOptions options;
+  options.pool = pool;
+  return SolveHistogramDpWithKernel(oracle, max_buckets, combiner, options);
 }
 
 StatusOr<ApproxHistogramResult> SolveApproxHistogramDp(

@@ -2,6 +2,9 @@
 #define PROBSYN_CORE_HISTOGRAM_DP_H_
 
 #include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
 #include <vector>
 
 #include "core/bucket_oracle.h"
@@ -11,11 +14,33 @@
 namespace probsyn {
 
 class ThreadPool;
+class DpWorkspace;       // core/dp_kernels.h
+struct DpKernelOptions;  // core/dp_kernels.h
 
 /// How per-bucket errors aggregate into the histogram error: the paper's
 /// h(x, y) — sum for cumulative objectives, max for maximum objectives
 /// (equation (2)).
 enum class DpCombiner { kSum, kMax };
+
+/// Which inner-loop implementation the exact DP ran with. The specialized
+/// kernels (core/dp_kernels.cc) hoist a concrete oracle's raw prefix-sum
+/// tables into flat spans and replace the virtual Cost/Extend call per DP
+/// cell with branch-free column fills plus a vectorizable min-reduction
+/// (kSum) or a monotone-split bisection (kMax); every kernel is bit-identical
+/// to kReference — costs, traceback choices, and representatives — which the
+/// dp_kernel_parity tests pin down.
+enum class DpKernelKind {
+  kAuto,           ///< Resolve from the oracle's dynamic type (SelectDpKernel).
+  kReference,      ///< Virtual-dispatch sweeps + scalar scan (parity baseline).
+  kSseMoment,      ///< SseMomentOracle: flat mean/second/variance spans.
+  kSsre,           ///< SsreOracle: flat X/Y/Z spans.
+  kAbsCumulative,  ///< AbsCumulativeOracle: inlined U/D ternary search.
+  kMaxError,       ///< MaxErrorOracle: devirtualized envelope costs.
+  kTupleSse,       ///< SseTupleWorldMeanOracle: concrete FlatSweep.
+};
+
+/// Stable display name ("reference", "sse-moment", ...).
+const char* DpKernelKindName(DpKernelKind kind);
 
 /// Output of the exact DP: the whole optimal-cost curve over bucket
 /// budgets, plus enough trace information to extract the optimal histogram
@@ -26,17 +51,39 @@ enum class DpCombiner { kSum, kMax };
 /// non-increasing in b. (Splitting a bucket never increases either a
 /// cumulative or a maximum objective, so this matches "exactly b" whenever
 /// b <= n.)
+///
+/// The DP tables (errors, traceback choices, and cached bucket
+/// representatives) live in a DpWorkspace. When the solver was handed an
+/// external workspace the result only BORROWS that storage: it must not be
+/// read after the workspace is reused for another solve or destroyed.
+/// Without an external workspace the result owns its storage and has no
+/// lifetime constraints. Representatives are cached during the DP's cost
+/// sweeps, so ExtractHistogram never calls back into the oracle.
 class HistogramDpResult {
  public:
   /// Optimal expected error with at most `num_buckets` buckets.
   double OptimalCost(std::size_t num_buckets) const;
 
   /// Extracts an optimal histogram (boundaries + optimal representatives)
-  /// for the given budget. O(B log n + traceback oracle calls).
+  /// for the given budget. O(B) — representatives come from the DP's
+  /// cached per-cell BucketCost, not from fresh oracle calls.
   Histogram ExtractHistogram(std::size_t num_buckets) const;
 
   std::size_t max_buckets() const { return max_buckets_; }
   std::size_t domain_size() const { return n_; }
+  /// Number of materialized DP layers: min(max_buckets, domain_size).
+  std::size_t table_layers() const { return cap_; }
+  /// The inner-loop implementation that produced this result (never kAuto).
+  DpKernelKind kernel() const { return kernel_; }
+
+  /// Raw DP rows for layer `num_buckets` (1-based, <= table_layers()):
+  /// errors err[b-1][j], traceback choices choice[b-1][j], and the cached
+  /// representative of the bucket ending at j under that choice (0.0 for
+  /// kInheritChoice cells, whose representative is never read). Exposed for
+  /// the kernel parity tests and for observability.
+  std::span<const double> ErrorRow(std::size_t num_buckets) const;
+  std::span<const std::int64_t> ChoiceRow(std::size_t num_buckets) const;
+  std::span<const double> RepresentativeRow(std::size_t num_buckets) const;
 
   // Traceback markers shared with the approximate DP: kInheritChoice means
   // "the (b-1)-bucket solution was already optimal"; kWholePrefix encodes a
@@ -45,18 +92,24 @@ class HistogramDpResult {
   static constexpr std::int64_t kWholePrefix = -1;
 
  private:
-  friend HistogramDpResult SolveHistogramDp(const BucketCostOracle&,
-                                            std::size_t, DpCombiner,
-                                            ThreadPool*);
+  friend HistogramDpResult SolveHistogramDpWithKernel(const BucketCostOracle&,
+                                                      std::size_t,
+                                                      DpCombiner,
+                                                      const DpKernelOptions&);
 
-  // err_[b-1][j]: optimal cost of covering prefix [0..j] with <= b buckets.
-  // choice_[b-1][j]: split l (last bucket is [l+1, j]).
+  // err_[(b-1) * n_ + j]: optimal cost of covering prefix [0..j] with <= b
+  // buckets. choice_: split l (last bucket is [l+1, j]). rep_: cached
+  // representative of that last bucket.
 
   std::size_t n_ = 0;
   std::size_t max_buckets_ = 0;
-  const BucketCostOracle* oracle_ = nullptr;
-  std::vector<std::vector<double>> err_;
-  std::vector<std::vector<std::int64_t>> choice_;
+  std::size_t cap_ = 0;
+  DpKernelKind kernel_ = DpKernelKind::kReference;
+  const double* err_ = nullptr;
+  const std::int64_t* choice_ = nullptr;
+  const double* rep_ = nullptr;
+  std::shared_ptr<DpWorkspace> owned_;  // null when borrowing a caller's
+                                        // workspace
 };
 
 /// Solves the optimal-histogram DP (paper equation (2)) for every budget
@@ -65,20 +118,26 @@ class HistogramDpResult {
 /// Complexity: O(n) sweeps totalling O(n^2) bucket-cost extensions (done
 /// once, independent of B) + O(B n^2) constant-time DP transitions — the
 /// paper's O(m + B n^2) for the O(1) oracles (Theorems 1 and 2), with the
-/// oracle's per-bucket factor multiplying the n^2 term otherwise.
+/// oracle's per-bucket factor multiplying the n^2 term otherwise. For max
+/// combiners the specialized kernels cut the transition term to
+/// O(B n log n) by bisecting for the monotone split crossing.
 ///
 /// The principle of optimality holds for probabilistic data because
 /// expectation distributes over the per-bucket sum/max (section 3, opening).
 ///
-/// When `pool` is non-null the DP runs in a blocked data-parallel form:
-/// columns are processed in blocks, each block's bucket-cost sweeps run in
-/// parallel (one independent oracle sweep per column), and within every
-/// budget layer the block's cells are computed in parallel — legal because
-/// a cell (b, j) depends only on layer b-1 at columns <= j, all finished
-/// before layer b starts. Every cell is produced by the same scalar scan
-/// in the same order as the sequential solver, so the result (costs AND
-/// traceback choices) is bit-identical; a null pool is the reference
-/// sequential path.
+/// This entry point auto-selects the specialized kernel matching the
+/// oracle's concrete type (see DpKernelKind); results are bit-identical to
+/// the reference scalar solver in every configuration. When `pool` is
+/// non-null the DP runs in a blocked data-parallel form: columns are
+/// processed in blocks, each block's bucket-cost column fills run in
+/// parallel, and within every budget layer the block's cells are computed
+/// in parallel — legal because a cell (b, j) depends only on layer b-1 at
+/// columns <= j, all finished before layer b starts. Every cell is produced
+/// by the same per-cell computation on the same inputs as the sequential
+/// solver, so the result (costs AND traceback choices) is bit-identical.
+///
+/// For explicit kernel choice or zero-allocation workspace reuse, use
+/// SolveHistogramDpWithKernel (core/dp_kernels.h).
 HistogramDpResult SolveHistogramDp(const BucketCostOracle& oracle,
                                    std::size_t max_buckets,
                                    DpCombiner combiner,

@@ -25,7 +25,7 @@ namespace probsyn {
 /// Cost per bucket: O(n_b log |V|) for the bracketing probes plus
 /// O(n_b log n_b) for the two envelope minimizations — matching the
 /// O(n_b log(n_b |V|)) of the paper's Theorem 6 analysis.
-class MaxErrorOracle : public BucketCostOracle {
+class MaxErrorOracle final : public BucketCostOracle {
  public:
   /// relative == false -> MAE; true -> MARE (c comes from `tables`).
   /// `weights` are optional per-item workload weights (empty = uniform):

@@ -8,9 +8,19 @@
 
 namespace probsyn {
 
+std::shared_ptr<const PointErrorTables> PointErrorTablesCache::GetOrBuild(
+    const ValuePdfInput& input, double sanity_c, ThreadPool* pool) {
+  auto it = by_sanity_c_.find(sanity_c);
+  if (it != by_sanity_c_.end()) return it->second;
+  auto tables = std::make_shared<const PointErrorTables>(input, sanity_c, pool);
+  by_sanity_c_.emplace(sanity_c, tables);
+  return tables;
+}
+
 StatusOr<OracleBundle> MakeBucketOracle(const ValuePdfInput& input,
                                         const SynopsisOptions& options,
-                                        ThreadPool* pool) {
+                                        ThreadPool* pool,
+                                        PointErrorTablesCache* tables_cache) {
   PROBSYN_RETURN_IF_ERROR(options.Validate());
   PROBSYN_RETURN_IF_ERROR(input.Validate());
   if (input.domain_size() == 0) {
@@ -31,27 +41,35 @@ StatusOr<OracleBundle> MakeBucketOracle(const ValuePdfInput& input,
       bundle.oracle = std::make_unique<SseMomentOracle>(
           SseMomentOracle::FromValuePdf(input, options.sse_variant,
                                         options.workload));
+      bundle.kernel = DpKernelKind::kSseMoment;
       break;
     case ErrorMetric::kSsre:
       bundle.oracle = std::make_unique<SsreOracle>(input, options.sanity_c,
                                                    options.workload);
+      bundle.kernel = DpKernelKind::kSsre;
       break;
     case ErrorMetric::kSae:
       bundle.oracle = std::make_unique<AbsCumulativeOracle>(
           input, /*relative=*/false, options.sanity_c, options.workload, pool);
+      bundle.kernel = DpKernelKind::kAbsCumulative;
       break;
     case ErrorMetric::kSare:
       bundle.oracle = std::make_unique<AbsCumulativeOracle>(
           input, /*relative=*/true, options.sanity_c, options.workload, pool);
+      bundle.kernel = DpKernelKind::kAbsCumulative;
       break;
     case ErrorMetric::kMae:
     case ErrorMetric::kMare: {
-      auto tables = std::make_shared<const PointErrorTables>(
-          input, options.sanity_c, pool);
+      std::shared_ptr<const PointErrorTables> tables =
+          tables_cache != nullptr
+              ? tables_cache->GetOrBuild(input, options.sanity_c, pool)
+              : std::make_shared<const PointErrorTables>(
+                    input, options.sanity_c, pool);
       bundle.tables = tables;
       bundle.oracle = std::make_unique<MaxErrorOracle>(
           tables, /*relative=*/options.metric == ErrorMetric::kMare,
           options.workload);
+      bundle.kernel = DpKernelKind::kMaxError;
       break;
     }
   }
@@ -60,7 +78,8 @@ StatusOr<OracleBundle> MakeBucketOracle(const ValuePdfInput& input,
 
 StatusOr<OracleBundle> MakeBucketOracle(const TuplePdfInput& input,
                                         const SynopsisOptions& options,
-                                        ThreadPool* pool) {
+                                        ThreadPool* pool,
+                                        PointErrorTablesCache* tables_cache) {
   PROBSYN_RETURN_IF_ERROR(options.Validate());
   PROBSYN_RETURN_IF_ERROR(input.Validate());
   if (input.domain_size() == 0) {
@@ -78,17 +97,19 @@ StatusOr<OracleBundle> MakeBucketOracle(const TuplePdfInput& input,
     bundle.combiner = DpCombiner::kSum;
     if (options.sse_variant == SseVariant::kWorldMean) {
       bundle.oracle = std::make_unique<SseTupleWorldMeanOracle>(input);
+      bundle.kernel = DpKernelKind::kTupleSse;
     } else {
       bundle.oracle = std::make_unique<SseMomentOracle>(
           SseMomentOracle::FromTuplePdf(input, options.sse_variant,
                                         options.workload));
+      bundle.kernel = DpKernelKind::kSseMoment;
     }
     return bundle;
   }
 
   auto induced = InduceValuePdf(input);
   if (!induced.ok()) return induced.status();
-  return MakeBucketOracle(induced.value(), options, pool);
+  return MakeBucketOracle(induced.value(), options, pool, tables_cache);
 }
 
 }  // namespace probsyn

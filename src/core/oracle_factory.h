@@ -1,6 +1,7 @@
 #ifndef PROBSYN_CORE_ORACLE_FACTORY_H_
 #define PROBSYN_CORE_ORACLE_FACTORY_H_
 
+#include <map>
 #include <memory>
 
 #include "core/bucket_oracle.h"
@@ -23,15 +24,41 @@ struct OracleBundle {
   /// (MAE/MARE) — also handy for evaluation; may be null otherwise.
   std::shared_ptr<const PointErrorTables> tables;
   DpCombiner combiner = DpCombiner::kSum;
+  /// The specialized exact-DP kernel matching the oracle's concrete type
+  /// (core/dp_kernels.h). Known here at plan time, so solvers skip the
+  /// dynamic_cast chain of SelectDpKernel.
+  DpKernelKind kernel = DpKernelKind::kReference;
+};
+
+/// Reuses PointErrorTables across oracle constructions that share the same
+/// input and sanity constant. The tables depend on nothing else — not the
+/// metric's relative flag, the DP combiner, or workload weights — so a
+/// batch mixing MAE and MARE requests (or re-costing evaluations) pays the
+/// O(n |V|) table fill once instead of per group.
+///
+/// One cache instance serves ONE logical input; keying is by sanity_c only.
+/// Not thread-safe: confine an instance to one batch execution.
+class PointErrorTablesCache {
+ public:
+  std::shared_ptr<const PointErrorTables> GetOrBuild(const ValuePdfInput& input,
+                                                     double sanity_c,
+                                                     ThreadPool* pool);
+
+ private:
+  std::map<double, std::shared_ptr<const PointErrorTables>> by_sanity_c_;
 };
 
 /// Builds the bucket-cost oracle for value-pdf input under the given
 /// metric (paper sections 3.1-3.4, 3.6 — value-pdf branches). A non-null
 /// `pool` parallelizes the O(n |V|) prefix-table preprocessing of the
-/// absolute/maximum-error oracles; the produced oracle is identical.
+/// absolute/maximum-error oracles; the produced oracle is identical. A
+/// non-null `tables_cache` shares PointErrorTables across calls with the
+/// same input (see PointErrorTablesCache).
 StatusOr<OracleBundle> MakeBucketOracle(const ValuePdfInput& input,
                                         const SynopsisOptions& options,
-                                        ThreadPool* pool = nullptr);
+                                        ThreadPool* pool = nullptr,
+                                        PointErrorTablesCache* tables_cache =
+                                            nullptr);
 
 /// Builds the bucket-cost oracle for tuple-pdf input. All metrics other
 /// than world-mean SSE route through the induced value pdf (exact, since
@@ -39,7 +66,9 @@ StatusOr<OracleBundle> MakeBucketOracle(const ValuePdfInput& input,
 /// SSE uses the exact joint-distribution oracle.
 StatusOr<OracleBundle> MakeBucketOracle(const TuplePdfInput& input,
                                         const SynopsisOptions& options,
-                                        ThreadPool* pool = nullptr);
+                                        ThreadPool* pool = nullptr,
+                                        PointErrorTablesCache* tables_cache =
+                                            nullptr);
 
 }  // namespace probsyn
 

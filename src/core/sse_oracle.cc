@@ -110,41 +110,43 @@ BucketCost SseTupleWorldMeanOracle::Cost(std::size_t s, std::size_t e) const {
   return {sum_mean / nb, ClampTinyNegative(cost, 1e-6)};
 }
 
+SseTupleWorldMeanOracle::FlatSweep::FlatSweep(
+    const SseTupleWorldMeanOracle& oracle, std::size_t e)
+    : oracle_(oracle),
+      end_(e),
+      next_start_(e),
+      tuple_q_(oracle.num_tuples_, 0.0) {}
+
+BucketCost SseTupleWorldMeanOracle::FlatSweep::Extend() {
+  PROBSYN_CHECK(next_start_ != static_cast<std::size_t>(-1));
+  std::size_t s = next_start_;
+  --next_start_;
+  // Absorb item s into the bucket: every tuple with an alternative at s
+  // has its in-range probability q_t increased by that alternative's
+  // probability; maintain sum_t q_t^2 under those increments.
+  for (const Posting& p : oracle_.postings_[s]) {
+    double q_old = tuple_q_[p.tuple];
+    sum_q2_ += p.probability * (2.0 * q_old + p.probability);
+    tuple_q_[p.tuple] = q_old + p.probability;
+  }
+  double nb = static_cast<double>(end_ - s + 1);
+  double sum_mean = oracle_.mean_.RangeSum(s, end_);
+  double sum_second = oracle_.second_.RangeSum(s, end_);
+  double expected_square_of_sum =
+      sum_mean * sum_mean + (sum_mean - sum_q2_);
+  double cost = sum_second - expected_square_of_sum / nb;
+  return {sum_mean / nb, ClampTinyNegative(cost, 1e-6)};
+}
+
 class SseTupleWorldMeanOracle::SweepImpl : public BucketCostOracle::Sweep {
  public:
   SweepImpl(const SseTupleWorldMeanOracle& oracle, std::size_t e)
-      : oracle_(oracle),
-        end_(e),
-        next_start_(e),
-        tuple_q_(oracle.num_tuples_, 0.0) {}
+      : sweep_(oracle, e) {}
 
-  BucketCost Extend() override {
-    PROBSYN_CHECK(next_start_ != static_cast<std::size_t>(-1));
-    std::size_t s = next_start_;
-    --next_start_;
-    // Absorb item s into the bucket: every tuple with an alternative at s
-    // has its in-range probability q_t increased by that alternative's
-    // probability; maintain sum_t q_t^2 under those increments.
-    for (const Posting& p : oracle_.postings_[s]) {
-      double q_old = tuple_q_[p.tuple];
-      sum_q2_ += p.probability * (2.0 * q_old + p.probability);
-      tuple_q_[p.tuple] = q_old + p.probability;
-    }
-    double nb = static_cast<double>(end_ - s + 1);
-    double sum_mean = oracle_.mean_.RangeSum(s, end_);
-    double sum_second = oracle_.second_.RangeSum(s, end_);
-    double expected_square_of_sum =
-        sum_mean * sum_mean + (sum_mean - sum_q2_);
-    double cost = sum_second - expected_square_of_sum / nb;
-    return {sum_mean / nb, ClampTinyNegative(cost, 1e-6)};
-  }
+  BucketCost Extend() override { return sweep_.Extend(); }
 
  private:
-  const SseTupleWorldMeanOracle& oracle_;
-  std::size_t end_;
-  std::size_t next_start_;
-  double sum_q2_ = 0.0;
-  std::vector<double> tuple_q_;
+  FlatSweep sweep_;
 };
 
 std::unique_ptr<BucketCostOracle::Sweep> SseTupleWorldMeanOracle::StartSweep(

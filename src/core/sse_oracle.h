@@ -26,7 +26,7 @@ namespace probsyn {
 ///   value-pdf input (independent items) and an *approximation* for
 ///   tuple-pdf input (ignores within-tuple anticorrelation). Use
 ///   SseTupleWorldMeanOracle for the exact tuple-pdf version.
-class SseMomentOracle : public BucketCostOracle {
+class SseMomentOracle final : public BucketCostOracle {
  public:
   /// `weights` are optional per-item workload weights phi_i (empty =
   /// uniform); the weighted cost is sum phi_i E[(g_i - bhat)^2], minimized
@@ -47,6 +47,17 @@ class SseMomentOracle : public BucketCostOracle {
 
   std::size_t domain_size() const override { return n_; }
   BucketCost Cost(std::size_t s, std::size_t e) const override;
+
+  /// Raw prefix tables for the devirtualized DP kernel
+  /// (core/dp_kernels.cc), which replicates Cost() over flat spans of these
+  /// arrays. Kernel code must mirror Cost()'s exact expression sequence to
+  /// stay bit-identical.
+  SseVariant variant() const { return variant_; }
+  const PrefixSums& mean_prefix() const { return mean_; }
+  const PrefixSums& second_prefix() const { return second_; }
+  const PrefixSums& variance_prefix() const { return variance_; }
+  const PrefixSums& weight_prefix() const { return weight_; }
+  const PrefixSums& raw_mean_prefix() const { return raw_mean_; }
 
  private:
   std::size_t n_;
@@ -69,13 +80,31 @@ class SseMomentOracle : public BucketCostOracle {
 /// *incrementally* along the DP's leftward sweeps — amortized O(1 + tuples
 /// touched) per extension, preserving the overall O(B(n^2 + n m/n)) DP —
 /// and recompute it from the per-tuple CDFs for random access (O(m)).
-class SseTupleWorldMeanOracle : public BucketCostOracle {
+class SseTupleWorldMeanOracle final : public BucketCostOracle {
  public:
   explicit SseTupleWorldMeanOracle(const TuplePdfInput& input);
 
   std::size_t domain_size() const override { return n_; }
   BucketCost Cost(std::size_t s, std::size_t e) const override;
   std::unique_ptr<Sweep> StartSweep(std::size_t e) const override;
+
+  /// Non-virtual leftward sweep with fixed right end `e`: the k-th call to
+  /// Extend() returns Cost(e - k + 1, e), maintained incrementally. This is
+  /// the concrete engine behind the virtual StartSweep() adapter; the
+  /// devirtualized DP kernel (core/dp_kernels.cc) drives it directly, so
+  /// both paths run the identical arithmetic.
+  class FlatSweep {
+   public:
+    FlatSweep(const SseTupleWorldMeanOracle& oracle, std::size_t e);
+    BucketCost Extend();
+
+   private:
+    const SseTupleWorldMeanOracle& oracle_;
+    std::size_t end_;
+    std::size_t next_start_;
+    double sum_q2_ = 0.0;
+    std::vector<double> tuple_q_;
+  };
 
  private:
   class SweepImpl;

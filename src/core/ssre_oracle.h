@@ -22,7 +22,7 @@ namespace probsyn {
 /// X - Y^2/Z. O(m) preprocessing, O(1) per bucket. Tuple-pdf input goes
 /// through the induced value pdf first (the cost is per-item decomposable,
 /// section 3.2 "Tuple pdf model").
-class SsreOracle : public BucketCostOracle {
+class SsreOracle final : public BucketCostOracle {
  public:
   /// `weights` are optional per-item workload weights (empty = uniform);
   /// they fold multiplicatively into the X/Y/Z arrays.
@@ -31,6 +31,12 @@ class SsreOracle : public BucketCostOracle {
 
   std::size_t domain_size() const override { return n_; }
   BucketCost Cost(std::size_t s, std::size_t e) const override;
+
+  /// Raw X/Y/Z prefix tables for the devirtualized DP kernel
+  /// (core/dp_kernels.cc), which replicates Cost() over flat spans.
+  const PrefixSums& x_prefix() const { return x_; }
+  const PrefixSums& y_prefix() const { return y_; }
+  const PrefixSums& z_prefix() const { return z_; }
 
  private:
   std::size_t n_;

@@ -9,6 +9,7 @@
 
 #include "core/baselines.h"
 #include "core/builders.h"
+#include "core/dp_kernels.h"
 #include "core/evaluate.h"
 #include "core/histogram_dp.h"
 #include "core/oracle_factory.h"
@@ -25,14 +26,21 @@ namespace {
 
 // Two histogram requests may share one preprocessed oracle iff these
 // agree (the oracle reads nothing else from the request). The SSE variant
-// only matters under kSse; normalizing it keeps non-SSE groups maximal.
+// only matters under kSse, and the sanity constant only under the relative
+// metrics; normalizing both keeps sharing groups maximal (e.g. two SSE
+// requests with different sanity constants still share one oracle).
 using OracleKey = std::tuple<int, double, int, std::vector<double>>;
 
 OracleKey MakeOracleKey(const SynopsisOptions& options) {
   int variant = options.metric == ErrorMetric::kSse
                     ? static_cast<int>(options.sse_variant)
                     : 0;
-  return {static_cast<int>(options.metric), options.sanity_c, variant,
+  // Only the relative metrics' oracles read the sanity constant (SSE's
+  // moments, SAE's unweighted U/D tables, and MAE's absolute-error
+  // envelope are all c-independent).
+  double sanity_c =
+      IsRelativeMetric(options.metric) ? options.sanity_c : 0.0;
+  return {static_cast<int>(options.metric), sanity_c, variant,
           options.workload};
 }
 
@@ -43,6 +51,20 @@ std::string FormatSolver(const char* route, ThreadPool* pool) {
                   pool->num_threads() + 1);
   } else {
     std::snprintf(buffer, sizeof(buffer), "%s[sequential]", route);
+  }
+  return buffer;
+}
+
+std::string FormatExactDpSolver(DpKernelKind kernel, ThreadPool* pool) {
+  char buffer[96];
+  if (pool != nullptr) {
+    std::snprintf(buffer, sizeof(buffer),
+                  "histogram/exact-dp[kernel=%s,parallel=%zu]",
+                  DpKernelKindName(kernel), pool->num_threads() + 1);
+  } else {
+    std::snprintf(buffer, sizeof(buffer),
+                  "histogram/exact-dp[kernel=%s,sequential]",
+                  DpKernelKindName(kernel));
   }
   return buffer;
 }
@@ -272,6 +294,7 @@ SynopsisEngine::SynopsisEngine(Options options) : options_(options) {
   if (lanes < 1) lanes = 1;
   options_.parallelism = lanes;
   if (lanes > 1) pool_ = std::make_unique<ThreadPool>(lanes - 1);
+  workspaces_ = std::make_unique<DpWorkspacePool>();
 }
 
 SynopsisEngine::~SynopsisEngine() = default;
@@ -320,11 +343,16 @@ StatusOr<std::vector<SynopsisResult>> SynopsisEngine::BuildBatchImpl(
   ThreadPool* pool = PoolFor(input.domain_size());
 
   // --- Execute oracle-backed groups: one preprocessed oracle per group,
-  // one exact DP per group (solved to the largest requested budget).
+  // one exact DP per group (solved to the largest requested budget). The
+  // batch shares one leased DP workspace across groups (each group's
+  // results are extracted before the next solve reuses the storage) and
+  // one PointErrorTables cache across the MAE/MARE groups.
+  DpWorkspacePool::Lease workspace = workspaces_->Acquire();
+  PointErrorTablesCache tables_cache;
   for (const auto& [key, indices] : oracle_groups) {
     Stopwatch watch;
-    auto bundle =
-        MakeBucketOracle(input, requests[indices.front()].options, pool);
+    auto bundle = MakeBucketOracle(input, requests[indices.front()].options,
+                                   pool, &tables_cache);
     if (!bundle.ok()) return bundle.status();
     const double oracle_seconds = watch.ElapsedSeconds();
 
@@ -336,9 +364,15 @@ StatusOr<std::vector<SynopsisResult>> SynopsisEngine::BuildBatchImpl(
     }
     if (max_exact_budget > 0) {
       watch.Restart();
-      HistogramDpResult dp = SolveHistogramDp(*bundle->oracle,
-                                              max_exact_budget,
-                                              bundle->combiner, pool);
+      // The planner already knows the oracle's concrete type, so it picks
+      // the specialized kernel directly and records it in the solver string
+      // for observability.
+      DpKernelOptions dp_options;
+      dp_options.pool = pool;
+      dp_options.workspace = workspace.get();
+      dp_options.kernel = bundle->kernel;
+      HistogramDpResult dp = SolveHistogramDpWithKernel(
+          *bundle->oracle, max_exact_budget, bundle->combiner, dp_options);
       const double dp_seconds = watch.ElapsedSeconds();
       for (std::size_t i : indices) {
         if (requests[i].method != HistogramMethod::kOptimal) continue;
@@ -347,7 +381,7 @@ StatusOr<std::vector<SynopsisResult>> SynopsisEngine::BuildBatchImpl(
         result.kind = SynopsisKind::kHistogram;
         result.histogram = dp.ExtractHistogram(requests[i].budget);
         result.cost = dp.OptimalCost(requests[i].budget);
-        result.solver = FormatSolver("histogram/exact-dp", pool);
+        result.solver = FormatExactDpSolver(dp.kernel(), pool);
         result.timing.plan_seconds = plan_seconds;
         result.timing.preprocess_seconds = oracle_seconds;
         result.timing.solve_seconds =

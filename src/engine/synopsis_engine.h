@@ -18,6 +18,7 @@
 
 namespace probsyn {
 
+class DpWorkspacePool;
 class ThreadPool;
 
 /// Which synopsis family a request asks for (the paper's two synopsis
@@ -103,7 +104,9 @@ struct SynopsisResult {
   double cost = 0.0;
   /// Bucket-oracle evaluations (kApprox route only; Theorem 5's currency).
   std::size_t oracle_evaluations = 0;
-  /// Human-readable route, e.g. "histogram/exact-dp[parallel=4]".
+  /// Human-readable route, e.g.
+  /// "histogram/exact-dp[kernel=sse-moment,parallel=4]" — exact-DP routes
+  /// record which specialized kernel (core/dp_kernels.h) the planner chose.
   std::string solver;
   SynopsisTiming timing;
 };
@@ -116,11 +119,15 @@ struct SynopsisResult {
 /// oracles' O(n |V|) prefix-table preprocessing.
 ///
 /// BuildBatch serves many requests against ONE input: histogram requests
-/// with identical oracle requirements (metric, sanity constant, SSE
-/// variant, workload) share a single preprocessed oracle, and exact-DP
-/// requests in such a group share one DP solved to the largest budget —
-/// the whole cost-vs-B curve of the paper's Figure 2 then costs one DP run
-/// instead of |batch|.
+/// with identical oracle requirements (metric, sanity constant where the
+/// metric uses one, SSE variant, workload) share a single preprocessed
+/// oracle, and exact-DP requests in such a group share one DP solved to the
+/// largest budget — the whole cost-vs-B curve of the paper's Figure 2 then
+/// costs one DP run instead of |batch|. Across groups, MAE and MARE
+/// requests with the same sanity constant share one O(n |V|)
+/// PointErrorTables build (the tables are metric-flag independent), and all
+/// exact DPs in a batch run through one leased DpWorkspace, so repeated
+/// batches allocate nothing in steady state.
 ///
 /// Every path's output is bit-identical to calling the underlying
 /// builder/solver directly (a property the engine parity tests pin down);
@@ -175,6 +182,10 @@ class SynopsisEngine {
 
   Options options_;
   std::unique_ptr<ThreadPool> pool_;  // null when parallelism() == 1
+  /// Leased per BuildBatch call: exact-DP err/choice/rep layers and cost
+  /// columns are reused across batches (zero steady-state allocation) while
+  /// concurrent callers of the const entry points each get their own arena.
+  std::unique_ptr<DpWorkspacePool> workspaces_;
 };
 
 /// Stable display names for logs and CLIs.

@@ -42,6 +42,14 @@ class PrefixSums {
   /// Total sum over all items.
   double Total() const { return cumulative_.empty() ? 0.0 : cumulative_.back(); }
 
+  /// Raw cumulative table: size() + 1 entries with cumulative()[0] == 0 and
+  /// RangeSum(s, e) == cumulative()[e + 1] - cumulative()[s]. Exposed so the
+  /// devirtualized DP kernels (core/dp_kernels.cc) can hoist the table into
+  /// a flat local span and keep the inner min-scan free of calls; kernel
+  /// code must reproduce the RangeSum expression above verbatim to stay
+  /// bit-identical with oracle Cost() paths.
+  std::span<const double> cumulative() const { return cumulative_; }
+
  private:
   // cumulative_[k] = sum of the first k values; cumulative_[0] = 0.
   std::vector<double> cumulative_;

@@ -7,32 +7,7 @@ namespace probsyn {
 std::size_t TernarySearchMinIndex(std::size_t lo, std::size_t hi,
                                   const std::function<double(std::size_t)>& f) {
   PROBSYN_CHECK(lo <= hi);
-  // Invariant: a minimizer lies in [lo, hi]. The searched sequences are
-  // samples of a convex function at increasing (not necessarily uniform)
-  // grid points: if f(m1) <= f(m2) the convexity of the underlying function
-  // places a minimizer in [lo, m2] (for x > m2, f(x) >= f(m2) >= f(m1)), and
-  // symmetrically f(m1) > f(m2) places one in [m1, hi]. Keeping the probe
-  // point inside the retained range (hi = m2, not m2 - 1) is what makes the
-  // cut safe in the presence of plateaus.
-  while (hi - lo > 2) {
-    std::size_t m1 = lo + (hi - lo) / 3;
-    std::size_t m2 = hi - (hi - lo) / 3;
-    if (f(m1) <= f(m2)) {
-      hi = m2;
-    } else {
-      lo = m1;
-    }
-  }
-  std::size_t best = lo;
-  double best_value = f(lo);
-  for (std::size_t i = lo + 1; i <= hi; ++i) {
-    double v = f(i);
-    if (v < best_value) {
-      best_value = v;
-      best = i;
-    }
-  }
-  return best;
+  return TernarySearchMinIndexOver(lo, hi, f);
 }
 
 double TernarySearchMinContinuous(double lo, double hi,

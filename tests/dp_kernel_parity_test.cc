@@ -1,0 +1,386 @@
+// Kernel/reference parity: every specialized DP kernel (core/dp_kernels.h)
+// must be BIT-identical to the reference scalar solver — err rows, choice
+// rows (traceback ties included), and cached representatives — across every
+// oracle type x {kSum, kMax} x budgets, sequentially and in the blocked
+// parallel form, with and without workspace reuse. This pins down the
+// tentpole guarantee that the kernels only change speed, never answers.
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <random>
+#include <vector>
+
+#include "core/dp_kernels.h"
+#include "core/histogram_dp.h"
+#include "core/oracle_factory.h"
+#include "engine/synopsis_engine.h"
+#include "gen/generators.h"
+#include "model/value_pdf.h"
+#include "util/thread_pool.h"
+
+namespace probsyn {
+namespace {
+
+constexpr ErrorMetric kAllMetrics[] = {
+    ErrorMetric::kSse,  ErrorMetric::kSsre, ErrorMetric::kSae,
+    ErrorMetric::kSare, ErrorMetric::kMae,  ErrorMetric::kMare};
+
+// Exact (bitwise) table equality: EXPECT_EQ on doubles is ==, which is the
+// contract — not "close enough".
+void ExpectBitIdenticalTables(const HistogramDpResult& expected,
+                              const HistogramDpResult& actual,
+                              const std::string& label) {
+  ASSERT_EQ(expected.domain_size(), actual.domain_size()) << label;
+  ASSERT_EQ(expected.table_layers(), actual.table_layers()) << label;
+  const std::size_t n = expected.domain_size();
+  for (std::size_t b = 1; b <= expected.table_layers(); ++b) {
+    auto err_e = expected.ErrorRow(b);
+    auto err_a = actual.ErrorRow(b);
+    auto cho_e = expected.ChoiceRow(b);
+    auto cho_a = actual.ChoiceRow(b);
+    auto rep_e = expected.RepresentativeRow(b);
+    auto rep_a = actual.RepresentativeRow(b);
+    for (std::size_t j = 0; j < n; ++j) {
+      ASSERT_EQ(err_e[j], err_a[j]) << label << " err b=" << b << " j=" << j;
+      ASSERT_EQ(cho_e[j], cho_a[j]) << label << " choice b=" << b
+                                    << " j=" << j;
+      ASSERT_EQ(rep_e[j], rep_a[j]) << label << " rep b=" << b << " j=" << j;
+    }
+  }
+}
+
+// Solves with the reference scalar kernel and with the specialized kernel
+// (sequentially, in parallel, and through a reused workspace) and demands
+// bitwise equality everywhere.
+void CheckKernelParity(const BucketCostOracle& oracle, DpCombiner combiner,
+                       std::size_t max_buckets, const std::string& label) {
+  DpKernelOptions reference_options;
+  reference_options.kernel = DpKernelKind::kReference;
+  HistogramDpResult reference = SolveHistogramDpWithKernel(
+      oracle, max_buckets, combiner, reference_options);
+
+  const DpKernelKind kind = SelectDpKernel(oracle);
+
+  DpKernelOptions kernel_options;
+  kernel_options.kernel = kind;
+  HistogramDpResult kernel =
+      SolveHistogramDpWithKernel(oracle, max_buckets, combiner,
+                                 kernel_options);
+  EXPECT_EQ(kernel.kernel(), kind);
+  ExpectBitIdenticalTables(reference, kernel, label + "/sequential");
+
+  ThreadPool pool(3);
+  DpKernelOptions parallel_options;
+  parallel_options.kernel = kind;
+  parallel_options.pool = &pool;
+  HistogramDpResult parallel = SolveHistogramDpWithKernel(
+      oracle, max_buckets, combiner, parallel_options);
+  ExpectBitIdenticalTables(reference, parallel, label + "/parallel");
+
+  DpWorkspace workspace;
+  DpKernelOptions reuse_options;
+  reuse_options.kernel = kind;
+  reuse_options.workspace = &workspace;
+  {
+    // Dirty the workspace with an unrelated solve (different budget), then
+    // reuse it: stale storage must not leak into the result.
+    HistogramDpResult scratch = SolveHistogramDpWithKernel(
+        oracle, std::max<std::size_t>(1, max_buckets / 2), combiner,
+        reuse_options);
+    (void)scratch;
+  }
+  HistogramDpResult reused = SolveHistogramDpWithKernel(
+      oracle, max_buckets, combiner, reuse_options);
+  ExpectBitIdenticalTables(reference, reused, label + "/workspace-reuse");
+}
+
+struct ParityCase {
+  ErrorMetric metric;
+  SseVariant variant;
+  double c;
+  std::uint64_t seed;
+  bool weighted;
+};
+
+std::string ParityCaseName(const ::testing::TestParamInfo<ParityCase>& info) {
+  std::string name = ErrorMetricName(info.param.metric);
+  if (info.param.metric == ErrorMetric::kSse &&
+      info.param.variant == SseVariant::kWorldMean) {
+    name += "wm";
+  }
+  if (info.param.weighted) name += "weighted";
+  return name + "_seed" + std::to_string(info.param.seed);
+}
+
+class DpKernelParityTest : public ::testing::TestWithParam<ParityCase> {};
+
+TEST_P(DpKernelParityTest, BitIdenticalAcrossCombinersAndBudgets) {
+  const ParityCase& param = GetParam();
+  const std::size_t kDomain = 64;
+  ValuePdfInput input = GenerateRandomValuePdf(
+      {.domain_size = kDomain, .max_support = 4, .max_value = 8,
+       .seed = param.seed});
+  SynopsisOptions options;
+  options.metric = param.metric;
+  options.sanity_c = param.c;
+  options.sse_variant = param.variant;
+  if (param.weighted) {
+    // A zero-weight stretch exercises the oracles' "workload ignores the
+    // bucket" branches; ties abound there.
+    options.workload.assign(kDomain, 1.0);
+    for (std::size_t i = 10; i < 30; ++i) options.workload[i] = 0.0;
+    for (std::size_t i = 40; i < kDomain; ++i) options.workload[i] = 2.5;
+  }
+  auto bundle = MakeBucketOracle(input, options);
+  ASSERT_TRUE(bundle.ok()) << bundle.status();
+  EXPECT_EQ(bundle->kernel, SelectDpKernel(*bundle->oracle));
+
+  for (DpCombiner combiner : {DpCombiner::kSum, DpCombiner::kMax}) {
+    for (std::size_t budget : {std::size_t{1}, std::size_t{5}, kDomain}) {
+      std::string label = std::string(ErrorMetricName(param.metric)) +
+                          (combiner == DpCombiner::kSum ? "/sum" : "/max") +
+                          "/B=" + std::to_string(budget);
+      CheckKernelParity(*bundle->oracle, combiner, budget, label);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    OraclesAndSeeds, DpKernelParityTest,
+    ::testing::Values(
+        ParityCase{ErrorMetric::kSse, SseVariant::kFixedRepresentative, 1.0,
+                   101, false},
+        ParityCase{ErrorMetric::kSse, SseVariant::kWorldMean, 1.0, 102,
+                   false},
+        ParityCase{ErrorMetric::kSse, SseVariant::kFixedRepresentative, 1.0,
+                   103, true},
+        ParityCase{ErrorMetric::kSsre, SseVariant::kWorldMean, 0.5, 104,
+                   false},
+        ParityCase{ErrorMetric::kSsre, SseVariant::kWorldMean, 1.0, 105,
+                   true},
+        ParityCase{ErrorMetric::kSae, SseVariant::kWorldMean, 1.0, 106,
+                   false},
+        ParityCase{ErrorMetric::kSae, SseVariant::kWorldMean, 1.0, 107,
+                   true},
+        ParityCase{ErrorMetric::kSare, SseVariant::kWorldMean, 0.5, 108,
+                   false},
+        ParityCase{ErrorMetric::kMae, SseVariant::kWorldMean, 1.0, 109,
+                   false},
+        ParityCase{ErrorMetric::kMae, SseVariant::kWorldMean, 1.0, 110,
+                   true},
+        ParityCase{ErrorMetric::kMare, SseVariant::kWorldMean, 0.5, 111,
+                   false}),
+    ParityCaseName);
+
+TEST(DpKernelParity, TupleSseWorldMeanSweepKernel) {
+  TuplePdfInput input = GenerateRandomTuplePdf(
+      {.domain_size = 48, .num_tuples = 120, .max_alternatives = 4,
+       .seed = 201});
+  SynopsisOptions options;
+  options.metric = ErrorMetric::kSse;
+  options.sse_variant = SseVariant::kWorldMean;
+  auto bundle = MakeBucketOracle(input, options);
+  ASSERT_TRUE(bundle.ok());
+  EXPECT_EQ(bundle->kernel, DpKernelKind::kTupleSse);
+  for (DpCombiner combiner : {DpCombiner::kSum, DpCombiner::kMax}) {
+    CheckKernelParity(*bundle->oracle, combiner, 48,
+                      combiner == DpCombiner::kSum ? "tuple/sum"
+                                                   : "tuple/max");
+  }
+}
+
+// Tie-heavy inputs: constant and block-constant point masses yield large
+// zero-cost plateaus, so many (budget, column) cells have many minimizing
+// splits — exactly where a pruned/vectorized argmin could legally-looking
+// diverge from the reference's first-attaining-split rule.
+TEST(DpKernelParity, TieHeavyPlateausBreakTiesIdentically) {
+  std::vector<ValuePdf> pdfs;
+  for (std::size_t i = 0; i < 96; ++i) {
+    pdfs.push_back(ValuePdf::PointMass(1.0 + static_cast<double>(i / 24)));
+  }
+  ValuePdfInput input(std::move(pdfs));
+  for (ErrorMetric metric :
+       {ErrorMetric::kSse, ErrorMetric::kSae, ErrorMetric::kMae}) {
+    SynopsisOptions options;
+    options.metric = metric;
+    options.sse_variant = SseVariant::kFixedRepresentative;
+    auto bundle = MakeBucketOracle(input, options);
+    ASSERT_TRUE(bundle.ok());
+    for (DpCombiner combiner : {DpCombiner::kSum, DpCombiner::kMax}) {
+      CheckKernelParity(*bundle->oracle, combiner, 96,
+                        std::string("plateau/") + ErrorMetricName(metric));
+    }
+  }
+}
+
+// Catastrophic-cancellation regression: near-constant large-magnitude
+// frequencies make the computed SSE bucket cost (sum E[g^2] minus a huge
+// near-equal square) non-monotone in the split point at the ~1e-4 level
+// (amplified by ClampTinyNegative's asymmetric clamp). A raw
+// monotone-split bisection returns a wrong argmin here; the bound-verified
+// kMax cell must not.
+TEST(DpKernelParity, CancellationBreaksMonotonicityButNotParity) {
+  std::mt19937_64 rng(12345);
+  std::uniform_real_distribution<double> jitter(-1e-3, 1e-3);
+  std::vector<ValuePdf> pdfs;
+  for (std::size_t i = 0; i < 640; ++i) {
+    pdfs.push_back(ValuePdf::PointMass(1e6 + jitter(rng)));
+  }
+  ValuePdfInput input(std::move(pdfs));
+  SynopsisOptions options;
+  options.metric = ErrorMetric::kSse;
+  options.sse_variant = SseVariant::kFixedRepresentative;
+  auto bundle = MakeBucketOracle(input, options);
+  ASSERT_TRUE(bundle.ok());
+  for (DpCombiner combiner : {DpCombiner::kSum, DpCombiner::kMax}) {
+    for (std::size_t budget : {std::size_t{8}, std::size_t{64}}) {
+      CheckKernelParity(*bundle->oracle, combiner, budget,
+                        std::string("cancellation/") +
+                            (combiner == DpCombiner::kSum ? "sum" : "max") +
+                            "/B=" + std::to_string(budget));
+    }
+  }
+}
+
+// A domain larger than the fast kSum cell's chunk (512) exercises the
+// cross-chunk minimum bookkeeping, and larger than the parallel path's
+// block size exercises multi-block scheduling.
+TEST(DpKernelParity, LargeDomainCrossesChunkAndBlockBoundaries) {
+  ValuePdfInput input = GenerateRandomValuePdf(
+      {.domain_size = 1200, .max_support = 3, .max_value = 6, .seed = 301});
+  SynopsisOptions options;
+  options.metric = ErrorMetric::kSse;
+  options.sse_variant = SseVariant::kFixedRepresentative;
+  auto bundle = MakeBucketOracle(input, options);
+  ASSERT_TRUE(bundle.ok());
+  for (DpCombiner combiner : {DpCombiner::kSum, DpCombiner::kMax}) {
+    CheckKernelParity(*bundle->oracle, combiner, 12,
+                      combiner == DpCombiner::kSum ? "large/sum"
+                                                   : "large/max");
+  }
+}
+
+TEST(DpKernelParity, ExtractedHistogramsMatchReference) {
+  ValuePdfInput input = GenerateRandomValuePdf(
+      {.domain_size = 80, .max_support = 4, .max_value = 7, .seed = 401});
+  for (ErrorMetric metric : kAllMetrics) {
+    SynopsisOptions options;
+    options.metric = metric;
+    options.sanity_c = 0.5;
+    auto bundle = MakeBucketOracle(input, options);
+    ASSERT_TRUE(bundle.ok());
+
+    DpKernelOptions reference_options;
+    reference_options.kernel = DpKernelKind::kReference;
+    HistogramDpResult reference = SolveHistogramDpWithKernel(
+        *bundle->oracle, 12, bundle->combiner, reference_options);
+    HistogramDpResult kernel =
+        SolveHistogramDp(*bundle->oracle, 12, bundle->combiner);
+    for (std::size_t b = 1; b <= 12; ++b) {
+      Histogram expected = reference.ExtractHistogram(b);
+      Histogram actual = kernel.ExtractHistogram(b);
+      EXPECT_TRUE(expected == actual)
+          << ErrorMetricName(metric) << " B=" << b;
+      // Cached representatives must equal fresh oracle calls (what the
+      // pre-kernel extraction used to do).
+      for (const HistogramBucket& bucket : actual.buckets()) {
+        EXPECT_EQ(bucket.representative,
+                  bundle->oracle->Cost(bucket.start, bucket.end)
+                      .representative)
+            << ErrorMetricName(metric) << " B=" << b;
+      }
+    }
+  }
+}
+
+TEST(DpKernelSelection, FactoryKnowsEveryKernel) {
+  ValuePdfInput input = GenerateRandomValuePdf({.domain_size = 16, .seed = 7});
+  for (ErrorMetric metric : kAllMetrics) {
+    SynopsisOptions options;
+    options.metric = metric;
+    auto bundle = MakeBucketOracle(input, options);
+    ASSERT_TRUE(bundle.ok());
+    EXPECT_NE(bundle->kernel, DpKernelKind::kReference)
+        << ErrorMetricName(metric) << " should have a specialized kernel";
+    EXPECT_EQ(bundle->kernel, SelectDpKernel(*bundle->oracle))
+        << ErrorMetricName(metric);
+  }
+}
+
+TEST(DpWorkspacePoolTest, LeasesAreExclusiveAndRecycled) {
+  DpWorkspacePool pool;
+  DpWorkspace* first = nullptr;
+  {
+    auto lease_a = pool.Acquire();
+    auto lease_b = pool.Acquire();
+    EXPECT_NE(lease_a.get(), nullptr);
+    EXPECT_NE(lease_b.get(), nullptr);
+    EXPECT_NE(lease_a.get(), lease_b.get());
+    first = lease_a.get();
+  }
+  // Returned workspaces are handed out again instead of reallocated.
+  auto lease_c = pool.Acquire();
+  auto lease_d = pool.Acquire();
+  EXPECT_TRUE(lease_c.get() == first || lease_d.get() == first);
+}
+
+TEST(EngineKernelIntegration, SolverStringRecordsChosenKernel) {
+  ValuePdfInput input = GenerateRandomValuePdf({.domain_size = 32, .seed = 9});
+  SynopsisEngine engine({.parallelism = 1});
+  SynopsisRequest request;
+  request.kind = SynopsisKind::kHistogram;
+  request.method = HistogramMethod::kOptimal;
+  request.budget = 4;
+  request.options.metric = ErrorMetric::kSse;
+  auto result = engine.Build(input, request);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_NE(result->solver.find("kernel=sse-moment"), std::string::npos)
+      << result->solver;
+
+  request.options.metric = ErrorMetric::kMae;
+  result = engine.Build(input, request);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NE(result->solver.find("kernel=max-error"), std::string::npos)
+      << result->solver;
+}
+
+// Batches mixing MAE and MARE share one PointErrorTables build; repeated
+// batches reuse the engine's leased workspace. Neither may change answers.
+TEST(EngineKernelIntegration, RepeatedMixedBatchesStayBitIdentical) {
+  ValuePdfInput input = GenerateRandomValuePdf({.domain_size = 40, .seed = 15});
+  SynopsisEngine engine({.parallelism = 1});
+  std::vector<SynopsisRequest> requests;
+  for (ErrorMetric metric : {ErrorMetric::kMae, ErrorMetric::kMare,
+                             ErrorMetric::kSse, ErrorMetric::kSae}) {
+    SynopsisRequest request;
+    request.kind = SynopsisKind::kHistogram;
+    request.method = HistogramMethod::kOptimal;
+    request.budget = 6;
+    request.options.metric = metric;
+    request.options.sanity_c = 1.0;
+    requests.push_back(request);
+  }
+  auto first = engine.BuildBatch(input, requests);
+  ASSERT_TRUE(first.ok()) << first.status();
+  // Second run reuses the leased workspace (and the fresh tables cache).
+  auto second = engine.BuildBatch(input, requests);
+  ASSERT_TRUE(second.ok());
+  ASSERT_EQ(first->size(), second->size());
+  for (std::size_t i = 0; i < first->size(); ++i) {
+    EXPECT_EQ((*first)[i].cost, (*second)[i].cost) << i;
+    EXPECT_TRUE((*first)[i].histogram == (*second)[i].histogram) << i;
+  }
+  // And both equal the direct solver.
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    auto bundle = MakeBucketOracle(input, requests[i].options);
+    ASSERT_TRUE(bundle.ok());
+    HistogramDpResult dp =
+        SolveHistogramDp(*bundle->oracle, 6, bundle->combiner);
+    EXPECT_EQ((*first)[i].cost, dp.OptimalCost(6)) << i;
+    EXPECT_TRUE((*first)[i].histogram == dp.ExtractHistogram(6)) << i;
+  }
+}
+
+}  // namespace
+}  // namespace probsyn
