@@ -11,6 +11,19 @@
 //       per cell with O(log j).
 //   (c) engine batching — a 15-budget cost-vs-B sweep served as one batch
 //       (one oracle, one DP, one workspace) vs 15 independent Build calls.
+//   (d) approximate-DP point-cost kernels — reference virtual Cost() per
+//       candidate vs the devirtualized evaluator (SSE's inlined prefix
+//       subtractions, SAE's inlined convex search), kernel = 0 vs 1.
+//   (e) wavelet budget-split kernels — the restricted and unrestricted
+//       coefficient-tree DPs with the reference scalar split scan
+//       (kernel = 0) vs MinBudgetSplit's chunked min-reduction / monotone
+//       bisection (kernel = 1).
+//   (f) warm-started SAE sweeps — the exact DP over AbsCumulativeOracle,
+//       whose FlatSweep carries the previous cell's optimal grid index
+//       (kernel = 1) vs the reference virtual route running the same warm
+//       sweep through the adapter (kernel = 0): the remaining gap is pure
+//       dispatch overhead; compare against the PR 2 baseline for the
+//       cold-restart cost this PR removed.
 //
 // Run via the `bench_json` target (or with --benchmark_out=...) to emit
 // machine-readable BENCH_bench_engine_parallel.json.
@@ -24,6 +37,7 @@
 #include "core/dp_kernels.h"
 #include "core/histogram_dp.h"
 #include "core/oracle_factory.h"
+#include "core/wavelet_dp.h"
 #include "engine/synopsis_engine.h"
 #include "gen/generators.h"
 #include "util/logging.h"
@@ -86,6 +100,137 @@ void BM_ExactDpMaxCombiner(benchmark::State& state) {
   RunExactDp(state, DpCombiner::kMax);
 }
 
+// (d) The approximate DP's sparse candidate evaluations: virtual Cost()
+// (kernelized = 0) vs the devirtualized point-cost kernel (kernelized = 1).
+void RunApproxDp(benchmark::State& state, ErrorMetric metric) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const bool kernelized = state.range(1) != 0;
+  const std::size_t kBuckets = 64;
+  const double kEpsilon = 0.1;
+
+  ValuePdfInput input = MakeInput(n);
+  SynopsisOptions options;
+  options.metric = metric;
+  options.sse_variant = SseVariant::kFixedRepresentative;
+  auto bundle = MakeBucketOracle(input, options);
+  PROBSYN_CHECK(bundle.ok());
+
+  ApproxDpKernelOptions kernel_options;
+  kernel_options.kernel =
+      kernelized ? DpKernelKind::kAuto : DpKernelKind::kReference;
+  std::size_t evaluations = 0;
+  for (auto _ : state) {
+    auto result = SolveApproxHistogramDpWithKernel(
+        *bundle->oracle, kBuckets, kEpsilon, kernel_options);
+    PROBSYN_CHECK(result.ok());
+    evaluations = result->oracle_evaluations;
+    benchmark::DoNotOptimize(result->cost);
+  }
+  state.counters["n"] = static_cast<double>(n);
+  state.counters["B"] = static_cast<double>(kBuckets);
+  state.counters["eps"] = kEpsilon;
+  state.counters["kernel"] = kernelized ? 1.0 : 0.0;
+  state.counters["evaluations"] = static_cast<double>(evaluations);
+}
+
+void BM_ApproxDpSse(benchmark::State& state) {
+  RunApproxDp(state, ErrorMetric::kSse);
+}
+
+void BM_ApproxDpSae(benchmark::State& state) {
+  RunApproxDp(state, ErrorMetric::kSae);
+}
+
+// (e) Wavelet coefficient-tree DPs: reference scalar budget-split scans
+// (kernelized = 0) vs the MinBudgetSplit kernels (kernelized = 1). kMae
+// exercises the max-combiner bisection, kSse the chunked sum reduction.
+void RunWaveletRestricted(benchmark::State& state, ErrorMetric metric) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const std::size_t coeffs = static_cast<std::size_t>(state.range(1));
+  const bool kernelized = state.range(2) != 0;
+
+  ValuePdfInput input = MakeInput(n);
+  SynopsisOptions options;
+  options.metric = metric;
+  const WaveletSplitKernel kernel = kernelized
+                                        ? WaveletSplitKernel::kBudgetSplit
+                                        : WaveletSplitKernel::kReference;
+  for (auto _ : state) {
+    auto result =
+        BuildRestrictedWaveletDp(input, coeffs, options, 2048, kernel);
+    PROBSYN_CHECK(result.ok());
+    benchmark::DoNotOptimize(result->cost);
+  }
+  state.counters["n"] = static_cast<double>(n);
+  state.counters["B"] = static_cast<double>(coeffs);
+  state.counters["kernel"] = kernelized ? 1.0 : 0.0;
+}
+
+void BM_WaveletRestrictedDpMae(benchmark::State& state) {
+  RunWaveletRestricted(state, ErrorMetric::kMae);
+}
+
+void RunWaveletUnrestricted(benchmark::State& state, ErrorMetric metric) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const std::size_t coeffs = static_cast<std::size_t>(state.range(1));
+  const bool kernelized = state.range(2) != 0;
+
+  ValuePdfInput input = MakeInput(n);
+  SynopsisOptions options;
+  options.metric = metric;
+  UnrestrictedWaveletOptions dp_options;
+  dp_options.grid_points = 33;
+  dp_options.kernel = kernelized ? WaveletSplitKernel::kBudgetSplit
+                                 : WaveletSplitKernel::kReference;
+  for (auto _ : state) {
+    auto result =
+        BuildUnrestrictedWaveletDp(input, coeffs, options, dp_options);
+    PROBSYN_CHECK(result.ok());
+    benchmark::DoNotOptimize(result->cost);
+  }
+  state.counters["n"] = static_cast<double>(n);
+  state.counters["B"] = static_cast<double>(coeffs);
+  state.counters["q"] = static_cast<double>(dp_options.grid_points);
+  state.counters["kernel"] = kernelized ? 1.0 : 0.0;
+}
+
+void BM_WaveletUnrestrictedDpMae(benchmark::State& state) {
+  RunWaveletUnrestricted(state, ErrorMetric::kMae);
+}
+
+void BM_WaveletUnrestrictedDpSse(benchmark::State& state) {
+  RunWaveletUnrestricted(state, ErrorMetric::kSse);
+}
+
+// (f) Exact DP over the warm-started SAE oracle (both kernel = 0/1 rows
+// run warm FlatSweeps; compare either against the PR 2 BENCH_baseline.json
+// rows to see the cold-restart cost this PR removed).
+void BM_ExactDpSaeWarmSweep(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const bool kernelized = state.range(1) != 0;
+  const std::size_t kBuckets = 32;
+
+  ValuePdfInput input = MakeInput(n);
+  SynopsisOptions options;
+  options.metric = ErrorMetric::kSae;
+  auto bundle = MakeBucketOracle(input, options);
+  PROBSYN_CHECK(bundle.ok());
+
+  DpWorkspace workspace;
+  DpKernelOptions dp_options;
+  dp_options.workspace = &workspace;
+  dp_options.kernel =
+      kernelized ? DpKernelKind::kAuto : DpKernelKind::kReference;
+  for (auto _ : state) {
+    HistogramDpResult dp = SolveHistogramDpWithKernel(
+        *bundle->oracle, kBuckets, bundle->combiner, dp_options);
+    benchmark::DoNotOptimize(dp.OptimalCost(kBuckets));
+  }
+  state.counters["n"] = static_cast<double>(n);
+  state.counters["B"] = static_cast<double>(kBuckets);
+  state.counters["kernel"] = kernelized ? 1.0 : 0.0;
+}
+
 // (c) One batched cost-vs-B sweep vs repeated single builds.
 void BM_EngineSweep(benchmark::State& state) {
   const std::size_t n = static_cast<std::size_t>(state.range(0));
@@ -142,6 +287,36 @@ BENCHMARK(probsyn::BM_ExactDpMaxCombiner)
     ->Unit(benchmark::kMillisecond);
 
 BENCHMARK(probsyn::BM_EngineSweep)
+    ->Args({1024, 0})
+    ->Args({1024, 1})
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK(probsyn::BM_ApproxDpSse)
+    ->Args({4096, 0})
+    ->Args({4096, 1})
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK(probsyn::BM_ApproxDpSae)
+    ->Args({1024, 0})
+    ->Args({1024, 1})
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK(probsyn::BM_WaveletRestrictedDpMae)
+    ->Args({128, 64, 0})
+    ->Args({128, 64, 1})
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK(probsyn::BM_WaveletUnrestrictedDpMae)
+    ->Args({256, 128, 0})
+    ->Args({256, 128, 1})
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK(probsyn::BM_WaveletUnrestrictedDpSse)
+    ->Args({256, 128, 0})
+    ->Args({256, 128, 1})
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK(probsyn::BM_ExactDpSaeWarmSweep)
     ->Args({1024, 0})
     ->Args({1024, 1})
     ->Unit(benchmark::kMillisecond);

@@ -8,6 +8,13 @@
 // *expected* error over all possible worlds. Both synopses are served by
 // the SynopsisEngine facade — one request type for every construction
 // path (exact/approximate/streaming histograms, all wavelet DPs).
+//
+// Expected output: the optimal 3-bucket SSE histogram (buckets [0,0],
+// [1,3], [4,7] — the low/high frequency regions — with expected SSE
+// ~23.99), a 3-term SSE wavelet synopsis (expected SSE ~24.15), and a
+// range-count estimate for items 4..7 where both synopses recover the
+// exact expectation (34.3). Each result line prints the engine's solver
+// route, e.g. "histogram/exact-dp[kernel=sse-moment,sequential]".
 
 #include <cstdio>
 

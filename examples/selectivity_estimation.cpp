@@ -10,6 +10,12 @@
 // histogram and show its estimates are sharper where it matters.
 //
 //   $ ./examples/selectivity_estimation [n] [buckets]
+//
+// Expected output: a per-query table (range, exact expected count,
+// uniform-histogram estimate, workload-aware estimate) followed by two
+// summary lines — total |estimate - truth| over the workload and the
+// weighted expected SSE — where the workload-aware histogram wins on the
+// hot ranges (e.g. at the defaults: total error ~5.9 vs ~13.8 uniform).
 
 #include <cmath>
 #include <cstdio>

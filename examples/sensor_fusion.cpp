@@ -11,6 +11,13 @@
 // oracle inside the engine.
 //
 //   $ ./examples/sensor_fusion [n] [buckets]
+//
+// Expected output: a three-row method table (probabilistic / expectation
+// baseline / sampled-world baseline) of expected SARE and the paper's
+// error% measure, with the probabilistic histogram strictly best (e.g. at
+// n=64, B=8: ~1.6 SARE vs ~1.7 and ~2.1 for the baselines); then the
+// MARE guard bound on every sensor's expected relative error, and a
+// zone-total sanity query against the exact expectation.
 
 #include <algorithm>
 #include <cstdio>

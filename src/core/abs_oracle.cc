@@ -69,17 +69,83 @@ AbsCumulativeOracle::AbsCumulativeOracle(const ValuePdfInput& input,
   });
 }
 
-double AbsCumulativeOracle::CostAtGridIndex(std::size_t s, std::size_t e,
-                                            std::size_t l) const {
-  return below_.RangeSum(l, s, e) + above_.RangeSum(l, s, e);
+std::size_t AbsCumulativeOracle::OptimalGridIndex(std::size_t s, std::size_t e,
+                                                  std::size_t hint) const {
+  const std::size_t hi = grid_.size() - 1;
+  auto f = [&](std::size_t l) { return CostAtGridIndex(s, e, l); };
+  if (hint != kNoHint && hi >= 2) {
+    // Probe the 3-point window around the hint (values cached — the pit
+    // check below reuses them); leftmost argmin within it.
+    const std::size_t w0 = hint > 0 ? hint - 1 : 0;
+    const std::size_t w1 = hint + 1 < hi ? hint + 1 : hi;
+    double value[3];
+    std::size_t best = w0;
+    value[0] = f(w0);
+    double best_value = value[0];
+    for (std::size_t l = w0 + 1; l <= w1; ++l) {
+      value[l - w0] = f(l);
+      if (value[l - w0] < best_value) {
+        best_value = value[l - w0];
+        best = l;
+      }
+    }
+    // Accept only a strict pit: under convexity that is the unique global
+    // minimizer, which is what the cold search below returns. Anything else
+    // (plateau tie, drift past the window, boundary) restarts cold. A
+    // neighbor outside the probed window costs one extra probe.
+    if (best > 0 && best < hi) {
+      const double left_value =
+          best - 1 >= w0 ? value[best - 1 - w0] : f(best - 1);
+      const double right_value =
+          best + 1 <= w1 ? value[best + 1 - w0] : f(best + 1);
+      if (left_value > best_value && right_value > best_value) return best;
+    }
+  }
+  return TernarySearchMinIndexOver(std::size_t{0}, hi, f);
 }
 
 BucketCost AbsCumulativeOracle::Cost(std::size_t s, std::size_t e) const {
   PROBSYN_DCHECK(s <= e && e < n_);
-  std::size_t best = TernarySearchMinIndex(
-      0, grid_.size() - 1,
-      [&](std::size_t l) { return CostAtGridIndex(s, e, l); });
+  // The hint-less search below is exactly the historical ternary search
+  // (identical probe sequence), with the probe lambda inlined.
+  std::size_t best = OptimalGridIndex(s, e, kNoHint);
   return {grid_[best], std::max(0.0, CostAtGridIndex(s, e, best))};
+}
+
+AbsCumulativeOracle::FlatSweep::FlatSweep(const AbsCumulativeOracle& oracle,
+                                          std::size_t e)
+    : oracle_(oracle), end_(e), next_start_(e) {}
+
+BucketCost AbsCumulativeOracle::FlatSweep::Extend() {
+  const std::size_t s = next_start_;
+  PROBSYN_DCHECK(s <= end_ && end_ < oracle_.n_);
+  hint_ = oracle_.OptimalGridIndex(s, end_, hint_);
+  BucketCost result{oracle_.grid_[hint_],
+                    std::max(0.0, oracle_.CostAtGridIndex(s, end_, hint_))};
+  if (next_start_ > 0) --next_start_;
+  return result;
+}
+
+namespace {
+
+// Virtual adapter over FlatSweep, so the reference (virtual-dispatch) DP
+// path and the devirtualized kernel run the identical warm-started probe
+// sequence.
+class AbsSweepAdapter final : public BucketCostOracle::Sweep {
+ public:
+  AbsSweepAdapter(const AbsCumulativeOracle& oracle, std::size_t e)
+      : sweep_(oracle, e) {}
+  BucketCost Extend() override { return sweep_.Extend(); }
+
+ private:
+  AbsCumulativeOracle::FlatSweep sweep_;
+};
+
+}  // namespace
+
+std::unique_ptr<BucketCostOracle::Sweep> AbsCumulativeOracle::StartSweep(
+    std::size_t e) const {
+  return std::make_unique<AbsSweepAdapter>(*this, e);
 }
 
 }  // namespace probsyn

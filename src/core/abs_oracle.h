@@ -2,6 +2,7 @@
 #define PROBSYN_CORE_ABS_ORACLE_H_
 
 #include <cstddef>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -44,12 +45,66 @@ class AbsCumulativeOracle final : public BucketCostOracle {
 
   std::size_t domain_size() const override { return n_; }
   BucketCost Cost(std::size_t s, std::size_t e) const override;
+  std::unique_ptr<Sweep> StartSweep(std::size_t e) const override;
 
   /// Expected bucket error for a *given* grid representative index; exposed
   /// for tests that verify convexity and optimality of the searched l.
-  double CostAtGridIndex(std::size_t s, std::size_t e, std::size_t l) const;
+  /// Defined inline so the convex search's probe loop (OptimalGridIndex and
+  /// the approximate DP's point-cost kernel) compiles down to direct bank
+  /// reads with no cross-TU call per probe.
+  double CostAtGridIndex(std::size_t s, std::size_t e, std::size_t l) const {
+    return below_.RangeSum(l, s, e) + above_.RangeSum(l, s, e);
+  }
 
   const std::vector<double>& grid() const { return grid_; }
+
+  /// Sentinel for OptimalGridIndex / FlatSweep: no warm hint available.
+  static constexpr std::size_t kNoHint = static_cast<std::size_t>(-1);
+
+  /// Optimal representative grid index for bucket [s, e], optionally
+  /// warm-started from a neighboring cell's optimum.
+  ///
+  /// With `hint == kNoHint` this is exactly the cold convex ternary search
+  /// that Cost() runs (TernarySearchMinIndexOver over the full grid). With a
+  /// hint, the 3-point window around the hint is probed first and its best
+  /// index is accepted only when it is a STRICT pit — both neighbors
+  /// strictly larger. On the convex cost curves the paper proves for
+  /// SAE/SARE (Theorems 3 and 4) a strict pit is the unique global
+  /// minimizer, i.e. exactly what the cold search returns; exact ties,
+  /// plateaus, and drifts past the window fall back to the cold search.
+  /// The warm fast path costs O(1) probes instead of the cold search's
+  /// O(log |V|) — a DP sweep moves the optimum slowly, so most cells take
+  /// it.
+  ///
+  /// Caveat (why the DP paths are wired the way they are): the COMPUTED
+  /// cost sequence can deviate from convexity by rounding — a flat-bottomed
+  /// plateau can split into several equal-valued strict pits — and then a
+  /// warm-accepted pit may be a different, equally-optimal grid index than
+  /// the cold search's. Both DP routes over this oracle (reference and
+  /// kernel) therefore share ONE warm probe sequence via FlatSweep, making
+  /// their parity independent of this caveat; only warm-vs-cold agreement
+  /// is convexity-conditional.
+  std::size_t OptimalGridIndex(std::size_t s, std::size_t e,
+                               std::size_t hint) const;
+
+  /// Non-virtual leftward sweep with fixed right end `e`: the k-th call to
+  /// Extend() returns Cost(e - k + 1, e), warm-starting each cell's
+  /// representative search from the previous cell's optimum (see
+  /// OptimalGridIndex). This is the concrete engine behind the virtual
+  /// StartSweep() adapter; the devirtualized DP kernel
+  /// (core/dp_kernels.cc) drives it directly, so both paths run the
+  /// identical probe sequence and stay bit-identical.
+  class FlatSweep {
+   public:
+    FlatSweep(const AbsCumulativeOracle& oracle, std::size_t e);
+    BucketCost Extend();
+
+   private:
+    const AbsCumulativeOracle& oracle_;
+    std::size_t end_;
+    std::size_t next_start_;
+    std::size_t hint_ = kNoHint;
+  };
 
  private:
   std::size_t n_;

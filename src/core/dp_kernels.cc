@@ -9,7 +9,6 @@
 #include "core/ssre_oracle.h"
 #include "util/logging.h"
 #include "util/math.h"
-#include "util/search.h"
 #include "util/thread_pool.h"
 
 namespace probsyn {
@@ -320,21 +319,22 @@ struct SsreFiller {
   }
 };
 
-// AbsCumulativeOracle::Cost with the ternary search inlined over the U/D
-// banks: same probe sequence as the std::function-based search (both are
-// TernarySearchMinIndexOver), no virtual or type-erased calls per probe.
+// AbsCumulativeOracle: drive the concrete warm-started FlatSweep directly —
+// the identical hint-carrying convex search the oracle's own StartSweep
+// runs (core/abs_oracle.cc), minus the virtual adapter. Warm starts shave
+// the cold search's O(log |V|) probes to O(1) on most cells; parity with
+// the reference path holds by construction because both sides run the same
+// FlatSweep probe sequence.
 struct AbsFiller {
   const AbsCumulativeOracle* oracle;
 
   void Fill(std::size_t j, double* cost, double* rep) const {
-    const std::vector<double>& grid = oracle->grid();
-    const std::size_t hi = grid.size() - 1;
-    for (std::size_t s = 0; s <= j; ++s) {
-      const std::size_t best = TernarySearchMinIndexOver(
-          std::size_t{0}, hi,
-          [&](std::size_t l) { return oracle->CostAtGridIndex(s, j, l); });
-      rep[s] = grid[best];
-      cost[s] = std::max(0.0, oracle->CostAtGridIndex(s, j, best));
+    AbsCumulativeOracle::FlatSweep sweep(*oracle, j);
+    for (std::size_t s = j;; --s) {
+      BucketCost c = sweep.Extend();
+      cost[s] = c.cost;
+      rep[s] = c.representative;
+      if (s == 0) break;
     }
   }
 };
@@ -520,6 +520,206 @@ void RunDp(const Filler& filler, std::size_t n, std::size_t cap,
   }
 }
 
+// ---------------------------------------------------------------------------
+// Approximate-DP point-cost kernels. The (1 + eps) DP evaluates a sparse
+// candidate set, so instead of column fillers each kernel exposes one
+// devirtualized Cost(s, e) evaluation reproducing the oracle's arithmetic
+// verbatim — bit-identical cost values make the shared driver's every
+// comparison, class boundary, and traceback identical to the reference.
+//
+// AbsCumulativeOracle deliberately runs the COLD search here (no warm
+// hints, unlike its FlatSweep): the reference path evaluates candidates
+// through the cold virtual Cost(), and a warm-accepted optimum can land on
+// a different grid index when rounding splits a cost plateau into several
+// equal-valued pits — legal as an answer, fatal for bit parity. The win is
+// the inlined probe loop (no std::function per probe).
+
+struct ReferencePointCost {
+  const BucketCostOracle* oracle;
+
+  double Cost(std::size_t s, std::size_t e) const {
+    return oracle->Cost(s, e).cost;
+  }
+};
+
+// SseMomentOracle::Cost over hoisted raw cumulative arrays (cost part only;
+// the approximate DP re-costs final buckets through the oracle itself).
+struct SseMomentPointCost {
+  const double* weight;
+  const double* mean;
+  const double* second;
+  const double* variance;
+  bool world_mean;
+
+  double Cost(std::size_t s, std::size_t e) const {
+    const double sum_weight = weight[e + 1] - weight[s];
+    if (sum_weight <= 0.0) return 0.0;
+    const double sum_mean = mean[e + 1] - mean[s];
+    const double sum_second = second[e + 1] - second[s];
+    double expected_square_of_sum = sum_mean * sum_mean;
+    if (world_mean) expected_square_of_sum += variance[e + 1] - variance[s];
+    const double c = sum_second - expected_square_of_sum / sum_weight;
+    return ClampTinyNegative(c, 1e-6);
+  }
+};
+
+// SsreOracle::Cost over hoisted raw X/Y/Z cumulative arrays.
+struct SsrePointCost {
+  const double* x;
+  const double* y;
+  const double* z;
+
+  double Cost(std::size_t s, std::size_t e) const {
+    const double zs = z[e + 1] - z[s];
+    if (zs <= 0.0) return 0.0;
+    const double xs = x[e + 1] - x[s];
+    const double ys = y[e + 1] - y[s];
+    const double c = xs - ys * ys / zs;
+    return ClampTinyNegative(c, 1e-6);
+  }
+};
+
+// AbsCumulativeOracle's cold convex search with the probe lambda inlined
+// (OptimalGridIndex without a hint runs the identical probe sequence as
+// the std::function-based Cost()).
+struct AbsPointCost {
+  const AbsCumulativeOracle* oracle;
+
+  double Cost(std::size_t s, std::size_t e) const {
+    const std::size_t best =
+        oracle->OptimalGridIndex(s, e, AbsCumulativeOracle::kNoHint);
+    return std::max(0.0, oracle->CostAtGridIndex(s, e, best));
+  }
+};
+
+// MaxErrorOracle / SseTupleWorldMeanOracle: the classes are final, so the
+// concrete call devirtualizes; their per-bucket work is irreducible.
+struct MaxErrorPointCost {
+  const MaxErrorOracle* oracle;
+
+  double Cost(std::size_t s, std::size_t e) const {
+    return oracle->Cost(s, e).cost;
+  }
+};
+
+struct TupleSsePointCost {
+  const SseTupleWorldMeanOracle* oracle;
+
+  double Cost(std::size_t s, std::size_t e) const {
+    return oracle->Cost(s, e).cost;
+  }
+};
+
+// The approximate-DP driver, shared by every point-cost kernel: identical
+// control flow, comparisons, and evaluation counting in every
+// configuration, so bit-identical cost evaluations imply bit-identical
+// histograms, costs, and oracle_evaluations.
+template <typename CostFn>
+StatusOr<ApproxHistogramResult> RunApproxDp(const BucketCostOracle& oracle,
+                                            const CostFn& cost_fn,
+                                            std::size_t max_buckets,
+                                            double epsilon,
+                                            DpKernelKind kind) {
+  const std::size_t n = oracle.domain_size();
+  if (n == 0) return Status::InvalidArgument("empty domain");
+  if (max_buckets < 1) return Status::InvalidArgument("need >= 1 bucket");
+  if (!(epsilon > 0.0)) {
+    return Status::InvalidArgument("epsilon must be positive");
+  }
+  const std::size_t cap = std::min(max_buckets, n);
+  // Per-layer slack; (1 + delta)^(cap-1) <= e^(eps/2) <= 1 + eps for
+  // eps <= 1. Larger eps values still yield a valid (coarser) guarantee.
+  const double delta =
+      std::min(0.5, epsilon / (2.0 * static_cast<double>(cap)));
+
+  std::size_t evaluations = 0;
+
+  std::vector<std::vector<std::int64_t>> choice(
+      cap, std::vector<std::int64_t>(n, HistogramDpResult::kWholePrefix));
+  constexpr std::int64_t kInherit = -2;
+
+  std::vector<double> prev(n), cur(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    prev[j] = cost_fn.Cost(0, j);
+    ++evaluations;
+  }
+
+  std::vector<std::size_t> candidates;
+  for (std::size_t b = 2; b <= cap; ++b) {
+    // Geometric error classes of the previous (monotone) layer; keep the
+    // rightmost position of each class. Classes are contiguous intervals
+    // because prev[] is non-decreasing in j.
+    candidates.clear();
+    double class_base = prev[0];
+    for (std::size_t j = 0; j + 1 < n; ++j) {
+      bool class_ends = (prev[j + 1] > class_base * (1.0 + delta)) ||
+                        (class_base == 0.0 && prev[j + 1] > 0.0);
+      if (class_ends) {
+        candidates.push_back(j);
+        class_base = prev[j + 1];
+      }
+    }
+    if (n >= 1) candidates.push_back(n - 1);
+
+    for (std::size_t j = 0; j < n; ++j) {
+      double best = prev[j];  // Inherit: fewer buckets already optimal.
+      std::int64_t best_choice = kInherit;
+      auto consider = [&](std::size_t l) {
+        double v = prev[l] + cost_fn.Cost(l + 1, j);
+        ++evaluations;
+        if (v < best) {
+          best = v;
+          best_choice = static_cast<std::int64_t>(l);
+        }
+      };
+      for (std::size_t l : candidates) {
+        if (l + 1 > j) break;  // candidates ascending; l must be < j
+        consider(l);
+      }
+      if (j >= 1) consider(j - 1);
+      cur[j] = best;
+      choice[b - 1][j] = best_choice;
+    }
+    prev.swap(cur);
+  }
+
+  // Traceback (same scheme as the exact DP).
+  std::vector<HistogramBucket> buckets;
+  std::size_t layer = cap;
+  std::size_t j = n - 1;
+  for (;;) {
+    std::int64_t c = layer >= 2 ? choice[layer - 1][j]
+                                : HistogramDpResult::kWholePrefix;
+    if (c == kInherit) {
+      --layer;
+      continue;
+    }
+    if (c == HistogramDpResult::kWholePrefix) {
+      buckets.push_back({0, j, 0.0});
+      break;
+    }
+    std::size_t l = static_cast<std::size_t>(c);
+    buckets.push_back({l + 1, j, 0.0});
+    j = l;
+    PROBSYN_CHECK(layer > 1);
+    --layer;
+  }
+  std::reverse(buckets.begin(), buckets.end());
+  double total = 0.0;
+  for (HistogramBucket& b : buckets) {
+    BucketCost bc = oracle.Cost(b.start, b.end);
+    b.representative = bc.representative;
+    total += bc.cost;
+  }
+
+  ApproxHistogramResult result;
+  result.histogram = Histogram(std::move(buckets));
+  result.cost = total;
+  result.oracle_evaluations = evaluations;
+  result.kernel = kind;
+  return result;
+}
+
 }  // namespace
 
 void DpWorkspacePool::Lease::Release() {
@@ -644,6 +844,69 @@ HistogramDpResult SolveHistogramDpWithKernel(const BucketCostOracle& oracle,
   result.choice_ = ws->choice_.data();
   result.rep_ = ws->rep_.data();
   return result;
+}
+
+StatusOr<ApproxHistogramResult> SolveApproxHistogramDpWithKernel(
+    const BucketCostOracle& oracle, std::size_t max_buckets, double epsilon,
+    const ApproxDpKernelOptions& options) {
+  const DpKernelKind kind = options.kernel == DpKernelKind::kAuto
+                                ? SelectDpKernel(oracle)
+                                : options.kernel;
+  switch (kind) {
+    case DpKernelKind::kReference: {
+      ReferencePointCost cost_fn{&oracle};
+      return RunApproxDp(oracle, cost_fn, max_buckets, epsilon, kind);
+    }
+    case DpKernelKind::kSseMoment: {
+      const auto* sse = dynamic_cast<const SseMomentOracle*>(&oracle);
+      PROBSYN_CHECK(sse != nullptr);
+      SseMomentPointCost cost_fn{sse->weight_prefix().cumulative().data(),
+                                 sse->mean_prefix().cumulative().data(),
+                                 sse->second_prefix().cumulative().data(),
+                                 sse->variance_prefix().cumulative().data(),
+                                 sse->variant() == SseVariant::kWorldMean};
+      return RunApproxDp(oracle, cost_fn, max_buckets, epsilon, kind);
+    }
+    case DpKernelKind::kSsre: {
+      const auto* ssre = dynamic_cast<const SsreOracle*>(&oracle);
+      PROBSYN_CHECK(ssre != nullptr);
+      SsrePointCost cost_fn{ssre->x_prefix().cumulative().data(),
+                            ssre->y_prefix().cumulative().data(),
+                            ssre->z_prefix().cumulative().data()};
+      return RunApproxDp(oracle, cost_fn, max_buckets, epsilon, kind);
+    }
+    case DpKernelKind::kAbsCumulative: {
+      const auto* abs = dynamic_cast<const AbsCumulativeOracle*>(&oracle);
+      PROBSYN_CHECK(abs != nullptr);
+      AbsPointCost cost_fn{abs};
+      return RunApproxDp(oracle, cost_fn, max_buckets, epsilon, kind);
+    }
+    case DpKernelKind::kMaxError: {
+      const auto* max = dynamic_cast<const MaxErrorOracle*>(&oracle);
+      PROBSYN_CHECK(max != nullptr);
+      MaxErrorPointCost cost_fn{max};
+      return RunApproxDp(oracle, cost_fn, max_buckets, epsilon, kind);
+    }
+    case DpKernelKind::kTupleSse: {
+      const auto* tuple = dynamic_cast<const SseTupleWorldMeanOracle*>(&oracle);
+      PROBSYN_CHECK(tuple != nullptr);
+      TupleSsePointCost cost_fn{tuple};
+      return RunApproxDp(oracle, cost_fn, max_buckets, epsilon, kind);
+    }
+    case DpKernelKind::kAuto:
+      break;  // resolved above
+  }
+  PROBSYN_CHECK(false);
+  return Status::Internal("unreachable");
+}
+
+const char* WaveletSplitKernelName(WaveletSplitKernel kind) {
+  switch (kind) {
+    case WaveletSplitKernel::kAuto: return "auto";
+    case WaveletSplitKernel::kReference: return "reference";
+    case WaveletSplitKernel::kBudgetSplit: return "budget-split";
+  }
+  return "?";
 }
 
 }  // namespace probsyn

@@ -1,8 +1,10 @@
 #ifndef PROBSYN_CORE_DP_KERNELS_H_
 #define PROBSYN_CORE_DP_KERNELS_H_
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
+#include <limits>
 #include <memory>
 #include <mutex>
 #include <utility>
@@ -10,6 +12,7 @@
 
 #include "core/bucket_oracle.h"
 #include "core/histogram_dp.h"
+#include "util/status.h"
 
 namespace probsyn {
 
@@ -132,6 +135,227 @@ HistogramDpResult SolveHistogramDpWithKernel(const BucketCostOracle& oracle,
                                              std::size_t max_buckets,
                                              DpCombiner combiner,
                                              const DpKernelOptions& options);
+
+/// Knobs of the kernel-level approximate-DP entry point. Defaults reproduce
+/// SolveApproxHistogramDp(oracle, max_buckets, epsilon).
+struct ApproxDpKernelOptions {
+  /// kAuto resolves via SelectDpKernel. A concrete kind must match the
+  /// oracle's dynamic type (checked); kReference always applies and is the
+  /// parity baseline the kernel tests compare against.
+  DpKernelKind kernel = DpKernelKind::kAuto;
+};
+
+/// The (1 + epsilon)-approximate DP behind SolveApproxHistogramDp, with
+/// explicit control over the point-cost kernel. Unlike the exact DP — whose
+/// kernels fill whole bucket-cost columns — the approximate DP evaluates a
+/// SPARSE set of candidate buckets (Theorem 5's geometric error classes),
+/// so its kernels are devirtualized point-cost evaluators: each candidate's
+/// Cost(s, e) arithmetic is inlined over the oracle's raw prefix-sum spans
+/// (SSE/SSRE), run through the cold convex search with the probe lambda
+/// inlined (SAE/SARE — cold rather than warm-started, because the
+/// reference path's virtual Cost() searches cold and plateau rounding can
+/// make a warm-accepted optimum land on a different grid index), or issued
+/// as a concrete `final`-class call (MAE/MARE, tuple-SSE) — never a
+/// virtual dispatch per candidate.
+///
+/// Every kernel is bit-identical to kReference in the returned histogram,
+/// cost, and oracle_evaluations count (the driver is shared; only the cost
+/// evaluation is specialized), pinned by tests/dp_kernel_parity_test.cc.
+StatusOr<ApproxHistogramResult> SolveApproxHistogramDpWithKernel(
+    const BucketCostOracle& oracle, std::size_t max_buckets, double epsilon,
+    const ApproxDpKernelOptions& options);
+
+/// Which inner-loop implementation the wavelet DPs' budget-split
+/// minimizations ran with. Both coefficient-tree DPs (restricted and
+/// unrestricted, core/wavelet_dp.cc and core/wavelet_unrestricted.cc)
+/// spend their time minimizing over child budget splits; kBudgetSplit
+/// replaces the scalar scan with the same machinery the exact histogram DP
+/// uses — a chunked 4-accumulator min-reduction for sum combiners and a
+/// monotone-split bisection for max combiners — and is bit-identical to
+/// kReference (costs, kept coefficients, traceback ties), which the
+/// dp_kernel_parity tests pin down.
+enum class WaveletSplitKernel {
+  kAuto,         ///< Resolve to kBudgetSplit (structure-based, always applies).
+  kReference,    ///< Ascending scalar scan (parity baseline).
+  kBudgetSplit,  ///< Chunked min-reduction (sum) / exact bisection (max).
+};
+
+/// Stable display name ("reference", "budget-split", ...).
+const char* WaveletSplitKernelName(WaveletSplitKernel kind);
+
+/// One budget-split minimization: over bl = 0..bl_max, with
+/// br = min(rem - bl, cap_right), minimize Combine(left[bl], right[br])
+/// where Combine is + (kSum) or max (kMax). Returns the minimum value and
+/// the FIRST bl attaining it — the wavelet DPs' ascending-scan tie-break.
+struct BudgetSplit {
+  double value = 0.0;
+  std::size_t left_budget = 0;
+};
+
+// Implementation detail of MinBudgetSplit below; defined inline (like the
+// templated search in util/search.h) so the wavelet solvers' hot loops
+// inline the split machinery instead of paying a cross-TU call per split.
+namespace budget_split_internal {
+
+inline BudgetSplit Reference(DpCombiner combiner, const double* left,
+                             std::size_t bl_max, const double* right,
+                             std::size_t cap_right, std::size_t rem) {
+  double best = std::numeric_limits<double>::infinity();
+  std::size_t best_bl = 0;
+  for (std::size_t bl = 0; bl <= bl_max; ++bl) {
+    const std::size_t br = std::min(rem - bl, cap_right);
+    const double v = combiner == DpCombiner::kSum
+                         ? left[bl] + right[br]
+                         : std::max(left[bl], right[br]);
+    if (v < best) {
+      best = v;
+      best_bl = bl;
+    }
+  }
+  return {best, best_bl};
+}
+
+// kSum: two constant-stride segments (br pinned at cap_right, then
+// br = rem - bl), each reduced with four independent min accumulators
+// (exact in any order), then the first split attaining the minimum located
+// in whichever segment owns it — the reference ascending-scan tie-break.
+inline BudgetSplit SumFast(const double* left, std::size_t bl_max,
+                           const double* right, std::size_t cap_right,
+                           std::size_t rem) {
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  // Segment 1: bl in [0, seg1_end) has rem - bl >= cap_right.
+  const std::size_t seg1_end =
+      rem >= cap_right ? std::min(bl_max + 1, rem - cap_right + 1) : 0;
+  const double rc = right[cap_right];
+
+  double m1 = kInf;
+  {
+    double a0 = kInf, a1 = kInf, a2 = kInf, a3 = kInf;
+    std::size_t bl = 0;
+    for (; bl + 4 <= seg1_end; bl += 4) {
+      a0 = std::min(a0, left[bl] + rc);
+      a1 = std::min(a1, left[bl + 1] + rc);
+      a2 = std::min(a2, left[bl + 2] + rc);
+      a3 = std::min(a3, left[bl + 3] + rc);
+    }
+    m1 = std::min(std::min(a0, a1), std::min(a2, a3));
+    for (; bl < seg1_end; ++bl) m1 = std::min(m1, left[bl] + rc);
+  }
+  double m2 = kInf;
+  {
+    double a0 = kInf, a1 = kInf, a2 = kInf, a3 = kInf;
+    std::size_t bl = seg1_end;
+    for (; bl + 4 <= bl_max + 1; bl += 4) {
+      a0 = std::min(a0, left[bl] + right[rem - bl]);
+      a1 = std::min(a1, left[bl + 1] + right[rem - bl - 1]);
+      a2 = std::min(a2, left[bl + 2] + right[rem - bl - 2]);
+      a3 = std::min(a3, left[bl + 3] + right[rem - bl - 3]);
+    }
+    m2 = std::min(std::min(a0, a1), std::min(a2, a3));
+    for (; bl <= bl_max; ++bl) m2 = std::min(m2, left[bl] + right[rem - bl]);
+  }
+
+  // First-attaining split: segment 1's indices precede segment 2's, so a
+  // tie between the segment minima resolves into segment 1. A segment's
+  // exact minimum is always attained inside it, so one scan returns.
+  if (m1 <= m2) {
+    for (std::size_t bl = 0; bl < seg1_end; ++bl) {
+      if (left[bl] + rc == m1) return {m1, bl};
+    }
+  }
+  for (std::size_t bl = seg1_end; bl <= bl_max; ++bl) {
+    if (left[bl] + right[rem - bl] == m2) return {m2, bl};
+  }
+  return {m2, bl_max};  // unreachable: the minimum is attained above
+}
+
+// kMax: v(bl) = max(F, R) with F(bl) = left[bl] exactly non-increasing and
+// R(bl) = right[min(rem - bl, cap_right)] exactly non-decreasing, so v
+// falls until the first crossing (first bl with R > F) and rises after it.
+// Everything reduces to two exact binary searches on monotone predicates:
+// locate the crossing c, then the first split attaining
+// min(F(c - 1), R(c)).
+inline BudgetSplit MaxFast(const double* left, std::size_t bl_max,
+                           const double* right, std::size_t cap_right,
+                           std::size_t rem) {
+  auto value_at = [&](std::size_t bl) {
+    return std::max(left[bl], right[std::min(rem - bl, cap_right)]);
+  };
+  // c = first bl in [0, bl_max] with R(bl) > F(bl); bl_max + 1 if none.
+  std::size_t lo = 0;
+  std::size_t hi = bl_max + 1;
+  while (lo < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (right[std::min(rem - mid, cap_right)] > left[mid]) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  const std::size_t c = lo;
+  if (c == 0) {
+    // v is non-decreasing on the whole range: bl = 0 is first-attaining.
+    return {value_at(0), 0};
+  }
+
+  // On [0, c) R <= F, so v = F there and the prefix minimum is F(c - 1).
+  const double prefix_min = left[c - 1];
+  const double suffix_min =
+      c <= bl_max ? right[std::min(rem - c, cap_right)]
+                  : std::numeric_limits<double>::infinity();
+  if (prefix_min <= suffix_min) {
+    // First bl with F(bl) <= prefix_min (F non-increasing => monotone
+    // predicate); F(bl) >= F(c - 1) on the prefix makes it the first
+    // attaining split overall.
+    std::size_t flo = 0;
+    std::size_t fhi = c - 1;
+    while (flo < fhi) {
+      const std::size_t mid = flo + (fhi - flo) / 2;
+      if (left[mid] <= prefix_min) {
+        fhi = mid;
+      } else {
+        flo = mid + 1;
+      }
+    }
+    return {value_at(flo), flo};
+  }
+  // The prefix values all exceed R(c), and v = R is non-decreasing from c.
+  return {value_at(c), c};
+}
+
+}  // namespace budget_split_internal
+
+/// Candidate-count cutoff of MinBudgetSplit's hybrid dispatch: below it
+/// the scalar scan wins on sheer simplicity (one predictable pass beats
+/// reduction or bisection set-up), so the fast kernel runs the identical
+/// reference scan there — the asymptotic machinery engages only where it
+/// pays.
+inline constexpr std::size_t kSmallBudgetSplit = 32;
+
+/// Runs one budget-split minimization with the chosen kernel. Requires
+/// bl_max <= rem. The kBudgetSplit fast paths rely on `left` and `right`
+/// being non-increasing in the budget index — true by construction for the
+/// wavelet DPs' optimal-error tables, exactly (not just mathematically):
+/// granting a child one more coefficient re-minimizes over a pointwise-<=
+/// candidate set, and FP min/max/+ are monotone, so the computed tables
+/// inherit monotonicity bit-for-bit. That makes the kMax bisection exact
+/// (no verification sweep needed, unlike the histogram kMax cell whose
+/// cost columns can be non-monotone by rounding).
+inline BudgetSplit MinBudgetSplit(DpCombiner combiner, const double* left,
+                                  std::size_t bl_max, const double* right,
+                                  std::size_t cap_right, std::size_t rem,
+                                  WaveletSplitKernel kernel) {
+  if (kernel != WaveletSplitKernel::kReference &&
+      bl_max >= kSmallBudgetSplit) {
+    return combiner == DpCombiner::kSum
+               ? budget_split_internal::SumFast(left, bl_max, right,
+                                                cap_right, rem)
+               : budget_split_internal::MaxFast(left, bl_max, right,
+                                                cap_right, rem);
+  }
+  return budget_split_internal::Reference(combiner, left, bl_max, right,
+                                          cap_right, rem);
+}
 
 }  // namespace probsyn
 

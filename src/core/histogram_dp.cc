@@ -84,102 +84,9 @@ HistogramDpResult SolveHistogramDp(const BucketCostOracle& oracle,
 
 StatusOr<ApproxHistogramResult> SolveApproxHistogramDp(
     const BucketCostOracle& oracle, std::size_t max_buckets, double epsilon) {
-  const std::size_t n = oracle.domain_size();
-  if (n == 0) return Status::InvalidArgument("empty domain");
-  if (max_buckets < 1) return Status::InvalidArgument("need >= 1 bucket");
-  if (!(epsilon > 0.0)) {
-    return Status::InvalidArgument("epsilon must be positive");
-  }
-  const std::size_t cap = std::min(max_buckets, n);
-  // Per-layer slack; (1 + delta)^(cap-1) <= e^(eps/2) <= 1 + eps for
-  // eps <= 1. Larger eps values still yield a valid (coarser) guarantee.
-  const double delta = std::min(0.5, epsilon / (2.0 * static_cast<double>(cap)));
-
-  std::size_t evaluations = 0;
-  auto bucket_cost = [&](std::size_t s, std::size_t e) {
-    ++evaluations;
-    return oracle.Cost(s, e).cost;
-  };
-
-  std::vector<std::vector<std::int64_t>> choice(
-      cap, std::vector<std::int64_t>(n, HistogramDpResult::kWholePrefix));
-  constexpr std::int64_t kInherit = -2;
-
-  std::vector<double> prev(n), cur(n);
-  for (std::size_t j = 0; j < n; ++j) prev[j] = bucket_cost(0, j);
-
-  std::vector<std::size_t> candidates;
-  for (std::size_t b = 2; b <= cap; ++b) {
-    // Geometric error classes of the previous (monotone) layer; keep the
-    // rightmost position of each class. Classes are contiguous intervals
-    // because prev[] is non-decreasing in j.
-    candidates.clear();
-    double class_base = prev[0];
-    for (std::size_t j = 0; j + 1 < n; ++j) {
-      bool class_ends = (prev[j + 1] > class_base * (1.0 + delta)) ||
-                        (class_base == 0.0 && prev[j + 1] > 0.0);
-      if (class_ends) {
-        candidates.push_back(j);
-        class_base = prev[j + 1];
-      }
-    }
-    if (n >= 1) candidates.push_back(n - 1);
-
-    for (std::size_t j = 0; j < n; ++j) {
-      double best = prev[j];  // Inherit: fewer buckets already optimal.
-      std::int64_t best_choice = kInherit;
-      auto consider = [&](std::size_t l) {
-        double v = prev[l] + bucket_cost(l + 1, j);
-        if (v < best) {
-          best = v;
-          best_choice = static_cast<std::int64_t>(l);
-        }
-      };
-      for (std::size_t l : candidates) {
-        if (l + 1 > j) break;  // candidates ascending; l must be < j
-        consider(l);
-      }
-      if (j >= 1) consider(j - 1);
-      cur[j] = best;
-      choice[b - 1][j] = best_choice;
-    }
-    prev.swap(cur);
-  }
-
-  // Traceback (same scheme as the exact DP).
-  std::vector<HistogramBucket> buckets;
-  std::size_t layer = cap;
-  std::size_t j = n - 1;
-  for (;;) {
-    std::int64_t c = layer >= 2 ? choice[layer - 1][j]
-                                : HistogramDpResult::kWholePrefix;
-    if (c == kInherit) {
-      --layer;
-      continue;
-    }
-    if (c == HistogramDpResult::kWholePrefix) {
-      buckets.push_back({0, j, 0.0});
-      break;
-    }
-    std::size_t l = static_cast<std::size_t>(c);
-    buckets.push_back({l + 1, j, 0.0});
-    j = l;
-    PROBSYN_CHECK(layer > 1);
-    --layer;
-  }
-  std::reverse(buckets.begin(), buckets.end());
-  double total = 0.0;
-  for (HistogramBucket& b : buckets) {
-    BucketCost bc = oracle.Cost(b.start, b.end);
-    b.representative = bc.representative;
-    total += bc.cost;
-  }
-
-  ApproxHistogramResult result;
-  result.histogram = Histogram(std::move(buckets));
-  result.cost = total;
-  result.oracle_evaluations = evaluations;
-  return result;
+  // Auto-select the point-cost kernel; the driver and all comparisons live
+  // in core/dp_kernels.cc and are bit-identical across kernels.
+  return SolveApproxHistogramDpWithKernel(oracle, max_buckets, epsilon, {});
 }
 
 }  // namespace probsyn

@@ -151,6 +151,10 @@ struct ApproxHistogramResult {
   /// Bucket-cost oracle evaluations performed (the complexity currency of
   /// the paper's Theorem 5).
   std::size_t oracle_evaluations = 0;
+  /// The point-cost implementation the solve ran with (never kAuto): a
+  /// specialized kernel evaluates each candidate bucket cost inline over
+  /// the oracle's raw prefix tables instead of through the virtual Cost().
+  DpKernelKind kernel = DpKernelKind::kReference;
 };
 
 /// (1 + epsilon)-approximate histogram construction in the style of Guha,
@@ -162,6 +166,12 @@ struct ApproxHistogramResult {
 /// total work is O((B^2/eps) n log n) oracle calls instead of O(B n^2).
 ///
 /// Cumulative (sum-combiner) metrics only, matching Theorem 5's scope.
+///
+/// This entry point auto-selects the specialized point-cost kernel matching
+/// the oracle's concrete type and is bit-identical to the reference
+/// virtual-dispatch solve in histogram, cost, and evaluation count (pinned
+/// by the dp_kernel_parity tests). For explicit kernel choice use
+/// SolveApproxHistogramDpWithKernel (core/dp_kernels.h).
 StatusOr<ApproxHistogramResult> SolveApproxHistogramDp(
     const BucketCostOracle& oracle, std::size_t max_buckets, double epsilon);
 

@@ -30,11 +30,14 @@ struct StateEntry {
 class WaveletDpSolver {
  public:
   WaveletDpSolver(const ValuePdfInput& padded, std::size_t num_coefficients,
-                  const SynopsisOptions& options)
+                  const SynopsisOptions& options, WaveletSplitKernel kernel)
       : n_(padded.domain_size()),
         budget_(num_coefficients),
         metric_(options.metric),
         cumulative_(IsCumulativeMetric(options.metric)),
+        kernel_(kernel == WaveletSplitKernel::kAuto
+                    ? WaveletSplitKernel::kBudgetSplit
+                    : kernel),
         tables_(padded, options.sanity_c),
         mu_(HaarTransform(PadToPowerOfTwo(padded.ExpectedFrequencies()))) {
     if (options.HasWorkload()) {
@@ -42,6 +45,8 @@ class WaveletDpSolver {
       weights_.resize(n_, 0.0);  // padded items carry zero workload
     }
   }
+
+  WaveletSplitKernel kernel() const { return kernel_; }
 
   WaveletDpResult Solve() {
     std::vector<WaveletCoefficient> kept;
@@ -144,17 +149,22 @@ class WaveletDpSolver {
       const StateEntry& rs = NodeState(right, (mask << 1) | keep, v_right);
       std::vector<double> right_best = rs.best;
 
+      const DpCombiner combiner =
+          cumulative_ ? DpCombiner::kSum : DpCombiner::kMax;
       for (std::size_t b = keep; b <= cap; ++b) {
         std::size_t rem = b - keep;
-        for (std::size_t bl = 0; bl <= std::min(rem, cap_left); ++bl) {
-          std::size_t br = std::min(rem - bl, cap_right);
-          double err = Combine(left_best[bl], right_best[br]);
-          bool first = (keep == 0 && bl == 0);
-          if (first || err < entry.best[b]) {
-            entry.best[b] = err;
-            entry.decision[b] = {keep == 1, static_cast<std::uint16_t>(bl),
-                                 static_cast<std::uint16_t>(br)};
-          }
+        // The split minimization runs through the kernel layer; the keep
+        // passes preserve the reference tie-break (keep == 0 assigns
+        // unconditionally, keep == 1 wins only strictly).
+        BudgetSplit split =
+            MinBudgetSplit(combiner, left_best.data(), std::min(rem, cap_left),
+                           right_best.data(), cap_right, rem, kernel_);
+        if (keep == 0 || split.value < entry.best[b]) {
+          std::size_t br = std::min(rem - split.left_budget, cap_right);
+          entry.best[b] = split.value;
+          entry.decision[b] = {keep == 1,
+                               static_cast<std::uint16_t>(split.left_budget),
+                               static_cast<std::uint16_t>(br)};
         }
       }
     }
@@ -187,6 +197,7 @@ class WaveletDpSolver {
   std::size_t budget_;
   ErrorMetric metric_;
   bool cumulative_;
+  WaveletSplitKernel kernel_;
   PointErrorTables tables_;
   std::vector<double> mu_;
   std::vector<double> weights_;  // empty = uniform
@@ -207,7 +218,8 @@ ValuePdfInput PadInput(const ValuePdfInput& input) {
 
 StatusOr<WaveletDpResult> BuildRestrictedWaveletDp(
     const ValuePdfInput& input, std::size_t num_coefficients,
-    const SynopsisOptions& options, std::size_t max_domain) {
+    const SynopsisOptions& options, std::size_t max_domain,
+    WaveletSplitKernel kernel) {
   PROBSYN_RETURN_IF_ERROR(options.Validate());
   PROBSYN_RETURN_IF_ERROR(input.Validate());
   if (input.domain_size() == 0) {
@@ -225,8 +237,9 @@ StatusOr<WaveletDpResult> BuildRestrictedWaveletDp(
   }
 
   ValuePdfInput padded = PadInput(input);
-  WaveletDpSolver solver(padded, num_coefficients, options);
+  WaveletDpSolver solver(padded, num_coefficients, options, kernel);
   WaveletDpResult result = solver.Solve();
+  result.kernel = solver.kernel();
   // Report the synopsis against the caller's (unpadded) domain.
   result.synopsis = WaveletSynopsis(
       input.domain_size(), padded_n,

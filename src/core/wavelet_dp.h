@@ -3,6 +3,7 @@
 
 #include <cstddef>
 
+#include "core/dp_kernels.h"
 #include "core/metrics.h"
 #include "core/wavelet.h"
 #include "model/value_pdf.h"
@@ -16,6 +17,9 @@ struct WaveletDpResult {
   /// Optimal expected error (cumulative: E_W[sum err]; maximum:
   /// max_i E_W[err]) achieved by the synopsis.
   double cost = 0.0;
+  /// The budget-split implementation the solve ran with (never kAuto);
+  /// see WaveletSplitKernel in core/dp_kernels.h.
+  WaveletSplitKernel kernel = WaveletSplitKernel::kReference;
 };
 
 /// Optimal *restricted* B-term wavelet synopsis for non-SSE error metrics
@@ -37,9 +41,15 @@ struct WaveletDpResult {
 /// Fails with InvalidArgument on empty input and with OutOfRange when the
 /// padded domain exceeds `max_domain` (the O(n^2 B) state table would not
 /// fit; callers opting into big inputs can raise the cap).
+///
+/// The child budget-split minimizations run through the kernel layer
+/// (MinBudgetSplit, core/dp_kernels.h); `kernel` selects the
+/// implementation, kAuto resolving to the fast kBudgetSplit. All kernels
+/// are bit-identical in cost and kept coefficients (parity-tested).
 StatusOr<WaveletDpResult> BuildRestrictedWaveletDp(
     const ValuePdfInput& input, std::size_t num_coefficients,
-    const SynopsisOptions& options, std::size_t max_domain = 2048);
+    const SynopsisOptions& options, std::size_t max_domain = 2048,
+    WaveletSplitKernel kernel = WaveletSplitKernel::kAuto);
 
 }  // namespace probsyn
 

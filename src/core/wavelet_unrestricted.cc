@@ -31,6 +31,9 @@ class UnrestrictedSolver {
         budget_(budget),
         metric_(options.metric),
         cumulative_(IsCumulativeMetric(options.metric)),
+        kernel_(dp_options.kernel == WaveletSplitKernel::kAuto
+                    ? WaveletSplitKernel::kBudgetSplit
+                    : dp_options.kernel),
         tables_(padded, options.sanity_c) {
     if (options.HasWorkload()) {
       weights_ = options.workload;
@@ -39,6 +42,8 @@ class UnrestrictedSolver {
     BuildGrid(padded, dp_options);
     PrecomputeLeafErrors();
   }
+
+  WaveletSplitKernel kernel() const { return kernel_; }
 
   UnrestrictedWaveletResult Solve() {
     if (n_ == 1) return SolveSingleton();
@@ -136,19 +141,17 @@ class UnrestrictedSolver {
     return std::min(budget_, (r.hi - r.lo) - 1);
   }
 
-  double Combine(double a, double b) const {
-    return cumulative_ ? a + b : std::max(a, b);
-  }
-
-  // Child error for incoming grid index g and budget b: either a solved
-  // node table or a data leaf (budget ignored).
-  double ChildBest(std::size_t child, std::size_t g, std::size_t b) const {
-    if (child >= n_) return leaf_error_[(child - n_) * grid_.size() + g];
-    return NodeBest(child, g, std::min(b, Cap(child)));
-  }
-
   double NodeBest(std::size_t j, std::size_t g, std::size_t b) const {
     return node_cost_[j][g * (Cap(j) + 1) + std::min(b, Cap(j))];
+  }
+
+  // Child row for incoming grid index g: a solved node table (indexed by
+  // budget) or the single budget-independent leaf-error cell (cap 0) —
+  // flat spans for the budget-split kernel.
+  const double* ChildRow(std::size_t child, std::size_t child_cap,
+                         std::size_t g) const {
+    if (child >= n_) return &leaf_error_[(child - n_) * grid_.size() + g];
+    return node_cost_[child].data() + g * (child_cap + 1);
   }
 
   void SolveNode(std::size_t j) {
@@ -160,25 +163,26 @@ class UnrestrictedSolver {
     const std::size_t left = 2 * j, right = 2 * j + 1;
     const std::size_t cap_left = left < n_ ? Cap(left) : 0;
     const std::size_t cap_right = right < n_ ? Cap(right) : 0;
+    const DpCombiner combiner =
+        cumulative_ ? DpCombiner::kSum : DpCombiner::kMax;
 
     for (std::size_t g = 0; g < q; ++g) {
       double* row = &node_cost_[j][g * (cap + 1)];
       Decision* dec = &node_decision_[j][g * (cap + 1)];
       for (std::size_t b = 0; b <= cap; ++b) {
-        // Option 1: drop c_j; children inherit g.
-        double best = std::numeric_limits<double>::infinity();
-        Decision choice;
-        for (std::size_t bl = 0; bl <= std::min(b, cap_left); ++bl) {
-          std::size_t br = std::min(b - bl, cap_right);
-          double err = Combine(ChildBest(left, g, bl), ChildBest(right, g, br));
-          if (err < best) {
-            best = err;
-            choice = {false, 0, static_cast<std::uint16_t>(bl),
-                      static_cast<std::uint16_t>(br)};
-          }
-        }
+        // Option 1: drop c_j; children inherit g. The budget split runs
+        // through the kernel layer (first-attaining tie-break preserved).
+        BudgetSplit split = MinBudgetSplit(
+            combiner, ChildRow(left, cap_left, g), std::min(b, cap_left),
+            ChildRow(right, cap_right, g), cap_right, b, kernel_);
+        double best = split.value;
+        Decision choice{
+            false, 0, static_cast<std::uint16_t>(split.left_budget),
+            static_cast<std::uint16_t>(
+                std::min(b - split.left_budget, cap_right))};
         // Option 2: keep c_j = k * step / scale_j; children land on grid
-        // points g + k and g - k.
+        // points g + k and g - k. k stays a scalar loop (each offset pair
+        // is a fresh split); ascending k keeps the reference tie order.
         if (b >= 1) {
           std::size_t rem = b - 1;
           std::int64_t max_off = static_cast<std::int64_t>(
@@ -189,16 +193,16 @@ class UnrestrictedSolver {
                 static_cast<std::int64_t>(g) + k);
             std::size_t gr = static_cast<std::size_t>(
                 static_cast<std::int64_t>(g) - k);
-            for (std::size_t bl = 0; bl <= std::min(rem, cap_left); ++bl) {
-              std::size_t br = std::min(rem - bl, cap_right);
-              double err =
-                  Combine(ChildBest(left, gl, bl), ChildBest(right, gr, br));
-              if (err < best) {
-                best = err;
-                choice = {true, static_cast<std::int32_t>(k),
-                          static_cast<std::uint16_t>(bl),
-                          static_cast<std::uint16_t>(br)};
-              }
+            BudgetSplit ks = MinBudgetSplit(
+                combiner, ChildRow(left, cap_left, gl),
+                std::min(rem, cap_left), ChildRow(right, cap_right, gr),
+                cap_right, rem, kernel_);
+            if (ks.value < best) {
+              best = ks.value;
+              choice = {true, static_cast<std::int32_t>(k),
+                        static_cast<std::uint16_t>(ks.left_budget),
+                        static_cast<std::uint16_t>(
+                            std::min(rem - ks.left_budget, cap_right))};
             }
           }
         }
@@ -229,6 +233,7 @@ class UnrestrictedSolver {
   std::size_t budget_;
   ErrorMetric metric_;
   bool cumulative_;
+  WaveletSplitKernel kernel_;
   PointErrorTables tables_;
 
   std::vector<double> grid_;
@@ -276,6 +281,7 @@ StatusOr<UnrestrictedWaveletResult> BuildUnrestrictedWaveletDp(
   ValuePdfInput padded = PadInput(input);
   UnrestrictedSolver solver(padded, num_coefficients, options, dp_options);
   UnrestrictedWaveletResult result = solver.Solve();
+  result.kernel = solver.kernel();
   result.synopsis = WaveletSynopsis(
       input.domain_size(), padded.domain_size(),
       std::vector<WaveletCoefficient>(result.synopsis.coefficients()));

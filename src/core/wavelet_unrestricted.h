@@ -3,6 +3,7 @@
 
 #include <cstddef>
 
+#include "core/dp_kernels.h"
 #include "core/metrics.h"
 #include "core/wavelet.h"
 #include "model/value_pdf.h"
@@ -21,6 +22,11 @@ struct UnrestrictedWaveletOptions {
   /// of the range (pessimistic coefficient-range estimate, paper
   /// section 4.2's first option).
   double range_padding = 0.125;
+  /// Budget-split implementation of the DP's inner minimizations
+  /// (MinBudgetSplit, core/dp_kernels.h); kAuto resolves to the fast
+  /// kBudgetSplit, kReference is the scalar parity baseline. All choices
+  /// are bit-identical in cost and kept coefficients (parity-tested).
+  WaveletSplitKernel kernel = WaveletSplitKernel::kAuto;
 };
 
 struct UnrestrictedWaveletResult {
@@ -28,6 +34,8 @@ struct UnrestrictedWaveletResult {
   /// Expected error of the synopsis (exact for the returned coefficient
   /// values; optimal over the quantized policy class described below).
   double cost = 0.0;
+  /// The budget-split implementation the solve ran with (never kAuto).
+  WaveletSplitKernel kernel = WaveletSplitKernel::kReference;
 };
 
 /// Optimal *unrestricted* B-term wavelet synopsis over a quantized

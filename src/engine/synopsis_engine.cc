@@ -55,25 +55,37 @@ std::string FormatSolver(const char* route, ThreadPool* pool) {
   return buffer;
 }
 
-std::string FormatExactDpSolver(DpKernelKind kernel, ThreadPool* pool) {
-  char buffer[96];
-  if (pool != nullptr) {
-    std::snprintf(buffer, sizeof(buffer),
-                  "histogram/exact-dp[kernel=%s,parallel=%zu]",
-                  DpKernelKindName(kernel), pool->num_threads() + 1);
-  } else {
-    std::snprintf(buffer, sizeof(buffer),
-                  "histogram/exact-dp[kernel=%s,sequential]",
-                  DpKernelKindName(kernel));
-  }
-  return buffer;
-}
 
 std::string FormatSolverEps(const char* route, double epsilon,
                             ThreadPool* pool) {
   char buffer[64];
   std::snprintf(buffer, sizeof(buffer), "%s(eps=%g)", route, epsilon);
   return FormatSolver(buffer, pool);
+}
+
+// DP-backed routes always record which kernel filled their tables, e.g.
+// "histogram/approx-dp(eps=0.1)[kernel=sse-moment,sequential]" or
+// "wavelet/restricted-dp[kernel=budget-split,sequential]" — a path left on
+// the reference solver says kernel=reference rather than omitting the
+// label.
+std::string FormatKernelSolver(const char* route, const char* kernel_name,
+                               ThreadPool* pool) {
+  char buffer[112];
+  if (pool != nullptr) {
+    std::snprintf(buffer, sizeof(buffer), "%s[kernel=%s,parallel=%zu]", route,
+                  kernel_name, pool->num_threads() + 1);
+  } else {
+    std::snprintf(buffer, sizeof(buffer), "%s[kernel=%s,sequential]", route,
+                  kernel_name);
+  }
+  return buffer;
+}
+
+std::string FormatApproxDpSolver(DpKernelKind kernel, double epsilon) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "histogram/approx-dp(eps=%g)",
+                epsilon);
+  return FormatKernelSolver(buffer, DpKernelKindName(kernel), nullptr);
 }
 
 /// Baseline histograms have no oracle-native cost; re-cost them under the
@@ -217,7 +229,9 @@ StatusOr<SynopsisResult> ExecWavelet(const Input& input,
     if (!dp.ok()) return dp.status();
     result.wavelet = std::move(dp->synopsis);
     result.cost = dp->cost;
-    result.solver = FormatSolver("wavelet/restricted-dp", nullptr);
+    result.solver = FormatKernelSolver("wavelet/restricted-dp",
+                                       WaveletSplitKernelName(dp->kernel),
+                                       nullptr);
   } else {
     auto dp = BuildUnrestrictedWaveletDp(*value_input, request.budget,
                                          request.options,
@@ -225,7 +239,9 @@ StatusOr<SynopsisResult> ExecWavelet(const Input& input,
     if (!dp.ok()) return dp.status();
     result.wavelet = std::move(dp->synopsis);
     result.cost = dp->cost;
-    result.solver = FormatSolver("wavelet/unrestricted-dp", nullptr);
+    result.solver = FormatKernelSolver("wavelet/unrestricted-dp",
+                                       WaveletSplitKernelName(dp->kernel),
+                                       nullptr);
   }
   result.timing.solve_seconds = watch.ElapsedSeconds();
   return result;
@@ -381,7 +397,9 @@ StatusOr<std::vector<SynopsisResult>> SynopsisEngine::BuildBatchImpl(
         result.kind = SynopsisKind::kHistogram;
         result.histogram = dp.ExtractHistogram(requests[i].budget);
         result.cost = dp.OptimalCost(requests[i].budget);
-        result.solver = FormatExactDpSolver(dp.kernel(), pool);
+        result.solver = FormatKernelSolver("histogram/exact-dp",
+                                           DpKernelKindName(dp.kernel()),
+                                           pool);
         result.timing.plan_seconds = plan_seconds;
         result.timing.preprocess_seconds = oracle_seconds;
         result.timing.solve_seconds =
@@ -392,17 +410,19 @@ StatusOr<std::vector<SynopsisResult>> SynopsisEngine::BuildBatchImpl(
     for (std::size_t i : indices) {
       if (requests[i].method != HistogramMethod::kApprox) continue;
       watch.Restart();
-      auto approx = SolveApproxHistogramDp(*bundle->oracle,
-                                           requests[i].budget,
-                                           requests[i].epsilon);
+      // The planner knows the oracle's concrete type, so the approximate DP
+      // gets its specialized point-cost kernel without the dynamic_cast
+      // chain; the chosen kernel lands in the solver string.
+      auto approx = SolveApproxHistogramDpWithKernel(
+          *bundle->oracle, requests[i].budget, requests[i].epsilon,
+          {.kernel = bundle->kernel});
       if (!approx.ok()) return approx.status();
       SynopsisResult& result = results[i];
       result.kind = SynopsisKind::kHistogram;
       result.histogram = std::move(approx->histogram);
       result.cost = approx->cost;
       result.oracle_evaluations = approx->oracle_evaluations;
-      result.solver =
-          FormatSolverEps("histogram/approx-dp", requests[i].epsilon, nullptr);
+      result.solver = FormatApproxDpSolver(approx->kernel, requests[i].epsilon);
       result.timing.plan_seconds = plan_seconds;
       result.timing.preprocess_seconds = oracle_seconds;
       result.timing.solve_seconds = watch.ElapsedSeconds();

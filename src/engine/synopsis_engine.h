@@ -188,11 +188,15 @@ class SynopsisEngine {
   std::unique_ptr<DpWorkspacePool> workspaces_;
 };
 
-/// Stable display names for logs and CLIs.
+/// Stable display name of a synopsis kind ("histogram", "wavelet").
 const char* SynopsisKindName(SynopsisKind kind);
+/// Stable display name of a histogram route ("optimal", "approx", ...).
 const char* HistogramMethodName(HistogramMethod method);
+/// Stable display name of a wavelet route ("auto", "greedy", ...).
 const char* WaveletMethodName(WaveletMethod method);
+/// Inverse of HistogramMethodName; InvalidArgument on unknown names.
 StatusOr<HistogramMethod> ParseHistogramMethod(const std::string& name);
+/// Inverse of WaveletMethodName; InvalidArgument on unknown names.
 StatusOr<WaveletMethod> ParseWaveletMethod(const std::string& name);
 
 }  // namespace probsyn

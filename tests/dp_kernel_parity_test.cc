@@ -11,9 +11,12 @@
 #include <random>
 #include <vector>
 
+#include "core/abs_oracle.h"
 #include "core/dp_kernels.h"
 #include "core/histogram_dp.h"
 #include "core/oracle_factory.h"
+#include "core/wavelet_dp.h"
+#include "core/wavelet_unrestricted.h"
 #include "engine/synopsis_engine.h"
 #include "gen/generators.h"
 #include "model/value_pdf.h"
@@ -308,6 +311,361 @@ TEST(DpKernelSelection, FactoryKnowsEveryKernel) {
   }
 }
 
+// --- Approximate-DP kernel parity: the specialized point-cost kernels must
+// reproduce the reference virtual-dispatch solve exactly — histogram
+// (boundaries, representatives), cost, and the Theorem 5 evaluation count.
+
+void CheckApproxKernelParity(const BucketCostOracle& oracle,
+                             std::size_t max_buckets, double epsilon,
+                             const std::string& label) {
+  auto reference = SolveApproxHistogramDpWithKernel(
+      oracle, max_buckets, epsilon, {.kernel = DpKernelKind::kReference});
+  ASSERT_TRUE(reference.ok()) << label << ": " << reference.status();
+  EXPECT_EQ(reference->kernel, DpKernelKind::kReference) << label;
+
+  auto kernel = SolveApproxHistogramDp(oracle, max_buckets, epsilon);
+  ASSERT_TRUE(kernel.ok()) << label << ": " << kernel.status();
+  EXPECT_EQ(kernel->kernel, SelectDpKernel(oracle)) << label;
+
+  EXPECT_TRUE(reference->histogram == kernel->histogram) << label;
+  EXPECT_EQ(reference->cost, kernel->cost) << label;
+  EXPECT_EQ(reference->oracle_evaluations, kernel->oracle_evaluations)
+      << label;
+}
+
+constexpr ErrorMetric kCumulativeMetrics[] = {
+    ErrorMetric::kSse, ErrorMetric::kSsre, ErrorMetric::kSae,
+    ErrorMetric::kSare};
+
+TEST(ApproxDpKernelParity, CumulativeMetricsAcrossBudgetsAndEps) {
+  ValuePdfInput input = GenerateRandomValuePdf(
+      {.domain_size = 96, .max_support = 4, .max_value = 8, .seed = 501});
+  for (ErrorMetric metric : kCumulativeMetrics) {
+    SynopsisOptions options;
+    options.metric = metric;
+    options.sanity_c = 0.5;
+    auto bundle = MakeBucketOracle(input, options);
+    ASSERT_TRUE(bundle.ok());
+    for (std::size_t budget : {std::size_t{1}, std::size_t{8}}) {
+      for (double eps : {0.05, 0.5}) {
+        CheckApproxKernelParity(*bundle->oracle, budget, eps,
+                                std::string(ErrorMetricName(metric)) +
+                                    "/B=" + std::to_string(budget));
+      }
+    }
+  }
+}
+
+TEST(ApproxDpKernelParity, WeightedZeroStretchesTieHeavy) {
+  const std::size_t kDomain = 80;
+  ValuePdfInput input = GenerateRandomValuePdf(
+      {.domain_size = kDomain, .max_support = 4, .max_value = 8, .seed = 502});
+  for (ErrorMetric metric : kCumulativeMetrics) {
+    SynopsisOptions options;
+    options.metric = metric;
+    options.sanity_c = 1.0;
+    options.sse_variant = SseVariant::kFixedRepresentative;  // weights need it
+    // Zero-weight stretches make many candidate buckets cost exactly 0 —
+    // tie-heavy territory for the class-boundary and argmin comparisons.
+    options.workload.assign(kDomain, 1.0);
+    for (std::size_t i = 15; i < 40; ++i) options.workload[i] = 0.0;
+    auto bundle = MakeBucketOracle(input, options);
+    ASSERT_TRUE(bundle.ok());
+    CheckApproxKernelParity(*bundle->oracle, 6, 0.1,
+                            std::string("weighted/") +
+                                ErrorMetricName(metric));
+  }
+}
+
+TEST(ApproxDpKernelParity, PlateauInputsAndTupleSse) {
+  // Block-constant point masses: zero-cost plateaus everywhere, so the
+  // approximate DP's inherit-vs-split ties and the warm abs search's
+  // cold-fallback path both get exercised.
+  std::vector<ValuePdf> pdfs;
+  for (std::size_t i = 0; i < 64; ++i) {
+    pdfs.push_back(ValuePdf::PointMass(1.0 + static_cast<double>(i / 16)));
+  }
+  ValuePdfInput plateau(std::move(pdfs));
+  for (ErrorMetric metric : {ErrorMetric::kSse, ErrorMetric::kSae}) {
+    SynopsisOptions options;
+    options.metric = metric;
+    auto bundle = MakeBucketOracle(plateau, options);
+    ASSERT_TRUE(bundle.ok());
+    CheckApproxKernelParity(*bundle->oracle, 5, 0.2,
+                            std::string("plateau/") +
+                                ErrorMetricName(metric));
+  }
+
+  TuplePdfInput tuples = GenerateRandomTuplePdf(
+      {.domain_size = 40, .num_tuples = 90, .max_alternatives = 4,
+       .seed = 503});
+  SynopsisOptions options;
+  options.metric = ErrorMetric::kSse;
+  options.sse_variant = SseVariant::kWorldMean;
+  auto bundle = MakeBucketOracle(tuples, options);
+  ASSERT_TRUE(bundle.ok());
+  ASSERT_EQ(bundle->kernel, DpKernelKind::kTupleSse);
+  CheckApproxKernelParity(*bundle->oracle, 6, 0.1, "tuple-sse");
+}
+
+// --- Warm-started SAE/SARE sweeps. FlatSweep's warm acceptance is
+// guaranteed to agree with cold Cost() on convex cost sequences; computed
+// costs can split a plateau into several equal-valued pits by rounding, in
+// which case the warm sweep may return a different, EQUALLY-OPTIMAL grid
+// value (reference-vs-kernel DP parity is immune — both run the same
+// sweep). So: optimal cost must always agree (4-ulp bound for the
+// plateau-splitting case), and on exact-arithmetic inputs (integer point
+// masses) representatives must agree bit-for-bit, cold fallback included.
+
+TEST(AbsWarmSweepParity, CostsMatchColdSearchOnRandomData) {
+  ValuePdfInput input = GenerateRandomValuePdf(
+      {.domain_size = 48, .max_support = 4, .max_value = 8, .seed = 601});
+  for (bool relative : {false, true}) {
+    AbsCumulativeOracle oracle(input, relative, 1.0);
+    const std::size_t n = oracle.domain_size();
+    for (std::size_t e = 0; e < n; ++e) {
+      AbsCumulativeOracle::FlatSweep sweep(oracle, e);
+      for (std::size_t s = e;; --s) {
+        BucketCost warm = sweep.Extend();
+        BucketCost cold = oracle.Cost(s, e);
+        ASSERT_DOUBLE_EQ(warm.cost, cold.cost)
+            << "rel=" << relative << " bucket [" << s << ", " << e << "]";
+        if (s == 0) break;
+      }
+    }
+  }
+}
+
+TEST(AbsWarmSweepParity, BitIdenticalToColdSearchOnExactArithmetic) {
+  std::vector<ValuePdf> flat;
+  for (std::size_t i = 0; i < 48; ++i) {
+    flat.push_back(ValuePdf::PointMass(2.0 + static_cast<double>(i / 12)));
+  }
+  ValuePdfInput input(std::move(flat));
+  for (bool relative : {false, true}) {
+    AbsCumulativeOracle oracle(input, relative, 1.0);
+    const std::size_t n = oracle.domain_size();
+    for (std::size_t e = 0; e < n; ++e) {
+      AbsCumulativeOracle::FlatSweep sweep(oracle, e);
+      for (std::size_t s = e;; --s) {
+        BucketCost warm = sweep.Extend();
+        BucketCost cold = oracle.Cost(s, e);
+        ASSERT_EQ(warm.cost, cold.cost)
+            << "rel=" << relative << " bucket [" << s << ", " << e << "]";
+        ASSERT_EQ(warm.representative, cold.representative)
+            << "rel=" << relative << " bucket [" << s << ", " << e << "]";
+        if (s == 0) break;
+      }
+    }
+  }
+}
+
+// --- Wavelet budget-split kernels.
+
+// Compares the fast kernels against the reference scan DIRECTLY (below
+// MinBudgetSplit's hybrid size cutoff the dispatcher would route everything
+// to the scan, hiding the reduction/bisection paths from coverage).
+void CheckSplitAgainstReference(const std::vector<double>& left,
+                                const std::vector<double>& right,
+                                std::size_t rem, int trial) {
+  namespace bsi = budget_split_internal;
+  const std::size_t bl_max = std::min(rem, left.size() - 1);
+  const std::size_t cap_right = right.size() - 1;
+  for (DpCombiner combiner : {DpCombiner::kSum, DpCombiner::kMax}) {
+    BudgetSplit expected = bsi::Reference(combiner, left.data(), bl_max,
+                                          right.data(), cap_right, rem);
+    BudgetSplit actual =
+        combiner == DpCombiner::kSum
+            ? bsi::SumFast(left.data(), bl_max, right.data(), cap_right, rem)
+            : bsi::MaxFast(left.data(), bl_max, right.data(), cap_right, rem);
+    EXPECT_EQ(expected.value, actual.value)
+        << "trial " << trial << " rem=" << rem;
+    EXPECT_EQ(expected.left_budget, actual.left_budget)
+        << "trial " << trial << " rem=" << rem;
+    // The hybrid dispatcher must agree with the reference at EVERY size
+    // (below the cutoff it runs the scan itself).
+    BudgetSplit dispatched =
+        MinBudgetSplit(combiner, left.data(), bl_max, right.data(), cap_right,
+                       rem, WaveletSplitKernel::kBudgetSplit);
+    EXPECT_EQ(expected.value, dispatched.value) << "trial " << trial;
+    EXPECT_EQ(expected.left_budget, dispatched.left_budget)
+        << "trial " << trial;
+  }
+}
+
+TEST(MinBudgetSplitTest, FastMatchesReferenceOnMonotoneTables) {
+  std::mt19937_64 rng(77);
+  std::uniform_real_distribution<double> step(0.0, 1.0);
+  for (int trial = 0; trial < 200; ++trial) {
+    // Random non-increasing tables, with plateaus (zero steps) common.
+    auto make = [&](std::size_t len) {
+      std::vector<double> v(len);
+      double x = 10.0 + step(rng);
+      for (std::size_t i = 0; i < len; ++i) {
+        v[i] = x;
+        if (rng() % 3 != 0) x -= step(rng);  // ~1/3 of steps are plateaus
+      }
+      return v;
+    };
+    const std::size_t llen = 1 + rng() % 90;
+    const std::size_t rlen = 1 + rng() % 90;
+    std::vector<double> left = make(llen);
+    std::vector<double> right = make(rlen);
+    for (std::size_t rem : {llen - 1, llen + rlen, std::size_t{0},
+                            (llen + rlen) / 2}) {
+      CheckSplitAgainstReference(left, right, rem, trial);
+    }
+  }
+}
+
+TEST(MinBudgetSplitTest, ConstantTablesBreakTiesAtFirstSplit) {
+  // Fully constant tables are one big plateau: every split ties, and the
+  // fast paths must return bl = 0 like the ascending reference scan.
+  std::vector<double> left(41, 1.5);
+  std::vector<double> right(37, 1.5);
+  for (std::size_t rem : {std::size_t{0}, std::size_t{4}, std::size_t{40},
+                          std::size_t{76}}) {
+    CheckSplitAgainstReference(left, right, rem, -1);
+    BudgetSplit split = MinBudgetSplit(
+        DpCombiner::kSum, left.data(), std::min(rem, left.size() - 1),
+        right.data(), right.size() - 1, rem, WaveletSplitKernel::kAuto);
+    EXPECT_EQ(split.left_budget, 0u) << "rem=" << rem;
+    EXPECT_EQ(split.value, 3.0) << "rem=" << rem;
+  }
+}
+
+// Wavelet DP parity: budget-split vs reference must agree bit-for-bit in
+// cost and kept coefficients for both coefficient-tree DPs, across all six
+// metrics (sum and max combiners) and weighted inputs.
+TEST(WaveletSplitKernelParity, RestrictedDpAllMetrics) {
+  ValuePdfInput input = GenerateRandomValuePdf(
+      {.domain_size = 32, .max_support = 3, .max_value = 6, .seed = 701});
+  for (ErrorMetric metric : kAllMetrics) {
+    for (bool weighted : {false, true}) {
+      SynopsisOptions options;
+      options.metric = metric;
+      options.sanity_c = 0.5;
+      if (weighted) {
+        options.sse_variant = SseVariant::kFixedRepresentative;
+        options.workload.assign(32, 1.0);
+        for (std::size_t i = 8; i < 16; ++i) options.workload[i] = 0.0;
+        for (std::size_t i = 24; i < 32; ++i) options.workload[i] = 2.0;
+      }
+      for (std::size_t budget : {std::size_t{1}, std::size_t{7}}) {
+        auto reference = BuildRestrictedWaveletDp(
+            input, budget, options, 2048, WaveletSplitKernel::kReference);
+        ASSERT_TRUE(reference.ok()) << reference.status();
+        EXPECT_EQ(reference->kernel, WaveletSplitKernel::kReference);
+        auto fast = BuildRestrictedWaveletDp(input, budget, options);
+        ASSERT_TRUE(fast.ok()) << fast.status();
+        EXPECT_EQ(fast->kernel, WaveletSplitKernel::kBudgetSplit);
+        std::string label = std::string(ErrorMetricName(metric)) +
+                            (weighted ? "/weighted" : "") +
+                            "/B=" + std::to_string(budget);
+        EXPECT_EQ(reference->cost, fast->cost) << label;
+        EXPECT_EQ(reference->synopsis.coefficients(),
+                  fast->synopsis.coefficients()) << label;
+      }
+    }
+  }
+}
+
+TEST(WaveletSplitKernelParity, UnrestrictedDpAllMetrics) {
+  ValuePdfInput input = GenerateRandomValuePdf(
+      {.domain_size = 16, .max_support = 3, .max_value = 5, .seed = 702});
+  for (ErrorMetric metric : kAllMetrics) {
+    SynopsisOptions options;
+    options.metric = metric;
+    options.sanity_c = 0.5;
+    for (std::size_t budget : {std::size_t{1}, std::size_t{5}}) {
+      UnrestrictedWaveletOptions reference_options;
+      reference_options.grid_points = 17;
+      reference_options.kernel = WaveletSplitKernel::kReference;
+      auto reference =
+          BuildUnrestrictedWaveletDp(input, budget, options,
+                                     reference_options);
+      ASSERT_TRUE(reference.ok()) << reference.status();
+      EXPECT_EQ(reference->kernel, WaveletSplitKernel::kReference);
+
+      UnrestrictedWaveletOptions fast_options;
+      fast_options.grid_points = 17;
+      auto fast =
+          BuildUnrestrictedWaveletDp(input, budget, options, fast_options);
+      ASSERT_TRUE(fast.ok()) << fast.status();
+      EXPECT_EQ(fast->kernel, WaveletSplitKernel::kBudgetSplit);
+
+      std::string label = std::string(ErrorMetricName(metric)) +
+                          "/B=" + std::to_string(budget);
+      EXPECT_EQ(reference->cost, fast->cost) << label;
+      EXPECT_EQ(reference->synopsis.coefficients(),
+                fast->synopsis.coefficients()) << label;
+    }
+  }
+}
+
+// Tie-heavy wavelet input: block-constant frequencies drive whole subtrees
+// to identical errors, so budget splits are full of plateaus — the
+// bisections' tie-breaks must still match the ascending scan exactly.
+TEST(WaveletSplitKernelParity, PlateauInputsBreakTiesIdentically) {
+  std::vector<ValuePdf> pdfs;
+  for (std::size_t i = 0; i < 32; ++i) {
+    pdfs.push_back(ValuePdf::PointMass(1.0 + static_cast<double>(i / 8)));
+  }
+  ValuePdfInput input(std::move(pdfs));
+  for (ErrorMetric metric : {ErrorMetric::kSae, ErrorMetric::kMae}) {
+    SynopsisOptions options;
+    options.metric = metric;
+    auto reference = BuildRestrictedWaveletDp(input, 6, options, 2048,
+                                              WaveletSplitKernel::kReference);
+    ASSERT_TRUE(reference.ok());
+    auto fast = BuildRestrictedWaveletDp(input, 6, options);
+    ASSERT_TRUE(fast.ok());
+    EXPECT_EQ(reference->cost, fast->cost) << ErrorMetricName(metric);
+    EXPECT_EQ(reference->synopsis.coefficients(),
+              fast->synopsis.coefficients()) << ErrorMetricName(metric);
+  }
+}
+
+// Budgets past the hybrid cutoff (kSmallBudgetSplit) drive the solvers'
+// splits through the reduction/bisection paths end-to-end.
+TEST(WaveletSplitKernelParity, LargeBudgetsEngageFastSplitPaths) {
+  ValuePdfInput input = GenerateRandomValuePdf(
+      {.domain_size = 96, .max_support = 3, .max_value = 6, .seed = 703});
+  for (ErrorMetric metric : {ErrorMetric::kSse, ErrorMetric::kMae}) {
+    SynopsisOptions options;
+    options.metric = metric;
+    const std::size_t budget = 48;
+
+    auto restricted_reference = BuildRestrictedWaveletDp(
+        input, budget, options, 2048, WaveletSplitKernel::kReference);
+    ASSERT_TRUE(restricted_reference.ok());
+    auto restricted_fast = BuildRestrictedWaveletDp(input, budget, options);
+    ASSERT_TRUE(restricted_fast.ok());
+    EXPECT_EQ(restricted_reference->cost, restricted_fast->cost)
+        << ErrorMetricName(metric);
+    EXPECT_EQ(restricted_reference->synopsis.coefficients(),
+              restricted_fast->synopsis.coefficients())
+        << ErrorMetricName(metric);
+
+    UnrestrictedWaveletOptions reference_options;
+    reference_options.grid_points = 9;
+    reference_options.kernel = WaveletSplitKernel::kReference;
+    auto unrestricted_reference =
+        BuildUnrestrictedWaveletDp(input, budget, options, reference_options);
+    ASSERT_TRUE(unrestricted_reference.ok());
+    UnrestrictedWaveletOptions fast_options;
+    fast_options.grid_points = 9;
+    auto unrestricted_fast =
+        BuildUnrestrictedWaveletDp(input, budget, options, fast_options);
+    ASSERT_TRUE(unrestricted_fast.ok());
+    EXPECT_EQ(unrestricted_reference->cost, unrestricted_fast->cost)
+        << ErrorMetricName(metric);
+    EXPECT_EQ(unrestricted_reference->synopsis.coefficients(),
+              unrestricted_fast->synopsis.coefficients())
+        << ErrorMetricName(metric);
+  }
+}
+
 TEST(DpWorkspacePoolTest, LeasesAreExclusiveAndRecycled) {
   DpWorkspacePool pool;
   DpWorkspace* first = nullptr;
@@ -342,6 +700,49 @@ TEST(EngineKernelIntegration, SolverStringRecordsChosenKernel) {
   result = engine.Build(input, request);
   ASSERT_TRUE(result.ok());
   EXPECT_NE(result->solver.find("kernel=max-error"), std::string::npos)
+      << result->solver;
+}
+
+// Every DP-backed route — approximate and wavelet included — records the
+// kernel that filled its tables, so bench/docs output is never ambiguous
+// about which inner loop ran.
+TEST(EngineKernelIntegration, ApproxAndWaveletSolverStringsRecordKernel) {
+  ValuePdfInput input = GenerateRandomValuePdf({.domain_size = 32, .seed = 11});
+  SynopsisEngine engine({.parallelism = 1});
+
+  SynopsisRequest approx;
+  approx.kind = SynopsisKind::kHistogram;
+  approx.method = HistogramMethod::kApprox;
+  approx.budget = 4;
+  approx.epsilon = 0.1;
+  approx.options.metric = ErrorMetric::kSae;
+  auto result = engine.Build(input, approx);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_NE(result->solver.find("kernel=abs-cumulative"), std::string::npos)
+      << result->solver;
+
+  SynopsisRequest restricted;
+  restricted.kind = SynopsisKind::kWavelet;
+  restricted.wavelet_method = WaveletMethod::kRestrictedDp;
+  restricted.budget = 4;
+  restricted.options.metric = ErrorMetric::kMae;
+  result = engine.Build(input, restricted);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_NE(result->solver.find("kernel=budget-split"), std::string::npos)
+      << result->solver;
+
+  SynopsisRequest unrestricted = restricted;
+  unrestricted.wavelet_method = WaveletMethod::kUnrestrictedDp;
+  unrestricted.unrestricted.grid_points = 9;
+  result = engine.Build(input, unrestricted);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_NE(result->solver.find("kernel=budget-split"), std::string::npos)
+      << result->solver;
+  // Forcing the reference split kernel must be visible, not omitted.
+  unrestricted.unrestricted.kernel = WaveletSplitKernel::kReference;
+  result = engine.Build(input, unrestricted);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_NE(result->solver.find("kernel=reference"), std::string::npos)
       << result->solver;
 }
 

@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Dead-link checker for the repo's markdown documentation.
+
+Scans README.md and every file under docs/ for markdown links and fails
+(exit 1, one line per problem) when a RELATIVE link points at a file that
+does not exist, or at a heading anchor that no heading in the target file
+produces. External links (http/https/mailto) are not fetched — this guards
+the repo's own structure, not the internet.
+
+Usage: tools/check_docs_links.py [repo_root]   (default: cwd)
+Run by the CI `docs` job on every push.
+"""
+
+import os
+import re
+import sys
+
+LINK_RE = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+IMAGE_RE = re.compile(r"\!\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$")
+CODE_FENCE_RE = re.compile(r"^(```|~~~)")
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug: lowercase, drop punctuation, spaces to dashes."""
+    text = re.sub(r"`([^`]*)`", r"\1", heading.strip())
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)  # linked headings
+    text = text.lower()
+    text = re.sub(r"[^\w\- ]", "", text, flags=re.UNICODE)
+    return text.replace(" ", "-")
+
+
+def markdown_lines_outside_code(path: str):
+    in_fence = False
+    with open(path, encoding="utf-8") as handle:
+        for number, line in enumerate(handle, start=1):
+            if CODE_FENCE_RE.match(line.strip()):
+                in_fence = not in_fence
+                continue
+            if not in_fence:
+                yield number, line
+
+
+def anchors_of(path: str):
+    anchors = set()
+    counts = {}
+    for _, line in markdown_lines_outside_code(path):
+        match = HEADING_RE.match(line)
+        if not match:
+            continue
+        slug = github_slug(match.group(1))
+        n = counts.get(slug, 0)
+        counts[slug] = n + 1
+        anchors.add(slug if n == 0 else f"{slug}-{n}")
+    return anchors
+
+
+def check_file(md_path: str, root: str):
+    problems = []
+    base = os.path.dirname(md_path)
+    for number, line in markdown_lines_outside_code(md_path):
+        for regex in (LINK_RE, IMAGE_RE):
+            for target in regex.findall(line):
+                if target.startswith(("http://", "https://", "mailto:")):
+                    continue
+                rel = os.path.relpath(md_path, root)
+                path_part, _, anchor = target.partition("#")
+                if not path_part:  # same-file anchor
+                    resolved = md_path
+                else:
+                    resolved = os.path.normpath(os.path.join(base, path_part))
+                    if not os.path.exists(resolved):
+                        problems.append(
+                            f"{rel}:{number}: dead link -> {target}")
+                        continue
+                if anchor and resolved.endswith(".md"):
+                    if anchor not in anchors_of(resolved):
+                        problems.append(
+                            f"{rel}:{number}: dead anchor -> {target}")
+    return problems
+
+
+def main() -> int:
+    root = os.path.abspath(sys.argv[1] if len(sys.argv) > 1 else ".")
+    files = [os.path.join(root, "README.md")]
+    docs_dir = os.path.join(root, "docs")
+    if os.path.isdir(docs_dir):
+        for name in sorted(os.listdir(docs_dir)):
+            if name.endswith(".md"):
+                files.append(os.path.join(docs_dir, name))
+    problems = []
+    checked = 0
+    for path in files:
+        if not os.path.exists(path):
+            problems.append(f"missing expected file: {os.path.relpath(path, root)}")
+            continue
+        checked += 1
+        problems.extend(check_file(path, root))
+    for problem in problems:
+        print(problem)
+    print(f"checked {checked} markdown file(s): "
+          f"{'FAIL' if problems else 'OK'}")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
