@@ -24,6 +24,17 @@
 //       sweep through the adapter (kernel = 0): the remaining gap is pure
 //       dispatch overhead; compare against the PR 2 baseline for the
 //       cold-restart cost this PR removed.
+//   (g) streaming merge kernels — the one-pass builder's per-item
+//       candidate minimization with the reference compare-and-copy scan
+//       (kernel = 0) vs the point-cost kernel (hoisted snapshot columns +
+//       SIMD min-reduction + single winner-chain copy, kernel = 1).
+//   (h) 2-D guillotine DP kernels — the per-(rectangle, budget) recursive
+//       scalar solver (kernel = 0) vs the budget-vector memo with
+//       SIMD budget-split min-reductions (kernel = 1).
+//
+// The restricted-wavelet series (e) carry the PR 4 acceptance point
+// n = 1024, B = 64: the arena-backed bottom-up solver vs the PR 3
+// hash-memo baseline committed in BENCH_baseline.json.
 //
 // Run via the `bench_json` target (or with --benchmark_out=...) to emit
 // machine-readable BENCH_bench_engine_parallel.json.
@@ -35,11 +46,13 @@
 
 #include "bench_util.h"
 #include "core/dp_kernels.h"
+#include "core/histogram2d.h"
 #include "core/histogram_dp.h"
 #include "core/oracle_factory.h"
 #include "core/wavelet_dp.h"
 #include "engine/synopsis_engine.h"
 #include "gen/generators.h"
+#include "stream/streaming_histogram.h"
 #include "util/logging.h"
 #include "util/thread_pool.h"
 
@@ -168,6 +181,57 @@ void RunWaveletRestricted(benchmark::State& state, ErrorMetric metric) {
 
 void BM_WaveletRestrictedDpMae(benchmark::State& state) {
   RunWaveletRestricted(state, ErrorMetric::kMae);
+}
+
+void BM_WaveletRestrictedDpSae(benchmark::State& state) {
+  RunWaveletRestricted(state, ErrorMetric::kSae);
+}
+
+// (g) Streaming merge kernels: reference compare-and-copy candidate scan
+// vs the point-cost kernel over hoisted snapshot columns.
+void BM_StreamingMerge(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const bool kernelized = state.range(1) != 0;
+  const std::size_t kBuckets = 16;
+  const double kEpsilon = 0.1;
+  ValuePdfInput input = MakeInput(n);
+  const StreamingKernel kernel = kernelized ? StreamingKernel::kPointCost
+                                            : StreamingKernel::kReference;
+  for (auto _ : state) {
+    StreamingHistogramBuilder builder(kBuckets, kEpsilon, kernel);
+    for (const ValuePdf& pdf : input.items()) builder.Push(pdf);
+    auto result = builder.Finish();
+    PROBSYN_CHECK(result.ok());
+    benchmark::DoNotOptimize(result->cost);
+  }
+  state.counters["n"] = static_cast<double>(n);
+  state.counters["B"] = static_cast<double>(kBuckets);
+  state.counters["eps"] = kEpsilon;
+  state.counters["kernel"] = kernelized ? 1.0 : 0.0;
+}
+
+// (h) 2-D guillotine DP kernels on a side x side grid.
+void BM_Guillotine2dDp(benchmark::State& state) {
+  const std::size_t side = static_cast<std::size_t>(state.range(0));
+  const bool kernelized = state.range(1) != 0;
+  const std::size_t kBuckets = 16;
+  ValuePdfInput flat = GenerateRandomValuePdf(
+      {.domain_size = side * side, .max_support = 3, .max_value = 6,
+       .seed = 20090402});
+  auto grid = ProbGrid2D::Create(side, side, flat.items());
+  PROBSYN_CHECK(grid.ok());
+  const Guillotine2DKernel kernel = kernelized
+                                        ? Guillotine2DKernel::kMinScan
+                                        : Guillotine2DKernel::kReference;
+  for (auto _ : state) {
+    auto result = BuildOptimalGuillotineHistogram2D(
+        grid.value(), SseOptions(), kBuckets, 4096, kernel);
+    PROBSYN_CHECK(result.ok());
+    benchmark::DoNotOptimize(result->cost);
+  }
+  state.counters["side"] = static_cast<double>(side);
+  state.counters["B"] = static_cast<double>(kBuckets);
+  state.counters["kernel"] = kernelized ? 1.0 : 0.0;
 }
 
 void RunWaveletUnrestricted(benchmark::State& state, ErrorMetric metric) {
@@ -304,6 +368,23 @@ BENCHMARK(probsyn::BM_ApproxDpSae)
 BENCHMARK(probsyn::BM_WaveletRestrictedDpMae)
     ->Args({128, 64, 0})
     ->Args({128, 64, 1})
+    ->Args({1024, 64, 0})
+    ->Args({1024, 64, 1})
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK(probsyn::BM_WaveletRestrictedDpSae)
+    ->Args({1024, 64, 0})
+    ->Args({1024, 64, 1})
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK(probsyn::BM_StreamingMerge)
+    ->Args({20000, 0})
+    ->Args({20000, 1})
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK(probsyn::BM_Guillotine2dDp)
+    ->Args({12, 0})
+    ->Args({12, 1})
     ->Unit(benchmark::kMillisecond);
 
 BENCHMARK(probsyn::BM_WaveletUnrestrictedDpMae)

@@ -1,6 +1,9 @@
 #include "core/dp_kernels.h"
 
 #include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
 #include <limits>
 
 #include "core/abs_oracle.h"
@@ -11,11 +14,678 @@
 #include "util/math.h"
 #include "util/thread_pool.h"
 
+// The explicit-SIMD reduction paths target x86-64 with GCC/Clang function
+// multiversioning (`target` attributes keep the rest of the TU at the
+// baseline ISA); other platforms run the scalar path, which the dispatch
+// clamps to automatically.
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define PROBSYN_SIMD_X86 1
+#include <immintrin.h>
+#endif
+
 namespace probsyn {
 
 namespace {
 
 constexpr double kInfinity = std::numeric_limits<double>::infinity();
+
+// ---------------------------------------------------------------------------
+// SIMD min-reduction primitives. Every variant of every primitive computes
+// the EXACT minimum (floating-point min/max are exact in any accumulation
+// order for NaN-free data), so scalar/AVX2/AVX-512 agree bit-for-bit up to
+// the sign of a +-0.0 tie — the DP kernels' parity contract never depends
+// on the dispatched path. Scalar forms use four independent accumulators
+// (breaks the loop-carried minsd chain, gives the auto-vectorizer lanes);
+// vector forms use four independent SIMD accumulators for the same reason.
+
+double ScalarMinPlusConst(const double* a, std::size_t n, double add) {
+  double m0 = kInfinity, m1 = kInfinity, m2 = kInfinity, m3 = kInfinity;
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    m0 = std::min(m0, a[i] + add);
+    m1 = std::min(m1, a[i + 1] + add);
+    m2 = std::min(m2, a[i + 2] + add);
+    m3 = std::min(m3, a[i + 3] + add);
+  }
+  double m = std::min(std::min(m0, m1), std::min(m2, m3));
+  for (; i < n; ++i) m = std::min(m, a[i] + add);
+  return m;
+}
+
+double ScalarMinPlusPairs(const double* a, const double* b, std::size_t n) {
+  double m0 = kInfinity, m1 = kInfinity, m2 = kInfinity, m3 = kInfinity;
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    m0 = std::min(m0, a[i] + b[i]);
+    m1 = std::min(m1, a[i + 1] + b[i + 1]);
+    m2 = std::min(m2, a[i + 2] + b[i + 2]);
+    m3 = std::min(m3, a[i + 3] + b[i + 3]);
+  }
+  double m = std::min(std::min(m0, m1), std::min(m2, m3));
+  for (; i < n; ++i) m = std::min(m, a[i] + b[i]);
+  return m;
+}
+
+double ScalarMinPlusReverse(const double* a, const double* b, std::size_t n) {
+  double m0 = kInfinity, m1 = kInfinity, m2 = kInfinity, m3 = kInfinity;
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    m0 = std::min(m0, a[i] + b[-static_cast<std::ptrdiff_t>(i)]);
+    m1 = std::min(m1, a[i + 1] + b[-static_cast<std::ptrdiff_t>(i + 1)]);
+    m2 = std::min(m2, a[i + 2] + b[-static_cast<std::ptrdiff_t>(i + 2)]);
+    m3 = std::min(m3, a[i + 3] + b[-static_cast<std::ptrdiff_t>(i + 3)]);
+  }
+  double m = std::min(std::min(m0, m1), std::min(m2, m3));
+  for (; i < n; ++i) {
+    m = std::min(m, a[i] + b[-static_cast<std::ptrdiff_t>(i)]);
+  }
+  return m;
+}
+
+double ScalarMinMaxPairs(const double* a, const double* b, std::size_t n) {
+  double m0 = kInfinity, m1 = kInfinity, m2 = kInfinity, m3 = kInfinity;
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    m0 = std::min(m0, std::max(a[i], b[i]));
+    m1 = std::min(m1, std::max(a[i + 1], b[i + 1]));
+    m2 = std::min(m2, std::max(a[i + 2], b[i + 2]));
+    m3 = std::min(m3, std::max(a[i + 3], b[i + 3]));
+  }
+  double m = std::min(std::min(m0, m1), std::min(m2, m3));
+  for (; i < n; ++i) m = std::min(m, std::max(a[i], b[i]));
+  return m;
+}
+
+double ScalarApproxQuadColumn(const double* prev, const double* a,
+                              const double* b, const double* c,
+                              const double* v, std::size_t n, double a_hi,
+                              double b_hi, double c_hi, double v_hi,
+                              double* values) {
+  double m = kInfinity;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double sum_c = c_hi - c[i];
+    const double sum_b = b_hi - b[i];
+    const double sum_a = a_hi - a[i];
+    double esos = sum_b * sum_b;
+    if (v != nullptr) esos += v_hi - v[i];
+    double cost = sum_a - esos / sum_c;
+    cost = (cost < 0.0 && cost > -1e-6) ? 0.0 : cost;  // ClampTinyNegative
+    if (sum_c <= 0.0) cost = 0.0;
+    const double value = prev[i] + cost;
+    values[i] = value;
+    m = std::min(m, value);
+  }
+  return m;
+}
+
+double ScalarStreamingMergeColumn(const double* error, const double* sum_mean,
+                                  const double* sum_second,
+                                  const double* position, std::size_t n,
+                                  double count, double total_mean,
+                                  double total_second, double* values) {
+  double m = kInfinity;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double width = count - position[i];
+    const double mean = total_mean - sum_mean[i];
+    const double second = total_second - sum_second[i];
+    double cost = second - mean * mean / width;
+    cost = (cost < 0.0 && cost > -1e-6) ? 0.0 : cost;  // ClampTinyNegative
+    const double v =
+        position[i] >= count ? kInfinity : error[i] + cost;
+    values[i] = v;
+    m = std::min(m, v);
+  }
+  return m;
+}
+
+double ScalarMinArray(const double* a, std::size_t n) {
+  double m0 = kInfinity, m1 = kInfinity, m2 = kInfinity, m3 = kInfinity;
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    m0 = std::min(m0, a[i]);
+    m1 = std::min(m1, a[i + 1]);
+    m2 = std::min(m2, a[i + 2]);
+    m3 = std::min(m3, a[i + 3]);
+  }
+  double m = std::min(std::min(m0, m1), std::min(m2, m3));
+  for (; i < n; ++i) m = std::min(m, a[i]);
+  return m;
+}
+
+#ifdef PROBSYN_SIMD_X86
+
+__attribute__((target("avx2"))) inline double HorizontalMin256(__m256d v) {
+  __m128d lo = _mm256_castpd256_pd128(v);
+  __m128d hi = _mm256_extractf128_pd(v, 1);
+  __m128d m = _mm_min_pd(lo, hi);
+  m = _mm_min_sd(m, _mm_unpackhi_pd(m, m));
+  return _mm_cvtsd_f64(m);
+}
+
+__attribute__((target("avx2"))) double Avx2MinPlusConst(const double* a,
+                                                        std::size_t n,
+                                                        double add) {
+  const __m256d vadd = _mm256_set1_pd(add);
+  __m256d m0 = _mm256_set1_pd(kInfinity), m1 = m0, m2 = m0, m3 = m0;
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    m0 = _mm256_min_pd(m0, _mm256_add_pd(_mm256_loadu_pd(a + i), vadd));
+    m1 = _mm256_min_pd(m1, _mm256_add_pd(_mm256_loadu_pd(a + i + 4), vadd));
+    m2 = _mm256_min_pd(m2, _mm256_add_pd(_mm256_loadu_pd(a + i + 8), vadd));
+    m3 = _mm256_min_pd(m3, _mm256_add_pd(_mm256_loadu_pd(a + i + 12), vadd));
+  }
+  for (; i + 4 <= n; i += 4) {
+    m0 = _mm256_min_pd(m0, _mm256_add_pd(_mm256_loadu_pd(a + i), vadd));
+  }
+  double m = HorizontalMin256(
+      _mm256_min_pd(_mm256_min_pd(m0, m1), _mm256_min_pd(m2, m3)));
+  for (; i < n; ++i) m = std::min(m, a[i] + add);
+  return m;
+}
+
+__attribute__((target("avx2"))) double Avx2MinPlusPairs(const double* a,
+                                                        const double* b,
+                                                        std::size_t n) {
+  __m256d m0 = _mm256_set1_pd(kInfinity), m1 = m0, m2 = m0, m3 = m0;
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    m0 = _mm256_min_pd(m0, _mm256_add_pd(_mm256_loadu_pd(a + i),
+                                         _mm256_loadu_pd(b + i)));
+    m1 = _mm256_min_pd(m1, _mm256_add_pd(_mm256_loadu_pd(a + i + 4),
+                                         _mm256_loadu_pd(b + i + 4)));
+    m2 = _mm256_min_pd(m2, _mm256_add_pd(_mm256_loadu_pd(a + i + 8),
+                                         _mm256_loadu_pd(b + i + 8)));
+    m3 = _mm256_min_pd(m3, _mm256_add_pd(_mm256_loadu_pd(a + i + 12),
+                                         _mm256_loadu_pd(b + i + 12)));
+  }
+  for (; i + 4 <= n; i += 4) {
+    m0 = _mm256_min_pd(m0, _mm256_add_pd(_mm256_loadu_pd(a + i),
+                                         _mm256_loadu_pd(b + i)));
+  }
+  double m = HorizontalMin256(
+      _mm256_min_pd(_mm256_min_pd(m0, m1), _mm256_min_pd(m2, m3)));
+  for (; i < n; ++i) m = std::min(m, a[i] + b[i]);
+  return m;
+}
+
+__attribute__((target("avx2"))) double Avx2MinPlusReverse(const double* a,
+                                                          const double* b,
+                                                          std::size_t n) {
+  // b walks downward: lane i of the reversed load of b[-i-3 .. -i] pairs
+  // with a[i + 3 - lane]; reversing with vpermpd keeps the adds
+  // elementwise identical to the scalar loop.
+  __m256d m0 = _mm256_set1_pd(kInfinity), m1 = m0;
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    __m256d r0 = _mm256_permute4x64_pd(
+        _mm256_loadu_pd(b - static_cast<std::ptrdiff_t>(i) - 3),
+        _MM_SHUFFLE(0, 1, 2, 3));
+    __m256d r1 = _mm256_permute4x64_pd(
+        _mm256_loadu_pd(b - static_cast<std::ptrdiff_t>(i) - 7),
+        _MM_SHUFFLE(0, 1, 2, 3));
+    m0 = _mm256_min_pd(m0, _mm256_add_pd(_mm256_loadu_pd(a + i), r0));
+    m1 = _mm256_min_pd(m1, _mm256_add_pd(_mm256_loadu_pd(a + i + 4), r1));
+  }
+  double m = HorizontalMin256(_mm256_min_pd(m0, m1));
+  for (; i < n; ++i) {
+    m = std::min(m, a[i] + b[-static_cast<std::ptrdiff_t>(i)]);
+  }
+  return m;
+}
+
+__attribute__((target("avx2"))) double Avx2MinMaxPairs(const double* a,
+                                                       const double* b,
+                                                       std::size_t n) {
+  __m256d m0 = _mm256_set1_pd(kInfinity), m1 = m0, m2 = m0, m3 = m0;
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    m0 = _mm256_min_pd(m0, _mm256_max_pd(_mm256_loadu_pd(a + i),
+                                         _mm256_loadu_pd(b + i)));
+    m1 = _mm256_min_pd(m1, _mm256_max_pd(_mm256_loadu_pd(a + i + 4),
+                                         _mm256_loadu_pd(b + i + 4)));
+    m2 = _mm256_min_pd(m2, _mm256_max_pd(_mm256_loadu_pd(a + i + 8),
+                                         _mm256_loadu_pd(b + i + 8)));
+    m3 = _mm256_min_pd(m3, _mm256_max_pd(_mm256_loadu_pd(a + i + 12),
+                                         _mm256_loadu_pd(b + i + 12)));
+  }
+  for (; i + 4 <= n; i += 4) {
+    m0 = _mm256_min_pd(m0, _mm256_max_pd(_mm256_loadu_pd(a + i),
+                                         _mm256_loadu_pd(b + i)));
+  }
+  double m = HorizontalMin256(
+      _mm256_min_pd(_mm256_min_pd(m0, m1), _mm256_min_pd(m2, m3)));
+  for (; i < n; ++i) m = std::min(m, std::max(a[i], b[i]));
+  return m;
+}
+
+__attribute__((target("avx2"))) double Avx2MinArray(const double* a,
+                                                    std::size_t n) {
+  __m256d m0 = _mm256_set1_pd(kInfinity), m1 = m0, m2 = m0, m3 = m0;
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    m0 = _mm256_min_pd(m0, _mm256_loadu_pd(a + i));
+    m1 = _mm256_min_pd(m1, _mm256_loadu_pd(a + i + 4));
+    m2 = _mm256_min_pd(m2, _mm256_loadu_pd(a + i + 8));
+    m3 = _mm256_min_pd(m3, _mm256_loadu_pd(a + i + 12));
+  }
+  for (; i + 4 <= n; i += 4) {
+    m0 = _mm256_min_pd(m0, _mm256_loadu_pd(a + i));
+  }
+  double m = HorizontalMin256(
+      _mm256_min_pd(_mm256_min_pd(m0, m1), _mm256_min_pd(m2, m3)));
+  for (; i < n; ++i) m = std::min(m, a[i]);
+  return m;
+}
+
+// GCC's AVX-512 intrinsics (_mm512_min_pd and friends) expand through
+// _mm512_undefined_pd(), which trips bogus -W(maybe-)uninitialized
+// diagnostics under -O3 (GCC PR105593); silence them for this block only.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wuninitialized"
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+
+__attribute__((target("avx2"))) double Avx2ApproxQuadColumn(
+    const double* prev, const double* a, const double* b, const double* c,
+    const double* v, std::size_t n, double a_hi, double b_hi, double c_hi,
+    double v_hi, double* values) {
+  const __m256d va_hi = _mm256_set1_pd(a_hi);
+  const __m256d vb_hi = _mm256_set1_pd(b_hi);
+  const __m256d vc_hi = _mm256_set1_pd(c_hi);
+  const __m256d vv_hi = _mm256_set1_pd(v_hi);
+  const __m256d vzero = _mm256_setzero_pd();
+  const __m256d vneg_tol = _mm256_set1_pd(-1e-6);
+  __m256d acc = _mm256_set1_pd(kInfinity);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d sum_c = _mm256_sub_pd(vc_hi, _mm256_loadu_pd(c + i));
+    const __m256d sum_b = _mm256_sub_pd(vb_hi, _mm256_loadu_pd(b + i));
+    const __m256d sum_a = _mm256_sub_pd(va_hi, _mm256_loadu_pd(a + i));
+    __m256d esos = _mm256_mul_pd(sum_b, sum_b);
+    if (v != nullptr) {
+      esos = _mm256_add_pd(
+          esos, _mm256_sub_pd(vv_hi, _mm256_loadu_pd(v + i)));
+    }
+    __m256d cost = _mm256_sub_pd(sum_a, _mm256_div_pd(esos, sum_c));
+    const __m256d tiny_negative =
+        _mm256_and_pd(_mm256_cmp_pd(cost, vzero, _CMP_LT_OQ),
+                      _mm256_cmp_pd(cost, vneg_tol, _CMP_GT_OQ));
+    cost = _mm256_blendv_pd(cost, vzero, tiny_negative);
+    // Degenerate bucket (no workload weight): cost pinned to zero, as the
+    // scalar evaluator's early return does.
+    cost = _mm256_blendv_pd(cost, vzero,
+                            _mm256_cmp_pd(sum_c, vzero, _CMP_LE_OQ));
+    const __m256d value = _mm256_add_pd(_mm256_loadu_pd(prev + i), cost);
+    _mm256_storeu_pd(values + i, value);
+    acc = _mm256_min_pd(acc, value);
+  }
+  double m = HorizontalMin256(acc);
+  for (; i < n; ++i) {
+    const double sum_c = c_hi - c[i];
+    const double sum_b = b_hi - b[i];
+    const double sum_a = a_hi - a[i];
+    double esos = sum_b * sum_b;
+    if (v != nullptr) esos += v_hi - v[i];
+    double cost = sum_a - esos / sum_c;
+    cost = (cost < 0.0 && cost > -1e-6) ? 0.0 : cost;
+    if (sum_c <= 0.0) cost = 0.0;
+    const double value = prev[i] + cost;
+    values[i] = value;
+    m = std::min(m, value);
+  }
+  return m;
+}
+
+__attribute__((target("avx2"))) double Avx2StreamingMergeColumn(
+    const double* error, const double* sum_mean, const double* sum_second,
+    const double* position, std::size_t n, double count, double total_mean,
+    double total_second, double* values) {
+  const __m256d vcount = _mm256_set1_pd(count);
+  const __m256d vtotal_mean = _mm256_set1_pd(total_mean);
+  const __m256d vtotal_second = _mm256_set1_pd(total_second);
+  const __m256d vinf = _mm256_set1_pd(kInfinity);
+  const __m256d vzero = _mm256_setzero_pd();
+  const __m256d vneg_tol = _mm256_set1_pd(-1e-6);
+  __m256d acc = vinf;
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d p = _mm256_loadu_pd(position + i);
+    const __m256d width = _mm256_sub_pd(vcount, p);
+    const __m256d mean =
+        _mm256_sub_pd(vtotal_mean, _mm256_loadu_pd(sum_mean + i));
+    const __m256d second =
+        _mm256_sub_pd(vtotal_second, _mm256_loadu_pd(sum_second + i));
+    __m256d cost = _mm256_sub_pd(
+        second, _mm256_div_pd(_mm256_mul_pd(mean, mean), width));
+    // ClampTinyNegative: -tol < cost < 0 snaps to zero.
+    const __m256d tiny_negative =
+        _mm256_and_pd(_mm256_cmp_pd(cost, vzero, _CMP_LT_OQ),
+                      _mm256_cmp_pd(cost, vneg_tol, _CMP_GT_OQ));
+    cost = _mm256_blendv_pd(cost, vzero, tiny_negative);
+    __m256d v = _mm256_add_pd(_mm256_loadu_pd(error + i), cost);
+    // Guard: candidates at or past the current position are unusable.
+    v = _mm256_blendv_pd(v, vinf, _mm256_cmp_pd(p, vcount, _CMP_GE_OQ));
+    _mm256_storeu_pd(values + i, v);
+    acc = _mm256_min_pd(acc, v);
+  }
+  double m = HorizontalMin256(acc);
+  for (; i < n; ++i) {
+    const double width = count - position[i];
+    const double mean = total_mean - sum_mean[i];
+    const double second = total_second - sum_second[i];
+    double cost = second - mean * mean / width;
+    cost = (cost < 0.0 && cost > -1e-6) ? 0.0 : cost;
+    const double v =
+        position[i] >= count ? kInfinity : error[i] + cost;
+    values[i] = v;
+    m = std::min(m, v);
+  }
+  return m;
+}
+
+__attribute__((target("avx512f"))) inline double HorizontalMin512(__m512d v) {
+  return _mm512_reduce_min_pd(v);
+}
+
+__attribute__((target("avx512f"))) double Avx512ApproxQuadColumn(
+    const double* prev, const double* a, const double* b, const double* c,
+    const double* v, std::size_t n, double a_hi, double b_hi, double c_hi,
+    double v_hi, double* values) {
+  const __m512d va_hi = _mm512_set1_pd(a_hi);
+  const __m512d vb_hi = _mm512_set1_pd(b_hi);
+  const __m512d vc_hi = _mm512_set1_pd(c_hi);
+  const __m512d vv_hi = _mm512_set1_pd(v_hi);
+  const __m512d vzero = _mm512_setzero_pd();
+  const __m512d vneg_tol = _mm512_set1_pd(-1e-6);
+  __m512d acc = _mm512_set1_pd(kInfinity);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m512d sum_c = _mm512_sub_pd(vc_hi, _mm512_loadu_pd(c + i));
+    const __m512d sum_b = _mm512_sub_pd(vb_hi, _mm512_loadu_pd(b + i));
+    const __m512d sum_a = _mm512_sub_pd(va_hi, _mm512_loadu_pd(a + i));
+    __m512d esos = _mm512_mul_pd(sum_b, sum_b);
+    if (v != nullptr) {
+      esos = _mm512_add_pd(
+          esos, _mm512_sub_pd(vv_hi, _mm512_loadu_pd(v + i)));
+    }
+    __m512d cost = _mm512_sub_pd(sum_a, _mm512_div_pd(esos, sum_c));
+    const __mmask8 tiny_negative =
+        _mm512_cmp_pd_mask(cost, vzero, _CMP_LT_OQ) &
+        _mm512_cmp_pd_mask(cost, vneg_tol, _CMP_GT_OQ);
+    cost = _mm512_mask_blend_pd(tiny_negative, cost, vzero);
+    cost = _mm512_mask_blend_pd(_mm512_cmp_pd_mask(sum_c, vzero, _CMP_LE_OQ),
+                                cost, vzero);
+    const __m512d value = _mm512_add_pd(_mm512_loadu_pd(prev + i), cost);
+    _mm512_storeu_pd(values + i, value);
+    acc = _mm512_min_pd(acc, value);
+  }
+  double m = HorizontalMin512(acc);
+  for (; i < n; ++i) {
+    const double sum_c = c_hi - c[i];
+    const double sum_b = b_hi - b[i];
+    const double sum_a = a_hi - a[i];
+    double esos = sum_b * sum_b;
+    if (v != nullptr) esos += v_hi - v[i];
+    double cost = sum_a - esos / sum_c;
+    cost = (cost < 0.0 && cost > -1e-6) ? 0.0 : cost;
+    if (sum_c <= 0.0) cost = 0.0;
+    const double value = prev[i] + cost;
+    values[i] = value;
+    m = std::min(m, value);
+  }
+  return m;
+}
+
+__attribute__((target("avx512f"))) double Avx512StreamingMergeColumn(
+    const double* error, const double* sum_mean, const double* sum_second,
+    const double* position, std::size_t n, double count, double total_mean,
+    double total_second, double* values) {
+  const __m512d vcount = _mm512_set1_pd(count);
+  const __m512d vtotal_mean = _mm512_set1_pd(total_mean);
+  const __m512d vtotal_second = _mm512_set1_pd(total_second);
+  const __m512d vinf = _mm512_set1_pd(kInfinity);
+  const __m512d vzero = _mm512_setzero_pd();
+  const __m512d vneg_tol = _mm512_set1_pd(-1e-6);
+  __m512d acc = vinf;
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m512d p = _mm512_loadu_pd(position + i);
+    const __m512d width = _mm512_sub_pd(vcount, p);
+    const __m512d mean =
+        _mm512_sub_pd(vtotal_mean, _mm512_loadu_pd(sum_mean + i));
+    const __m512d second =
+        _mm512_sub_pd(vtotal_second, _mm512_loadu_pd(sum_second + i));
+    __m512d cost = _mm512_sub_pd(
+        second, _mm512_div_pd(_mm512_mul_pd(mean, mean), width));
+    const __mmask8 tiny_negative =
+        _mm512_cmp_pd_mask(cost, vzero, _CMP_LT_OQ) &
+        _mm512_cmp_pd_mask(cost, vneg_tol, _CMP_GT_OQ);
+    cost = _mm512_mask_blend_pd(tiny_negative, cost, vzero);
+    __m512d v = _mm512_add_pd(_mm512_loadu_pd(error + i), cost);
+    v = _mm512_mask_blend_pd(_mm512_cmp_pd_mask(p, vcount, _CMP_GE_OQ), v,
+                             vinf);
+    _mm512_storeu_pd(values + i, v);
+    acc = _mm512_min_pd(acc, v);
+  }
+  double m = HorizontalMin512(acc);
+  for (; i < n; ++i) {
+    const double width = count - position[i];
+    const double mean = total_mean - sum_mean[i];
+    const double second = total_second - sum_second[i];
+    double cost = second - mean * mean / width;
+    cost = (cost < 0.0 && cost > -1e-6) ? 0.0 : cost;
+    const double v =
+        position[i] >= count ? kInfinity : error[i] + cost;
+    values[i] = v;
+    m = std::min(m, v);
+  }
+  return m;
+}
+
+__attribute__((target("avx512f"))) double Avx512MinPlusConst(const double* a,
+                                                             std::size_t n,
+                                                             double add) {
+  const __m512d vadd = _mm512_set1_pd(add);
+  __m512d m0 = _mm512_set1_pd(kInfinity), m1 = m0, m2 = m0, m3 = m0;
+  std::size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    m0 = _mm512_min_pd(m0, _mm512_add_pd(_mm512_loadu_pd(a + i), vadd));
+    m1 = _mm512_min_pd(m1, _mm512_add_pd(_mm512_loadu_pd(a + i + 8), vadd));
+    m2 = _mm512_min_pd(m2, _mm512_add_pd(_mm512_loadu_pd(a + i + 16), vadd));
+    m3 = _mm512_min_pd(m3, _mm512_add_pd(_mm512_loadu_pd(a + i + 24), vadd));
+  }
+  for (; i + 8 <= n; i += 8) {
+    m0 = _mm512_min_pd(m0, _mm512_add_pd(_mm512_loadu_pd(a + i), vadd));
+  }
+  double m = HorizontalMin512(
+      _mm512_min_pd(_mm512_min_pd(m0, m1), _mm512_min_pd(m2, m3)));
+  for (; i < n; ++i) m = std::min(m, a[i] + add);
+  return m;
+}
+
+__attribute__((target("avx512f"))) double Avx512MinPlusPairs(const double* a,
+                                                             const double* b,
+                                                             std::size_t n) {
+  __m512d m0 = _mm512_set1_pd(kInfinity), m1 = m0, m2 = m0, m3 = m0;
+  std::size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    m0 = _mm512_min_pd(m0, _mm512_add_pd(_mm512_loadu_pd(a + i),
+                                         _mm512_loadu_pd(b + i)));
+    m1 = _mm512_min_pd(m1, _mm512_add_pd(_mm512_loadu_pd(a + i + 8),
+                                         _mm512_loadu_pd(b + i + 8)));
+    m2 = _mm512_min_pd(m2, _mm512_add_pd(_mm512_loadu_pd(a + i + 16),
+                                         _mm512_loadu_pd(b + i + 16)));
+    m3 = _mm512_min_pd(m3, _mm512_add_pd(_mm512_loadu_pd(a + i + 24),
+                                         _mm512_loadu_pd(b + i + 24)));
+  }
+  for (; i + 8 <= n; i += 8) {
+    m0 = _mm512_min_pd(m0, _mm512_add_pd(_mm512_loadu_pd(a + i),
+                                         _mm512_loadu_pd(b + i)));
+  }
+  double m = HorizontalMin512(
+      _mm512_min_pd(_mm512_min_pd(m0, m1), _mm512_min_pd(m2, m3)));
+  for (; i < n; ++i) m = std::min(m, a[i] + b[i]);
+  return m;
+}
+
+__attribute__((target("avx512f"))) double Avx512MinPlusReverse(
+    const double* a, const double* b, std::size_t n) {
+  const __m512i rev = _mm512_set_epi64(0, 1, 2, 3, 4, 5, 6, 7);
+  __m512d m0 = _mm512_set1_pd(kInfinity), m1 = m0;
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    __m512d r0 = _mm512_permutexvar_pd(
+        rev, _mm512_loadu_pd(b - static_cast<std::ptrdiff_t>(i) - 7));
+    __m512d r1 = _mm512_permutexvar_pd(
+        rev, _mm512_loadu_pd(b - static_cast<std::ptrdiff_t>(i) - 15));
+    m0 = _mm512_min_pd(m0, _mm512_add_pd(_mm512_loadu_pd(a + i), r0));
+    m1 = _mm512_min_pd(m1, _mm512_add_pd(_mm512_loadu_pd(a + i + 8), r1));
+  }
+  double m = HorizontalMin512(_mm512_min_pd(m0, m1));
+  for (; i < n; ++i) {
+    m = std::min(m, a[i] + b[-static_cast<std::ptrdiff_t>(i)]);
+  }
+  return m;
+}
+
+__attribute__((target("avx512f"))) double Avx512MinMaxPairs(const double* a,
+                                                            const double* b,
+                                                            std::size_t n) {
+  __m512d m0 = _mm512_set1_pd(kInfinity), m1 = m0, m2 = m0, m3 = m0;
+  std::size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    m0 = _mm512_min_pd(m0, _mm512_max_pd(_mm512_loadu_pd(a + i),
+                                         _mm512_loadu_pd(b + i)));
+    m1 = _mm512_min_pd(m1, _mm512_max_pd(_mm512_loadu_pd(a + i + 8),
+                                         _mm512_loadu_pd(b + i + 8)));
+    m2 = _mm512_min_pd(m2, _mm512_max_pd(_mm512_loadu_pd(a + i + 16),
+                                         _mm512_loadu_pd(b + i + 16)));
+    m3 = _mm512_min_pd(m3, _mm512_max_pd(_mm512_loadu_pd(a + i + 24),
+                                         _mm512_loadu_pd(b + i + 24)));
+  }
+  for (; i + 8 <= n; i += 8) {
+    m0 = _mm512_min_pd(m0, _mm512_max_pd(_mm512_loadu_pd(a + i),
+                                         _mm512_loadu_pd(b + i)));
+  }
+  double m = HorizontalMin512(
+      _mm512_min_pd(_mm512_min_pd(m0, m1), _mm512_min_pd(m2, m3)));
+  for (; i < n; ++i) m = std::min(m, std::max(a[i], b[i]));
+  return m;
+}
+
+__attribute__((target("avx512f"))) double Avx512MinArray(const double* a,
+                                                         std::size_t n) {
+  __m512d m0 = _mm512_set1_pd(kInfinity), m1 = m0, m2 = m0, m3 = m0;
+  std::size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    m0 = _mm512_min_pd(m0, _mm512_loadu_pd(a + i));
+    m1 = _mm512_min_pd(m1, _mm512_loadu_pd(a + i + 8));
+    m2 = _mm512_min_pd(m2, _mm512_loadu_pd(a + i + 16));
+    m3 = _mm512_min_pd(m3, _mm512_loadu_pd(a + i + 24));
+  }
+  for (; i + 8 <= n; i += 8) {
+    m0 = _mm512_min_pd(m0, _mm512_loadu_pd(a + i));
+  }
+  double m = HorizontalMin512(
+      _mm512_min_pd(_mm512_min_pd(m0, m1), _mm512_min_pd(m2, m3)));
+  for (; i < n; ++i) m = std::min(m, a[i]);
+  return m;
+}
+
+#pragma GCC diagnostic pop
+
+#endif  // PROBSYN_SIMD_X86
+
+// One vtable-free dispatch record per SimdPath; resolved once (or on a
+// test override) and read with relaxed atomics on the hot paths.
+struct SimdOps {
+  SimdPath path;
+  double (*min_plus_const)(const double*, std::size_t, double);
+  double (*min_plus_pairs)(const double*, const double*, std::size_t);
+  double (*min_plus_reverse)(const double*, const double*, std::size_t);
+  double (*min_max_pairs)(const double*, const double*, std::size_t);
+  double (*min_array)(const double*, std::size_t);
+  double (*approx_quad_column)(const double*, const double*, const double*,
+                               const double*, const double*, std::size_t,
+                               double, double, double, double, double*);
+  double (*streaming_merge_column)(const double*, const double*,
+                                   const double*, const double*, std::size_t,
+                                   double, double, double, double*);
+};
+
+constexpr SimdOps kScalarOps{SimdPath::kScalar,
+                             ScalarMinPlusConst,
+                             ScalarMinPlusPairs,
+                             ScalarMinPlusReverse,
+                             ScalarMinMaxPairs,
+                             ScalarMinArray,
+                             ScalarApproxQuadColumn,
+                             ScalarStreamingMergeColumn};
+#ifdef PROBSYN_SIMD_X86
+constexpr SimdOps kAvx2Ops{SimdPath::kAvx2,
+                           Avx2MinPlusConst,
+                           Avx2MinPlusPairs,
+                           Avx2MinPlusReverse,
+                           Avx2MinMaxPairs,
+                           Avx2MinArray,
+                           Avx2ApproxQuadColumn,
+                           Avx2StreamingMergeColumn};
+constexpr SimdOps kAvx512Ops{SimdPath::kAvx512,
+                             Avx512MinPlusConst,
+                             Avx512MinPlusPairs,
+                             Avx512MinPlusReverse,
+                             Avx512MinMaxPairs,
+                             Avx512MinArray,
+                             Avx512ApproxQuadColumn,
+                             Avx512StreamingMergeColumn};
+#endif
+
+// Widest path the CPU supports (build-gated).
+SimdPath DetectSimdPath() {
+#ifdef PROBSYN_SIMD_X86
+  if (__builtin_cpu_supports("avx512f")) return SimdPath::kAvx512;
+  if (__builtin_cpu_supports("avx2")) return SimdPath::kAvx2;
+#endif
+  return SimdPath::kScalar;
+}
+
+const SimdOps* OpsFor(SimdPath path) {
+  // Clamp requests the CPU (or build) cannot honor down to the widest
+  // supported path; kScalar is always honored exactly.
+  SimdPath supported = DetectSimdPath();
+  if (static_cast<int>(path) > static_cast<int>(supported)) path = supported;
+  switch (path) {
+#ifdef PROBSYN_SIMD_X86
+    case SimdPath::kAvx512:
+      return &kAvx512Ops;
+    case SimdPath::kAvx2:
+      return &kAvx2Ops;
+#endif
+    default:
+      return &kScalarOps;
+  }
+}
+
+// Initial dispatch: PROBSYN_SIMD env override ("scalar"/"avx2"/"avx512";
+// "auto" or anything else falls through to CPUID), then CPUID.
+const SimdOps* ResolveInitialOps() {
+  if (const char* env = std::getenv("PROBSYN_SIMD")) {
+    if (std::strcmp(env, "scalar") == 0) return OpsFor(SimdPath::kScalar);
+    if (std::strcmp(env, "avx2") == 0) return OpsFor(SimdPath::kAvx2);
+    if (std::strcmp(env, "avx512") == 0) return OpsFor(SimdPath::kAvx512);
+  }
+  return OpsFor(DetectSimdPath());
+}
+
+std::atomic<const SimdOps*> g_simd_ops{nullptr};
+
+const SimdOps& Ops() {
+  const SimdOps* ops = g_simd_ops.load(std::memory_order_relaxed);
+  if (ops == nullptr) {
+    ops = ResolveInitialOps();
+    g_simd_ops.store(ops, std::memory_order_relaxed);
+  }
+  return *ops;
+}
 
 double Combine(DpCombiner combiner, double prefix, double bucket) {
   return combiner == DpCombiner::kSum ? prefix + bucket
@@ -45,17 +715,15 @@ inline void ComputeCellReference(DpCombiner combiner, const double* prev,
   *choice_out = best_choice;
 }
 
-// kSum fast cell: chunked branch-free min-reduction, then the reference
-// tie-break — the first split attaining the minimum — resolved inside the
-// FIRST chunk attaining it. Four independent min accumulators break the
-// loop-carried minsd latency chain (and give the vectorizer parallel
-// lanes); floating-point min is exact whatever the accumulation order, so
-// the chunked minimum is bit-equal to the sequential scan's. ~0.4 ns per
-// candidate against the reference scan's ~1.8 (compare-branch per
-// candidate, GCC 12 -O3 x86-64 baseline).
-inline void ComputeCellSumFast(const double* prev, const double* cost,
-                               std::size_t j, double* err_out,
-                               std::int64_t* choice_out) {
+// kSum fast cell: chunked branch-free min-reduction through the
+// runtime-dispatched SIMD primitives, then the reference tie-break — the
+// first split attaining the minimum — resolved inside the FIRST chunk
+// attaining it. Floating-point min is exact whatever the accumulation
+// order (and lane count), so the chunked minimum is bit-equal to the
+// sequential scan's on every SIMD path.
+inline void ComputeCellSumFast(const SimdOps& ops, const double* prev,
+                               const double* cost, std::size_t j,
+                               double* err_out, std::int64_t* choice_out) {
   constexpr std::size_t kChunk = 512;
   const double inherit = prev[j];
   double best = kInfinity;
@@ -63,21 +731,8 @@ inline void ComputeCellSumFast(const double* prev, const double* cost,
   const double* cost1 = cost + 1;  // cost1[l] = Cost([l+1, j])
   for (std::size_t begin = 0; begin < j; begin += kChunk) {
     const std::size_t end = std::min(j, begin + kChunk);
-    double m0 = kInfinity;
-    double m1 = kInfinity;
-    double m2 = kInfinity;
-    double m3 = kInfinity;
-    std::size_t l = begin;
-    for (; l + 4 <= end; l += 4) {
-      m0 = std::min(m0, prev[l] + cost1[l]);
-      m1 = std::min(m1, prev[l + 1] + cost1[l + 1]);
-      m2 = std::min(m2, prev[l + 2] + cost1[l + 2]);
-      m3 = std::min(m3, prev[l + 3] + cost1[l + 3]);
-    }
-    double m = std::min(std::min(m0, m1), std::min(m2, m3));
-    for (; l < end; ++l) {
-      m = std::min(m, prev[l] + cost1[l]);
-    }
+    const double m = ops.min_plus_pairs(prev + begin, cost1 + begin,
+                                        end - begin);
     // Strict < keeps the earliest chunk attaining the global minimum, which
     // is where the first attaining split lives.
     if (m < best) {
@@ -107,27 +762,12 @@ inline std::size_t NumChunks(std::size_t n) {
   return (n + kMaxChunk - 1) / kMaxChunk;
 }
 
-// Branch-free min over l in [begin, end) of max(prev[l], cost1[l]); four
-// accumulators as in the kSum cell. min/max are exact whatever the
-// accumulation order.
-inline double ChunkMaxMin(const double* prev, const double* cost1,
-                          std::size_t begin, std::size_t end) {
-  double m0 = kInfinity;
-  double m1 = kInfinity;
-  double m2 = kInfinity;
-  double m3 = kInfinity;
-  std::size_t l = begin;
-  for (; l + 4 <= end; l += 4) {
-    m0 = std::min(m0, std::max(prev[l], cost1[l]));
-    m1 = std::min(m1, std::max(prev[l + 1], cost1[l + 1]));
-    m2 = std::min(m2, std::max(prev[l + 2], cost1[l + 2]));
-    m3 = std::min(m3, std::max(prev[l + 3], cost1[l + 3]));
-  }
-  double m = std::min(std::min(m0, m1), std::min(m2, m3));
-  for (; l < end; ++l) {
-    m = std::min(m, std::max(prev[l], cost1[l]));
-  }
-  return m;
+// Branch-free min over l in [begin, end) of max(prev[l], cost1[l]) through
+// the SIMD dispatch. min/max are exact whatever the accumulation order.
+inline double ChunkMaxMin(const SimdOps& ops, const double* prev,
+                          const double* cost1, std::size_t begin,
+                          std::size_t end) {
+  return ops.min_max_pairs(prev + begin, cost1 + begin, end - begin);
 }
 
 // kMax fast cell: bisection-seeded monotone-split pruning with an EXACT
@@ -153,8 +793,9 @@ inline double ChunkMaxMin(const double* prev, const double* cost1,
 //     vectorized scan, never to a wrong answer.
 //  3. reference tie-break: first chunk whose lower bound admits m
 //     (strict >) is equality-scanned for the first split attaining m.
-inline void ComputeCellMaxFast(const double* prev, const double* cost,
-                               std::size_t j, const double* prev_cmin,
+inline void ComputeCellMaxFast(const SimdOps& ops, const double* prev,
+                               const double* cost, std::size_t j,
+                               const double* prev_cmin,
                                const double* cost_cmin, double* err_out,
                                std::int64_t* choice_out) {
   const double inherit = prev[j];
@@ -191,7 +832,7 @@ inline void ComputeCellMaxFast(const double* prev, const double* cost,
     if (std::max(prev_cmin[c], cost_cmin[c]) >= m) continue;
     const std::size_t begin = c * kMaxChunk;
     const std::size_t end = std::min(j, begin + kMaxChunk);
-    m = std::min(m, ChunkMaxMin(prev, cost1, begin, end));
+    m = std::min(m, ChunkMaxMin(ops, prev, cost1, begin, end));
   }
 
   if (m < inherit) {
@@ -216,15 +857,16 @@ inline void ComputeCellMaxFast(const double* prev, const double* cost,
 }
 
 template <bool kFastCells>
-inline void ComputeCellKernel(DpCombiner combiner, const double* prev,
-                              const double* cost, std::size_t j,
-                              const double* prev_cmin, const double* cost_cmin,
-                              double* err_out, std::int64_t* choice_out) {
+inline void ComputeCellKernel(const SimdOps& ops, DpCombiner combiner,
+                              const double* prev, const double* cost,
+                              std::size_t j, const double* prev_cmin,
+                              const double* cost_cmin, double* err_out,
+                              std::int64_t* choice_out) {
   if constexpr (kFastCells) {
     if (combiner == DpCombiner::kSum) {
-      ComputeCellSumFast(prev, cost, j, err_out, choice_out);
+      ComputeCellSumFast(ops, prev, cost, j, err_out, choice_out);
     } else {
-      ComputeCellMaxFast(prev, cost, j, prev_cmin, cost_cmin, err_out,
+      ComputeCellMaxFast(ops, prev, cost, j, prev_cmin, cost_cmin, err_out,
                          choice_out);
     }
   } else {
@@ -390,6 +1032,7 @@ struct DpTables {
 template <bool kFastCells, typename Filler>
 void RunDp(const Filler& filler, std::size_t n, std::size_t cap,
            DpCombiner combiner, ThreadPool* pool, DpTables ws) {
+  const SimdOps& ops = Ops();  // one dispatch resolution per solve
   ws.err.resize(cap * n);
   ws.choice.resize(cap * n);
   ws.rep.resize(cap * n);
@@ -416,15 +1059,12 @@ void RunDp(const Filler& filler, std::size_t n, std::size_t cap,
     *slot = (j % kMaxChunk == 0) ? v : std::min(*slot, v);
   };
   // Chunk minima over cost[l+1] for splits l in [0, j), per column.
-  auto fill_cost_cmin = [](const double* costcol, std::size_t j,
-                           double* cmin) {
+  auto fill_cost_cmin = [&ops](const double* costcol, std::size_t j,
+                               double* cmin) {
     for (std::size_t begin = 0; begin < j; begin += kMaxChunk) {
       const std::size_t end = std::min(j, begin + kMaxChunk);
-      double m = kInfinity;
-      for (std::size_t l = begin; l < end; ++l) {
-        m = std::min(m, costcol[l + 1]);
-      }
-      cmin[begin / kMaxChunk] = m;
+      cmin[begin / kMaxChunk] =
+          ops.min_array(costcol + begin + 1, end - begin);
     }
   };
 
@@ -440,8 +1080,8 @@ void RunDp(const Filler& filler, std::size_t n, std::size_t cap,
     std::int64_t* choice_cell = &choice[(b - 1) * n + j];
     const double* prev_cmin =
         track_bounds ? &layer_cmin[(b - 2) * nchunks] : nullptr;
-    ComputeCellKernel<kFastCells>(combiner, &err[(b - 2) * n], costcol, j,
-                                  prev_cmin, costcol_cmin, err_cell,
+    ComputeCellKernel<kFastCells>(ops, combiner, &err[(b - 2) * n], costcol,
+                                  j, prev_cmin, costcol_cmin, err_cell,
                                   choice_cell);
     // Cache the traceback bucket's representative so ExtractHistogram never
     // calls back into the oracle. Inherit cells end no bucket at j.
@@ -534,6 +1174,23 @@ void RunDp(const Filler& filler, std::size_t n, std::size_t cap,
 // equal-valued pits — legal as an answer, fatal for bit parity. The win is
 // the inlined probe loop (no std::function per probe).
 
+// Dense per-layer gather of the candidate columns consumed by the fused
+// bulk evaluators (SimdApproxQuadColumn): prev-layer errors and the
+// oracle's prefix rows at the candidate positions, contiguous so whole
+// candidate columns evaluate in vector lanes (the sparse candidate set
+// defeats vectorization when probed in place).
+struct ApproxCandidateGather {
+  std::vector<double> prev, a, b, c, v;
+
+  void Resize(std::size_t n, bool with_v) {
+    prev.resize(n);
+    a.resize(n);
+    b.resize(n);
+    c.resize(n);
+    if (with_v) v.resize(n);
+  }
+};
+
 struct ReferencePointCost {
   const BucketCostOracle* oracle;
 
@@ -544,7 +1201,11 @@ struct ReferencePointCost {
 
 // SseMomentOracle::Cost over hoisted raw cumulative arrays (cost part only;
 // the approximate DP re-costs final buckets through the oracle itself).
+// Bulk-capable: whole candidate columns run through the fused quadratic
+// column kernel, bit-identical to Cost() per candidate.
 struct SseMomentPointCost {
+  static constexpr bool kBulkColumn = true;
+
   const double* weight;
   const double* mean;
   const double* second;
@@ -561,10 +1222,35 @@ struct SseMomentPointCost {
     const double c = sum_second - expected_square_of_sum / sum_weight;
     return ClampTinyNegative(c, 1e-6);
   }
+
+  void Gather(const std::vector<std::size_t>& candidates,
+              const double* prev_row, ApproxCandidateGather& gather) const {
+    gather.Resize(candidates.size(), world_mean);
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      const std::size_t l = candidates[i];
+      gather.prev[i] = prev_row[l];
+      gather.a[i] = second[l + 1];
+      gather.b[i] = mean[l + 1];
+      gather.c[i] = weight[l + 1];
+      if (world_mean) gather.v[i] = variance[l + 1];
+    }
+  }
+
+  double BulkMin(const ApproxCandidateGather& gather, std::size_t valid,
+                 std::size_t j, double* values) const {
+    return SimdApproxQuadColumn(
+        gather.prev.data(), gather.a.data(), gather.b.data(),
+        gather.c.data(), world_mean ? gather.v.data() : nullptr, valid,
+        second[j + 1], mean[j + 1], weight[j + 1],
+        world_mean ? variance[j + 1] : 0.0, values);
+  }
 };
 
-// SsreOracle::Cost over hoisted raw X/Y/Z cumulative arrays.
+// SsreOracle::Cost over hoisted raw X/Y/Z cumulative arrays. Bulk-capable
+// like the SSE kernel (same quadratic shape).
 struct SsrePointCost {
+  static constexpr bool kBulkColumn = true;
+
   const double* x;
   const double* y;
   const double* z;
@@ -576,6 +1262,26 @@ struct SsrePointCost {
     const double ys = y[e + 1] - y[s];
     const double c = xs - ys * ys / zs;
     return ClampTinyNegative(c, 1e-6);
+  }
+
+  void Gather(const std::vector<std::size_t>& candidates,
+              const double* prev_row, ApproxCandidateGather& gather) const {
+    gather.Resize(candidates.size(), /*with_v=*/false);
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      const std::size_t l = candidates[i];
+      gather.prev[i] = prev_row[l];
+      gather.a[i] = x[l + 1];
+      gather.b[i] = y[l + 1];
+      gather.c[i] = z[l + 1];
+    }
+  }
+
+  double BulkMin(const ApproxCandidateGather& gather, std::size_t valid,
+                 std::size_t j, double* values) const {
+    return SimdApproxQuadColumn(gather.prev.data(), gather.a.data(),
+                                gather.b.data(), gather.c.data(), nullptr,
+                                valid, x[j + 1], y[j + 1], z[j + 1], 0.0,
+                                values);
   }
 };
 
@@ -644,7 +1350,15 @@ StatusOr<ApproxHistogramResult> RunApproxDp(const BucketCostOracle& oracle,
     ++evaluations;
   }
 
+  // Bulk-capable kernels (the quadratic oracles) gather the candidate
+  // columns densely once per layer and evaluate whole columns in the fused
+  // SIMD kernel; the search-backed kernels keep the one-pass
+  // compare-per-candidate scan (materializing buys nothing when each
+  // evaluation is itself a search or a virtual call).
+  constexpr bool kBulk = requires { CostFn::kBulkColumn; };
   std::vector<std::size_t> candidates;
+  [[maybe_unused]] ApproxCandidateGather gather;
+  [[maybe_unused]] std::vector<double> candidate_values;
   for (std::size_t b = 2; b <= cap; ++b) {
     // Geometric error classes of the previous (monotone) layer; keep the
     // rightmost position of each class. Classes are contiguous intervals
@@ -661,22 +1375,51 @@ StatusOr<ApproxHistogramResult> RunApproxDp(const BucketCostOracle& oracle,
     }
     if (n >= 1) candidates.push_back(n - 1);
 
+    if constexpr (kBulk) {
+      cost_fn.Gather(candidates, prev.data(), gather);
+      candidate_values.resize(candidates.size());
+    }
+    std::size_t valid = 0;  // candidates with l < j; monotone in j
     for (std::size_t j = 0; j < n; ++j) {
+      while (valid < candidates.size() && candidates[valid] < j) ++valid;
       double best = prev[j];  // Inherit: fewer buckets already optimal.
       std::int64_t best_choice = kInherit;
-      auto consider = [&](std::size_t l) {
-        double v = prev[l] + cost_fn.Cost(l + 1, j);
+      if constexpr (kBulk) {
+        // Fused column evaluation + SIMD min, then the reference
+        // tie-break: first candidate attaining the minimum, inherit
+        // winning all ties (strict <) — identical to the sequential
+        // compare-per-candidate scan, since FP min is exact in any order.
+        const double m =
+            cost_fn.BulkMin(gather, valid, j, candidate_values.data());
+        evaluations += valid;
+        if (m < best) {
+          best = m;
+          for (std::size_t i = 0; i < valid; ++i) {
+            if (candidate_values[i] == m) {
+              best_choice = static_cast<std::int64_t>(candidates[i]);
+              break;
+            }
+          }
+        }
+      } else {
+        for (std::size_t i = 0; i < valid; ++i) {
+          const std::size_t l = candidates[i];
+          const double v = prev[l] + cost_fn.Cost(l + 1, j);
+          ++evaluations;
+          if (v < best) {
+            best = v;
+            best_choice = static_cast<std::int64_t>(l);
+          }
+        }
+      }
+      if (j >= 1) {
+        const double v = prev[j - 1] + cost_fn.Cost(j, j);
         ++evaluations;
         if (v < best) {
           best = v;
-          best_choice = static_cast<std::int64_t>(l);
+          best_choice = static_cast<std::int64_t>(j - 1);
         }
-      };
-      for (std::size_t l : candidates) {
-        if (l + 1 > j) break;  // candidates ascending; l must be < j
-        consider(l);
       }
-      if (j >= 1) consider(j - 1);
       cur[j] = best;
       choice[b - 1][j] = best_choice;
     }
@@ -898,6 +1641,61 @@ StatusOr<ApproxHistogramResult> SolveApproxHistogramDpWithKernel(
   }
   PROBSYN_CHECK(false);
   return Status::Internal("unreachable");
+}
+
+const char* SimdPathName(SimdPath path) {
+  switch (path) {
+    case SimdPath::kScalar: return "scalar";
+    case SimdPath::kAvx2: return "avx2";
+    case SimdPath::kAvx512: return "avx512";
+  }
+  return "?";
+}
+
+SimdPath ActiveSimdPath() { return Ops().path; }
+
+SimdPath ForceSimdPath(SimdPath path) {
+  const SimdOps* ops = OpsFor(path);
+  g_simd_ops.store(ops, std::memory_order_relaxed);
+  return ops->path;
+}
+
+double SimdMinPlusConst(const double* a, std::size_t n, double add) {
+  return Ops().min_plus_const(a, n, add);
+}
+
+double SimdMinPlusPairs(const double* a, const double* b, std::size_t n) {
+  return Ops().min_plus_pairs(a, b, n);
+}
+
+double SimdMinPlusReverse(const double* a, const double* b, std::size_t n) {
+  return Ops().min_plus_reverse(a, b, n);
+}
+
+double SimdMinMaxPairs(const double* a, const double* b, std::size_t n) {
+  return Ops().min_max_pairs(a, b, n);
+}
+
+double SimdMinArray(const double* a, std::size_t n) {
+  return Ops().min_array(a, n);
+}
+
+double SimdApproxQuadColumn(const double* prev, const double* a,
+                            const double* b, const double* c, const double* v,
+                            std::size_t n, double a_hi, double b_hi,
+                            double c_hi, double v_hi, double* values) {
+  return Ops().approx_quad_column(prev, a, b, c, v, n, a_hi, b_hi, c_hi,
+                                  v_hi, values);
+}
+
+double SimdStreamingMergeColumn(const double* error, const double* sum_mean,
+                                const double* sum_second,
+                                const double* position, std::size_t n,
+                                double count, double total_mean,
+                                double total_second, double* values) {
+  return Ops().streaming_merge_column(error, sum_mean, sum_second, position,
+                                      n, count, total_mean, total_second,
+                                      values);
 }
 
 const char* WaveletSplitKernelName(WaveletSplitKernel kind) {

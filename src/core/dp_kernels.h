@@ -18,12 +18,132 @@ namespace probsyn {
 
 class ThreadPool;
 
+// ---------------------------------------------------------------------------
+// Runtime-dispatched SIMD min-reductions. Every chunked kSum/kMax
+// min-reduction in the kernel layer (exact-DP cells, wavelet budget
+// splits, the approximate DP's candidate minimization, the streaming
+// merge and 2-D split scans) funnels through the primitives below, which
+// resolve once at runtime to the widest instruction set the CPU offers.
+
+/// Which explicit-SIMD implementation the min-reduction primitives run
+/// with. Floating-point min/max are exact in any accumulation order, so
+/// every path returns the same value (operator==; a tie between +0.0 and
+/// -0.0 may surface either sign) for NaN-free inputs — the bit-parity
+/// contract of the DP kernels is SIMD-path independent, pinned by
+/// tests/simd_dispatch_test.cc. Resolution order: a test override
+/// (ForceSimdPath), then the PROBSYN_SIMD environment variable
+/// ("scalar" / "avx2" / "avx512" / "auto"), then CPUID feature detection;
+/// requests the CPU or build cannot honor clamp down to the widest
+/// supported path.
+enum class SimdPath {
+  kScalar,  ///< Four-accumulator scalar loops (the auto-vectorized baseline).
+  kAvx2,    ///< 256-bit vminpd reductions (4 lanes x 4 accumulators).
+  kAvx512,  ///< 512-bit vminpd reductions (8 lanes x 4 accumulators).
+};
+
+/// Stable display name ("scalar", "avx2", "avx512") — the engine records it
+/// as `simd=` in DP-route solver strings.
+const char* SimdPathName(SimdPath path);
+
+/// The path the primitives currently dispatch to (after override, env var,
+/// and CPUID clamping).
+SimdPath ActiveSimdPath();
+
+/// Test hook: force the dispatch onto `path` (clamped to what the CPU and
+/// build support) and return the path actually in effect. Call with the
+/// previous value to restore; not thread-safe against concurrent solves.
+SimdPath ForceSimdPath(SimdPath path);
+
+/// min over i in [0, n) of a[i] + add; +infinity when n == 0.
+double SimdMinPlusConst(const double* a, std::size_t n, double add);
+
+/// min over i in [0, n) of a[i] + b[i]; +infinity when n == 0.
+double SimdMinPlusPairs(const double* a, const double* b, std::size_t n);
+
+/// min over i in [0, n) of a[i] + b[-i] (b walks DOWNWARD from its base:
+/// the budget-split form left[lo + i] + right[hi - i]); +infinity when
+/// n == 0.
+double SimdMinPlusReverse(const double* a, const double* b, std::size_t n);
+
+/// min over i in [0, n) of max(a[i], b[i]); +infinity when n == 0.
+double SimdMinMaxPairs(const double* a, const double* b, std::size_t n);
+
+/// min over i in [0, n) of a[i]; +infinity when n == 0.
+double SimdMinArray(const double* a, std::size_t n);
+
+/// Fused approximate-DP candidate column for the quadratic oracles
+/// (SSE/SSRE point-cost kernels): over per-layer GATHERED candidate
+/// columns computes, bit-for-bit like the scalar point evaluators,
+///
+///   sum_c = c_hi - c[i]
+///   esos  = (b_hi - b[i])^2  (+ v_hi - v[i] when v != nullptr)
+///   cost  = sum_c <= 0 ? 0
+///                      : clamp_tiny_negative((a_hi - a[i]) - esos / sum_c,
+///                                            1e-6)
+///   values[i] = prev[i] + cost
+///
+/// writes values[0..n), and returns their minimum (+infinity when n == 0).
+/// For SSE: a/b/c/v = second/mean/weight/variance prefix rows; for SSRE:
+/// a/b/c = X/Y/Z and v = nullptr.
+double SimdApproxQuadColumn(const double* prev, const double* a,
+                            const double* b, const double* c, const double* v,
+                            std::size_t n, double a_hi, double b_hi,
+                            double c_hi, double v_hi, double* values);
+
+/// Fused streaming-merge point-cost column (stream/streaming_histogram.cc):
+/// for each committed breakpoint i computes
+///
+///   cost_i  = clamp_tiny_negative(second_i - mean_i^2 / width_i, 1e-6)
+///   values[i] = position[i] >= count ? +inf : error[i] + cost_i
+///
+/// with width_i = count - position[i], mean_i = total_mean - sum_mean[i],
+/// second_i = total_second - sum_second[i], writes values[0..n), and
+/// returns their minimum. Elementwise arithmetic (IEEE divide included) is
+/// identical on every SIMD path, so the column and its minimum are
+/// bit-identical to the scalar loop. Positions are carried as doubles
+/// (exact for any realistic stream length).
+double SimdStreamingMergeColumn(const double* error, const double* sum_mean,
+                                const double* sum_second,
+                                const double* position, std::size_t n,
+                                double count, double total_mean,
+                                double total_second, double* values);
+
+/// Packed traceback decision of one restricted-wavelet-DP cell: the keep
+/// flag for the node's coefficient plus the budgets granted to its two
+/// children. uint16 budgets cap the padded domain at 65536, matching the
+/// solver's own state-key limits.
+struct WaveletDpDecision {
+  bool keep = false;
+  std::uint16_t left_budget = 0;
+  std::uint16_t right_budget = 0;
+};
+
+/// Flat arena of the restricted wavelet DP (core/wavelet_dp.cc): per-state
+/// `best` tables and traceback decisions stored contiguously, indexed
+/// directly by (level, node, ancestor-decision mask) — no hash memo, no
+/// per-state vectors, no rehash-unstable references. Buffers grow but
+/// never shrink, so repeated solves through one arena allocate nothing in
+/// steady state; `grow_events` counts capacity growths (a pool-stats hook
+/// the zero-allocation tests assert on).
+struct WaveletDpArena {
+  std::vector<double> best;                  ///< Concatenated best tables.
+  std::vector<WaveletDpDecision> decision;   ///< Parallel to `best`.
+  std::vector<std::size_t> level_base;       ///< Arena offset per tree level.
+  std::vector<double> contribution;          ///< mu[j] * leaf scale, per node.
+  std::size_t grow_events = 0;  ///< Buffer growths since construction.
+  std::size_t solves = 0;       ///< Solves served (observability only).
+};
+
 /// Reusable storage arena for the exact-DP solver: the err/choice/rep
 /// layers plus the bucket-cost column buffers of the sequential and blocked
 /// parallel paths. Repeated solves through the same workspace reach zero
 /// steady-state allocation — buffers are resized (never shrunk below
 /// capacity) and every cell is overwritten before it is read, so no
 /// clearing pass is needed either.
+///
+/// The workspace also hosts the restricted wavelet DP's flat arena
+/// (wavelet_arena()), so an engine batch leases ONE workspace and serves
+/// exact-DP and wavelet requests from the same recycled storage.
 ///
 /// A workspace serves ONE solve at a time; results borrow its storage (see
 /// HistogramDpResult), so reuse only after the previous result is consumed.
@@ -35,6 +155,10 @@ class DpWorkspace {
 
   DpWorkspace(const DpWorkspace&) = delete;
   DpWorkspace& operator=(const DpWorkspace&) = delete;
+
+  /// The restricted wavelet DP's reusable flat arena (see WaveletDpArena);
+  /// serves one solve at a time, like the histogram buffers.
+  WaveletDpArena& wavelet_arena() { return wavelet_arena_; }
 
  private:
   friend HistogramDpResult SolveHistogramDpWithKernel(const BucketCostOracle&,
@@ -52,6 +176,8 @@ class DpWorkspace {
   // columns, at 512-split granularity.
   std::vector<double> layer_cmin_;     // cap x ceil(n/512)
   std::vector<double> cost_cmin_;     // ceil(n/512) or block x ceil(n/512)
+
+  WaveletDpArena wavelet_arena_;
 };
 
 /// Mutex-guarded free list of DpWorkspaces for engines whose const entry
@@ -216,44 +342,27 @@ inline BudgetSplit Reference(DpCombiner combiner, const double* left,
 }
 
 // kSum: two constant-stride segments (br pinned at cap_right, then
-// br = rem - bl), each reduced with four independent min accumulators
-// (exact in any order), then the first split attaining the minimum located
-// in whichever segment owns it — the reference ascending-scan tie-break.
+// br = rem - bl), each reduced through the runtime-dispatched SIMD
+// min-reduction primitives (exact in any order), then the first split
+// attaining the minimum located in whichever segment owns it — the
+// reference ascending-scan tie-break.
 inline BudgetSplit SumFast(const double* left, std::size_t bl_max,
                            const double* right, std::size_t cap_right,
                            std::size_t rem) {
-  constexpr double kInf = std::numeric_limits<double>::infinity();
   // Segment 1: bl in [0, seg1_end) has rem - bl >= cap_right.
   const std::size_t seg1_end =
       rem >= cap_right ? std::min(bl_max + 1, rem - cap_right + 1) : 0;
   const double rc = right[cap_right];
 
-  double m1 = kInf;
-  {
-    double a0 = kInf, a1 = kInf, a2 = kInf, a3 = kInf;
-    std::size_t bl = 0;
-    for (; bl + 4 <= seg1_end; bl += 4) {
-      a0 = std::min(a0, left[bl] + rc);
-      a1 = std::min(a1, left[bl + 1] + rc);
-      a2 = std::min(a2, left[bl + 2] + rc);
-      a3 = std::min(a3, left[bl + 3] + rc);
-    }
-    m1 = std::min(std::min(a0, a1), std::min(a2, a3));
-    for (; bl < seg1_end; ++bl) m1 = std::min(m1, left[bl] + rc);
-  }
-  double m2 = kInf;
-  {
-    double a0 = kInf, a1 = kInf, a2 = kInf, a3 = kInf;
-    std::size_t bl = seg1_end;
-    for (; bl + 4 <= bl_max + 1; bl += 4) {
-      a0 = std::min(a0, left[bl] + right[rem - bl]);
-      a1 = std::min(a1, left[bl + 1] + right[rem - bl - 1]);
-      a2 = std::min(a2, left[bl + 2] + right[rem - bl - 2]);
-      a3 = std::min(a3, left[bl + 3] + right[rem - bl - 3]);
-    }
-    m2 = std::min(std::min(a0, a1), std::min(a2, a3));
-    for (; bl <= bl_max; ++bl) m2 = std::min(m2, left[bl] + right[rem - bl]);
-  }
+  const double m1 = SimdMinPlusConst(left, seg1_end, rc);
+  // Guard the pointer arithmetic: when segment 2 is empty, rem - seg1_end
+  // may underflow (seg1_end can reach rem + 1).
+  const std::size_t seg2_count = bl_max + 1 - seg1_end;
+  const double m2 =
+      seg2_count == 0
+          ? std::numeric_limits<double>::infinity()
+          : SimdMinPlusReverse(left + seg1_end, right + (rem - seg1_end),
+                               seg2_count);
 
   // First-attaining split: segment 1's indices precede segment 2's, so a
   // tie between the segment minima resolves into segment 1. A segment's

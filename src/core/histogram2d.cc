@@ -6,6 +6,7 @@
 #include <queue>
 #include <sstream>
 
+#include "core/dp_kernels.h"
 #include "util/logging.h"
 #include "util/math.h"
 
@@ -282,11 +283,155 @@ class GuillotineSolver {
   std::map<std::pair<RectKey, std::size_t>, Entry> memo_;
 };
 
+// kMinScan guillotine solver: memoizes each rectangle's WHOLE optimal-cost
+// vector over budgets 1..min(B, area) — one map probe per rectangle — and
+// runs every cut's inner budget-allocation minimization
+//
+//   min over bl of best_left[bl] + best_right[b - bl]
+//
+// through the runtime-dispatched SIMD min-reduction (SimdMinPlusReverse),
+// then resolves the reference tie-break: cuts in the reference order
+// (vertical ascending, then horizontal), strict < against the running best,
+// and the FIRST bl attaining a cut's minimum. FP min is exact in any
+// order, so costs AND traceback (cut, orientation, left budget) are
+// bit-identical to GuillotineSolver — the parity contract
+// histogram2d_test.cc pins down.
+class MinScanGuillotineSolver {
+ public:
+  MinScanGuillotineSolver(const RectCostOracle2D& oracle, std::size_t budget)
+      : oracle_(oracle), budget_(budget) {}
+
+  double Best(const Rect& rect, std::size_t b) {
+    const RectEntry& entry = Solve(rect);
+    return entry.cost[std::min(b, entry.cost.size() - 1)];
+  }
+
+  void Extract(const Rect& rect, std::size_t b, std::vector<Bucket2D>& out) {
+    auto it = memo_.find(RectKey(rect));
+    PROBSYN_CHECK(it != memo_.end());
+    const RectEntry& entry = it->second;
+    b = std::min(b, entry.cost.size() - 1);
+    const Choice& choice = entry.choice[b];
+    if (choice.is_leaf) {
+      out.push_back({rect, oracle_.Cost(rect).representative});
+      return;
+    }
+    Rect a, c;
+    const std::size_t cut = choice.cut;
+    if (choice.vertical) {
+      a = {rect.x0, rect.y0, cut, rect.y1};
+      c = {cut + 1, rect.y0, rect.x1, rect.y1};
+    } else {
+      a = {rect.x0, rect.y0, rect.x1, cut};
+      c = {rect.x0, cut + 1, rect.x1, rect.y1};
+    }
+    Extract(a, choice.left_budget, out);
+    Extract(c, b - choice.left_budget, out);
+  }
+
+ private:
+  struct Choice {
+    bool is_leaf = true;
+    bool vertical = false;
+    std::uint16_t cut = 0;
+    std::uint16_t left_budget = 1;
+  };
+  struct RectEntry {
+    std::vector<double> cost;    // cost[b], b = 1..min(B, area); [0] unused
+    std::vector<Choice> choice;  // parallel to cost
+  };
+
+  const RectEntry& Solve(const Rect& rect) {
+    const RectKey key(rect);
+    auto it = memo_.find(key);
+    if (it != memo_.end()) return it->second;
+
+    const std::size_t bmax = std::min(budget_, rect.area());
+    RectEntry entry;
+    const double leaf_cost = oracle_.Cost(rect).cost;
+    entry.cost.assign(bmax + 1, leaf_cost);
+    entry.choice.assign(bmax + 1, Choice{});
+
+    if (bmax >= 2) {
+      // Child entries per cut, resolved once (std::map references are
+      // stable across the recursive inserts).
+      struct CutChildren {
+        const RectEntry* left;
+        const RectEntry* right;
+      };
+      std::vector<CutChildren> vertical, horizontal;
+      vertical.reserve(rect.x1 - rect.x0);
+      for (std::size_t cut = rect.x0; cut < rect.x1; ++cut) {
+        vertical.push_back({&Solve({rect.x0, rect.y0, cut, rect.y1}),
+                            &Solve({cut + 1, rect.y0, rect.x1, rect.y1})});
+      }
+      horizontal.reserve(rect.y1 - rect.y0);
+      for (std::size_t cut = rect.y0; cut < rect.y1; ++cut) {
+        horizontal.push_back({&Solve({rect.x0, rect.y0, rect.x1, cut}),
+                              &Solve({rect.x0, cut + 1, rect.x1, rect.y1})});
+      }
+
+      for (std::size_t b = 2; b <= bmax; ++b) {
+        double best = entry.cost[b];  // leaf cost; splits win only strictly
+        Choice best_choice{};
+        auto try_cut = [&](const RectEntry& left, const RectEntry& right,
+                           bool is_vertical, std::size_t cut) {
+          const std::size_t left_max = left.cost.size() - 1;
+          const std::size_t right_max = right.cost.size() - 1;
+          const std::size_t lo = b > right_max ? b - right_max : 1;
+          const std::size_t hi = std::min(b - 1, left_max);
+          if (lo > hi) return;
+          const double m = SimdMinPlusReverse(
+              left.cost.data() + lo, right.cost.data() + (b - lo),
+              hi - lo + 1);
+          if (m < best) {
+            best = m;
+            for (std::size_t bl = lo; bl <= hi; ++bl) {
+              if (left.cost[bl] + right.cost[b - bl] == m) {
+                best_choice = {false, is_vertical,
+                               static_cast<std::uint16_t>(cut),
+                               static_cast<std::uint16_t>(bl)};
+                break;
+              }
+            }
+          }
+        };
+        for (std::size_t i = 0; i < vertical.size(); ++i) {
+          try_cut(*vertical[i].left, *vertical[i].right, true, rect.x0 + i);
+        }
+        for (std::size_t i = 0; i < horizontal.size(); ++i) {
+          try_cut(*horizontal[i].left, *horizontal[i].right, false,
+                  rect.y0 + i);
+        }
+        entry.cost[b] = best;
+        entry.choice[b] = best_choice;
+      }
+    }
+    auto [pos, inserted] = memo_.emplace(key, std::move(entry));
+    PROBSYN_CHECK(inserted);
+    return pos->second;
+  }
+
+  const RectCostOracle2D& oracle_;
+  std::size_t budget_;
+  std::map<RectKey, RectEntry> memo_;
+};
+
 }  // namespace
+
+const char* Guillotine2DKernelName(Guillotine2DKernel kind) {
+  switch (kind) {
+    case Guillotine2DKernel::kAuto: return "auto";
+    case Guillotine2DKernel::kReference: return "reference";
+    case Guillotine2DKernel::kMinScan: return "min-scan";
+  }
+  return "?";
+}
 
 StatusOr<Histogram2DResult> BuildOptimalGuillotineHistogram2D(
     const ProbGrid2D& grid, const SynopsisOptions& options,
-    std::size_t num_buckets, std::size_t max_cells) {
+    std::size_t num_buckets, std::size_t max_cells,
+    Guillotine2DKernel kernel) {
   if (num_buckets < 1) return Status::InvalidArgument("need >= 1 bucket");
   if (grid.num_cells() > max_cells) {
     return Status::OutOfRange(
@@ -296,14 +441,24 @@ StatusOr<Histogram2DResult> BuildOptimalGuillotineHistogram2D(
   auto oracle = RectCostOracle2D::Create(grid, options);
   if (!oracle.ok()) return oracle.status();
 
-  GuillotineSolver solver(*oracle, num_buckets);
+  const Guillotine2DKernel resolved = kernel == Guillotine2DKernel::kAuto
+                                          ? Guillotine2DKernel::kMinScan
+                                          : kernel;
   Rect whole{0, 0, grid.width() - 1, grid.height() - 1};
-  double cost = solver.Best(whole, num_buckets);
+  double cost;
   std::vector<Bucket2D> buckets;
-  solver.Extract(whole, std::min(num_buckets, whole.area()), buckets);
+  if (resolved == Guillotine2DKernel::kReference) {
+    GuillotineSolver solver(*oracle, num_buckets);
+    cost = solver.Best(whole, num_buckets);
+    solver.Extract(whole, std::min(num_buckets, whole.area()), buckets);
+  } else {
+    MinScanGuillotineSolver solver(*oracle, num_buckets);
+    cost = solver.Best(whole, num_buckets);
+    solver.Extract(whole, std::min(num_buckets, whole.area()), buckets);
+  }
   Histogram2D histogram(std::move(buckets));
   PROBSYN_RETURN_IF_ERROR(histogram.Validate(grid.width(), grid.height()));
-  return Histogram2DResult{std::move(histogram), cost};
+  return Histogram2DResult{std::move(histogram), cost, resolved};
 }
 
 // ---------------------------------------------------------------------------

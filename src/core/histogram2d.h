@@ -121,6 +121,23 @@ class RectCostOracle2D {
   std::vector<double> x_, y_, z_;
 };
 
+/// Which inner budget-allocation implementation the exact guillotine DP
+/// runs. kMinScan memoizes each rectangle's WHOLE optimal-cost vector over
+/// budgets (one map probe per rectangle instead of one per (rectangle,
+/// budget)) and minimizes every cut's budget split with the chunked SIMD
+/// min-reduction of the kernel layer (SimdMinPlusReverse,
+/// core/dp_kernels.h) — the same recipe as the wavelet budget splits. Both
+/// kernels are bit-identical in cost and returned buckets (costs,
+/// traceback cut/budget ties), parity-gated in histogram2d_test.cc.
+enum class Guillotine2DKernel {
+  kAuto,       ///< Resolve to kMinScan.
+  kReference,  ///< Per-(rectangle, budget) recursive scalar scan (baseline).
+  kMinScan,    ///< Budget-vector memo + SIMD budget-split min-reduction.
+};
+
+/// Stable display name ("reference", "min-scan", ...).
+const char* Guillotine2DKernelName(Guillotine2DKernel kind);
+
 /// Exact optimal *guillotine* 2-D histogram: the best recursive
 /// binary-split partition into at most `num_buckets` rectangles, by DP over
 /// (rectangle, budget) states. The classic 2-D counterpart of equation (2);
@@ -130,10 +147,14 @@ class RectCostOracle2D {
 struct Histogram2DResult {
   Histogram2D histogram;
   double cost = 0.0;
+  /// The guillotine DP's inner-loop implementation (never kAuto). The
+  /// greedy builder has no DP and leaves the default.
+  Guillotine2DKernel kernel = Guillotine2DKernel::kReference;
 };
 StatusOr<Histogram2DResult> BuildOptimalGuillotineHistogram2D(
     const ProbGrid2D& grid, const SynopsisOptions& options,
-    std::size_t num_buckets, std::size_t max_cells = 4096);
+    std::size_t num_buckets, std::size_t max_cells = 4096,
+    Guillotine2DKernel kernel = Guillotine2DKernel::kAuto);
 
 /// Scalable MHIST-style greedy 2-D histogram: repeatedly split the bucket
 /// whose best single split yields the largest error reduction. No

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <limits>
-#include <unordered_map>
 #include <vector>
 
 #include "core/haar.h"
@@ -14,30 +13,53 @@ namespace probsyn {
 
 namespace {
 
-// Packs a traceback decision: keep flag plus the budgets granted to the
-// left and right children.
-struct Decision {
-  bool keep = false;
-  std::uint16_t left_budget = 0;
-  std::uint16_t right_budget = 0;
-};
+// Grow-only resize with pool-stats accounting: once a leased arena has
+// served a solve of a given shape, later solves of that shape (or smaller)
+// perform zero allocations — WaveletDpArena::grow_events stays flat, which
+// the zero-allocation tests assert.
+template <typename T>
+void GrowTo(std::vector<T>& v, std::size_t size, std::size_t& grow_events) {
+  if (size > v.capacity()) ++grow_events;
+  v.resize(size);
+}
 
-struct StateEntry {
-  std::vector<double> best;        // best[b], b = 0..B
-  std::vector<Decision> decision;  // parallel to best
-};
-
+// Iterative bottom-up solver for the restricted coefficient-tree DP.
+//
+// State space: detail node j (1 <= j < n) at tree level d = floor(log2 j),
+// crossed with the 2^(d+1) ancestor-decision masks (bit d = the scaling
+// coefficient c0, bit s-1 = the decision of ancestor j >> s). Every mask is
+// reachable (both keep branches of every ancestor are explored), so the
+// space is dense and a state's tables live at a directly computed arena
+// offset:
+//
+//   level_base[d] + ((j - 2^d) * 2^(d+1) + mask) * stride(d)
+//
+// with stride(d) = min(B, n/2^d - 1) + 1 entries per state (the budget cap
+// of a level-d subtree). Levels are filled deepest-first — a topological
+// order of the child dependencies computed once from the tree shape — so
+// child `best` spans are complete, stable arena memory by the time a parent
+// reads them. This replaces the old recursive solver's hash-map memo, whose
+// per-state heap vectors and rehash-unstable references (the historical
+// "copy the child vector" workaround) dominated the solve.
+//
+// The partial-reconstruction value v of a state is a pure function of
+// (j, mask): the signed contributions of its kept ancestors, accumulated
+// root-downward in the exact order the recursive solver added them — only
+// leaf-level states consume v, so it is materialized on the fly there.
 class WaveletDpSolver {
  public:
   WaveletDpSolver(const ValuePdfInput& padded, std::size_t num_coefficients,
-                  const SynopsisOptions& options, WaveletSplitKernel kernel)
+                  const SynopsisOptions& options, WaveletSplitKernel kernel,
+                  WaveletDpArena* arena)
       : n_(padded.domain_size()),
+        levels_(n_ > 1 ? FloorLog2(n_) : 0),
         budget_(num_coefficients),
         metric_(options.metric),
         cumulative_(IsCumulativeMetric(options.metric)),
         kernel_(kernel == WaveletSplitKernel::kAuto
                     ? WaveletSplitKernel::kBudgetSplit
                     : kernel),
+        arena_(arena),
         tables_(padded, options.sanity_c),
         mu_(HaarTransform(PadToPowerOfTwo(padded.ExpectedFrequencies()))) {
     if (options.HasWorkload()) {
@@ -64,35 +86,70 @@ class WaveletDpSolver {
       return {WaveletSynopsis(n_, n_, std::move(kept)), best_cost};
     }
 
-    double scale0 = LeafContributionScale(0, n_);
+    LayoutArena();
+    FillContributions();
+    for (std::size_t d = levels_; d-- > 0;) FillLevel(d);
+    ++arena_->solves;
+
     // Root choice: keep or drop the scaling coefficient c0.
+    const std::size_t root_cap = n_ - 1;  // subtree cap of node 1
     double cost_keep = std::numeric_limits<double>::infinity();
     if (budget_ >= 1) {
-      cost_keep = NodeState(1, 1, mu_[0] * scale0)
-                      .best[std::min(budget_ - 1, SubtreeCap(1))];
+      cost_keep = BestTable(0, 1, 1)[std::min(budget_ - 1, root_cap)];
     }
-    double cost_drop =
-        NodeState(1, 0, 0.0).best[std::min(budget_, SubtreeCap(1))];
+    double cost_drop = BestTable(0, 1, 0)[std::min(budget_, root_cap)];
 
     bool keep0 = cost_keep < cost_drop;
     best_cost = keep0 ? cost_keep : cost_drop;
     if (keep0) kept.push_back({0, mu_[0]});
-    std::size_t b_root =
-        std::min(budget_ - (keep0 ? 1 : 0), SubtreeCap(1));
-    Trace(1, keep0 ? 1 : 0, keep0 ? mu_[0] * scale0 : 0.0, b_root, kept);
+    std::size_t b_root = std::min(budget_ - (keep0 ? 1 : 0), root_cap);
+    Trace(1, keep0 ? 1 : 0, b_root, kept);
 
     return {WaveletSynopsis(n_, n_, std::move(kept)), best_cost};
   }
 
  private:
-  // Number of coefficients inside the subtree rooted at detail node j
-  // (itself included): its support size minus one... plus one for itself.
-  // Support s has s/2 leaves' worth of structure below: subtree size = s-1
-  // where s = support width? For node j with support width s there are
-  // exactly s - 1 detail coefficients in its subtree (including j).
-  std::size_t SubtreeCap(std::size_t j) const {
-    SupportRange r = CoefficientSupport(j, n_);
-    return (r.hi - r.lo) - 1;
+  // Budget cap of one level-d subtree: the number of detail coefficients it
+  // contains, n / 2^d - 1, clamped by the global budget.
+  std::size_t CapAt(std::size_t d) const {
+    return std::min(budget_, (n_ >> d) - 1);
+  }
+
+  std::size_t Stride(std::size_t d) const { return CapAt(d) + 1; }
+
+  std::size_t StateSlot(std::size_t d, std::size_t j,
+                        std::uint64_t mask) const {
+    return ((j - (std::size_t{1} << d)) << (d + 1)) | mask;
+  }
+
+  double* BestTable(std::size_t d, std::size_t j, std::uint64_t mask) const {
+    return arena_->best.data() + arena_->level_base[d] +
+           StateSlot(d, j, mask) * Stride(d);
+  }
+
+  WaveletDpDecision* DecisionTable(std::size_t d, std::size_t j,
+                                   std::uint64_t mask) const {
+    return arena_->decision.data() + arena_->level_base[d] +
+           StateSlot(d, j, mask) * Stride(d);
+  }
+
+  void LayoutArena() {
+    GrowTo(arena_->level_base, levels_, arena_->grow_events);
+    std::size_t total = 0;
+    for (std::size_t d = 0; d < levels_; ++d) {
+      arena_->level_base[d] = total;
+      // 2^d nodes x 2^(d+1) masks per level, Stride(d) entries per state.
+      total += (std::size_t{1} << (2 * d + 1)) * Stride(d);
+    }
+    GrowTo(arena_->best, total, arena_->grow_events);
+    GrowTo(arena_->decision, total, arena_->grow_events);
+  }
+
+  void FillContributions() {
+    GrowTo(arena_->contribution, n_, arena_->grow_events);
+    for (std::size_t j = 0; j < n_; ++j) {
+      arena_->contribution[j] = mu_[j] * LeafContributionScale(j, n_);
+    }
   }
 
   double LeafError(std::size_t item, double v) const {
@@ -104,104 +161,111 @@ class WaveletDpSolver {
     return cumulative_ ? a + b : std::max(a, b);
   }
 
-  // Memoized optimal-error table for detail node j with ancestor-decision
-  // bitmask `mask` (bit history root->here, c0 included) and incoming
-  // partial reconstruction v.
-  const StateEntry& NodeState(std::size_t j, std::uint64_t mask, double v) {
-    std::uint64_t key = (static_cast<std::uint64_t>(j) << 16) | mask;
-    auto it = memo_.find(key);
-    if (it != memo_.end()) return it->second;
-
-    StateEntry entry;
-    std::size_t cap = std::min(budget_, SubtreeCap(j));
-    entry.best.assign(cap + 1, 0.0);
-    entry.decision.assign(cap + 1, {});
-
-    double contribution = mu_[j] * LeafContributionScale(j, n_);
-    bool leaf_children = (2 * j >= n_);
-
-    for (std::size_t keep = 0; keep <= 1; ++keep) {
-      double v_left = keep ? v + contribution : v;
-      double v_right = keep ? v - contribution : v;
-
-      if (leaf_children) {
-        std::size_t left_item = 2 * j - n_;
-        double err = Combine(LeafError(left_item, v_left),
-                             LeafError(left_item + 1, v_right));
-        // The keep == 0 pass runs first and initializes every budget; the
-        // keep == 1 pass (b >= 1) overwrites where strictly better.
-        for (std::size_t b = keep; b <= cap; ++b) {
-          if (keep == 0 || err < entry.best[b]) {
-            entry.best[b] = err;
-            entry.decision[b] = {keep == 1, 0, 0};
-          }
-        }
-        continue;
+  // Partial reconstruction entering state (j, mask): signed contributions
+  // of the kept ancestors, applied root-downward — one add/subtract per
+  // level, in the identical order (and with the identical operands) the
+  // recursive formulation accumulated them, so the value is bit-equal.
+  double StateV(std::size_t d, std::size_t j, std::uint64_t mask) const {
+    const double* contribution = arena_->contribution.data();
+    double v = ((mask >> d) & 1) ? contribution[0] : 0.0;
+    for (std::size_t s = d; s >= 1; --s) {
+      if ((mask >> (s - 1)) & 1) {
+        const double c = contribution[j >> s];
+        v = ((j >> (s - 1)) & 1) ? v - c : v + c;
       }
+    }
+    return v;
+  }
 
-      const std::size_t left = 2 * j, right = 2 * j + 1;
-      std::size_t cap_left = std::min(budget_, SubtreeCap(left));
-      std::size_t cap_right = std::min(budget_, SubtreeCap(right));
-      // Child states (computed before the loops to fix references).
-      const StateEntry& ls = NodeState(left, (mask << 1) | keep, v_left);
-      // NOTE: ls may dangle after computing rs (rehash); copy the vector.
-      std::vector<double> left_best = ls.best;
-      const StateEntry& rs = NodeState(right, (mask << 1) | keep, v_right);
-      std::vector<double> right_best = rs.best;
+  void FillLevel(std::size_t d) {
+    const bool leaf_children = d == levels_ - 1;  // 2j >= n for the level
+    const std::size_t cap = CapAt(d);
+    const std::size_t node0 = std::size_t{1} << d;
+    const std::size_t masks = std::size_t{1} << (d + 1);
+    const std::size_t cap_child = leaf_children ? 0 : CapAt(d + 1);
+    const DpCombiner combiner =
+        cumulative_ ? DpCombiner::kSum : DpCombiner::kMax;
+    const double* contribution = arena_->contribution.data();
 
-      const DpCombiner combiner =
-          cumulative_ ? DpCombiner::kSum : DpCombiner::kMax;
-      for (std::size_t b = keep; b <= cap; ++b) {
-        std::size_t rem = b - keep;
-        // The split minimization runs through the kernel layer; the keep
-        // passes preserve the reference tie-break (keep == 0 assigns
-        // unconditionally, keep == 1 wins only strictly).
-        BudgetSplit split =
-            MinBudgetSplit(combiner, left_best.data(), std::min(rem, cap_left),
-                           right_best.data(), cap_right, rem, kernel_);
-        if (keep == 0 || split.value < entry.best[b]) {
-          std::size_t br = std::min(rem - split.left_budget, cap_right);
-          entry.best[b] = split.value;
-          entry.decision[b] = {keep == 1,
-                               static_cast<std::uint16_t>(split.left_budget),
-                               static_cast<std::uint16_t>(br)};
+    for (std::size_t j = node0; j < 2 * node0; ++j) {
+      for (std::uint64_t mask = 0; mask < masks; ++mask) {
+        double* best = BestTable(d, j, mask);
+        WaveletDpDecision* decision = DecisionTable(d, j, mask);
+
+        if (leaf_children) {
+          const double v = StateV(d, j, mask);
+          const std::size_t left_item = 2 * j - n_;
+          // keep == 0 initializes every budget; keep == 1 (b >= 1)
+          // overwrites where strictly better — the reference tie-break.
+          const double err0 =
+              Combine(LeafError(left_item, v), LeafError(left_item + 1, v));
+          for (std::size_t b = 0; b <= cap; ++b) {
+            best[b] = err0;
+            decision[b] = {false, 0, 0};
+          }
+          if (cap >= 1) {
+            const double c = contribution[j];
+            const double err1 = Combine(LeafError(left_item, v + c),
+                                        LeafError(left_item + 1, v - c));
+            for (std::size_t b = 1; b <= cap; ++b) {
+              if (err1 < best[b]) {
+                best[b] = err1;
+                decision[b] = {true, 0, 0};
+              }
+            }
+          }
+          continue;
+        }
+
+        for (std::size_t keep = 0; keep <= 1 && keep <= cap; ++keep) {
+          const std::uint64_t child_mask = (mask << 1) | keep;
+          const double* left = BestTable(d + 1, 2 * j, child_mask);
+          const double* right = BestTable(d + 1, 2 * j + 1, child_mask);
+          for (std::size_t b = keep; b <= cap; ++b) {
+            const std::size_t rem = b - keep;
+            // The split minimization runs through the kernel layer; the
+            // keep passes preserve the reference tie-break (keep == 0
+            // assigns unconditionally, keep == 1 wins only strictly).
+            BudgetSplit split =
+                MinBudgetSplit(combiner, left, std::min(rem, cap_child),
+                               right, cap_child, rem, kernel_);
+            if (keep == 0 || split.value < best[b]) {
+              const std::size_t br =
+                  std::min(rem - split.left_budget, cap_child);
+              best[b] = split.value;
+              decision[b] = {keep == 1,
+                             static_cast<std::uint16_t>(split.left_budget),
+                             static_cast<std::uint16_t>(br)};
+            }
+          }
         }
       }
     }
-
-    auto [pos, inserted] = memo_.emplace(key, std::move(entry));
-    PROBSYN_CHECK(inserted);
-    return pos->second;
   }
 
   // Replays the stored decisions, collecting kept coefficients.
-  void Trace(std::size_t j, std::uint64_t mask, double v, std::size_t b,
-             std::vector<WaveletCoefficient>& out) {
-    std::uint64_t key = (static_cast<std::uint64_t>(j) << 16) | mask;
-    auto it = memo_.find(key);
-    PROBSYN_CHECK(it != memo_.end());
-    b = std::min(b, it->second.best.size() - 1);
-    Decision d = it->second.decision[b];
-    if (d.keep) out.push_back({j, mu_[j]});
-
-    double contribution = mu_[j] * LeafContributionScale(j, n_);
-    double v_left = d.keep ? v + contribution : v;
-    double v_right = d.keep ? v - contribution : v;
+  void Trace(std::size_t j, std::uint64_t mask, std::size_t b,
+             std::vector<WaveletCoefficient>& out) const {
+    const std::size_t d = FloorLog2(j);
+    b = std::min(b, CapAt(d));
+    const WaveletDpDecision decision = DecisionTable(d, j, mask)[b];
+    if (decision.keep) out.push_back({j, mu_[j]});
     if (2 * j >= n_) return;  // children are data leaves
-    Trace(2 * j, (mask << 1) | (d.keep ? 1 : 0), v_left, d.left_budget, out);
-    Trace(2 * j + 1, (mask << 1) | (d.keep ? 1 : 0), v_right, d.right_budget,
-          out);
+    const std::uint64_t child_mask = (mask << 1) | (decision.keep ? 1 : 0);
+    Trace(2 * j, child_mask, decision.left_budget, out);
+    Trace(2 * j + 1, child_mask, decision.right_budget, out);
   }
 
   std::size_t n_;
+  std::size_t levels_;  // log2(n); tree levels 0 .. levels_-1
   std::size_t budget_;
   ErrorMetric metric_;
   bool cumulative_;
   WaveletSplitKernel kernel_;
+  WaveletDpArena* arena_;
   PointErrorTables tables_;
   std::vector<double> mu_;
   std::vector<double> weights_;  // empty = uniform
-  std::unordered_map<std::uint64_t, StateEntry> memo_;
 };
 
 // Pads value-pdf input to a power-of-two domain with deterministic zeros.
@@ -219,7 +283,7 @@ ValuePdfInput PadInput(const ValuePdfInput& input) {
 StatusOr<WaveletDpResult> BuildRestrictedWaveletDp(
     const ValuePdfInput& input, std::size_t num_coefficients,
     const SynopsisOptions& options, std::size_t max_domain,
-    WaveletSplitKernel kernel) {
+    WaveletSplitKernel kernel, DpWorkspace* workspace) {
   PROBSYN_RETURN_IF_ERROR(options.Validate());
   PROBSYN_RETURN_IF_ERROR(input.Validate());
   if (input.domain_size() == 0) {
@@ -235,9 +299,18 @@ StatusOr<WaveletDpResult> BuildRestrictedWaveletDp(
         "restricted wavelet DP state table would exceed max_domain; "
         "raise max_domain explicitly for large inputs");
   }
+  if (padded_n > (std::size_t{1} << 16)) {
+    // WaveletDpDecision packs child budgets as uint16; the O(n^2 B) state
+    // arena is far past practical memory by this point anyway.
+    return Status::OutOfRange(
+        "restricted wavelet DP supports padded domains up to 65536");
+  }
 
   ValuePdfInput padded = PadInput(input);
-  WaveletDpSolver solver(padded, num_coefficients, options, kernel);
+  WaveletDpArena local_arena;
+  WaveletDpArena* arena =
+      workspace != nullptr ? &workspace->wavelet_arena() : &local_arena;
+  WaveletDpSolver solver(padded, num_coefficients, options, kernel, arena);
   WaveletDpResult result = solver.Solve();
   result.kernel = solver.kernel();
   // Report the synopsis against the caller's (unpadded) domain.

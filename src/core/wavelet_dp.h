@@ -20,6 +20,11 @@ struct WaveletDpResult {
   /// The budget-split implementation the solve ran with (never kAuto);
   /// see WaveletSplitKernel in core/dp_kernels.h.
   WaveletSplitKernel kernel = WaveletSplitKernel::kReference;
+  /// Memo layout of the solve: the iterative bottom-up solver indexes its
+  /// per-state tables directly in a flat arena by (level, node,
+  /// ancestor-decision mask) — recorded for observability (the engine puts
+  /// it in solver strings as `memo=`).
+  const char* memo = "dense-arena";
 };
 
 /// Optimal *restricted* B-term wavelet synopsis for non-SSE error metrics
@@ -42,14 +47,27 @@ struct WaveletDpResult {
 /// padded domain exceeds `max_domain` (the O(n^2 B) state table would not
 /// fit; callers opting into big inputs can raise the cap).
 ///
+/// The solve is an iterative bottom-up pass over the coefficient tree:
+/// states are enumerated leaf-level first in a topological order computed
+/// once, and every state's `best` table is a span into one flat arena
+/// (WaveletDpArena, core/dp_kernels.h) indexed directly by (level, node,
+/// ancestor-decision mask). No hash memo, no per-state vectors, no
+/// steady-state allocation: pass `workspace` (e.g. a DpWorkspacePool
+/// lease, as the engine does) to reuse the arena across solves — repeat
+/// solves then allocate nothing for DP state, which
+/// WaveletDpArena::grow_events lets callers assert.
+///
 /// The child budget-split minimizations run through the kernel layer
 /// (MinBudgetSplit, core/dp_kernels.h); `kernel` selects the
-/// implementation, kAuto resolving to the fast kBudgetSplit. All kernels
-/// are bit-identical in cost and kept coefficients (parity-tested).
+/// implementation, kAuto resolving to the fast kBudgetSplit, whose kSum
+/// reductions ride the runtime-dispatched SIMD primitives. All kernels and
+/// SIMD paths are bit-identical in cost and kept coefficients
+/// (parity-tested).
 StatusOr<WaveletDpResult> BuildRestrictedWaveletDp(
     const ValuePdfInput& input, std::size_t num_coefficients,
     const SynopsisOptions& options, std::size_t max_domain = 2048,
-    WaveletSplitKernel kernel = WaveletSplitKernel::kAuto);
+    WaveletSplitKernel kernel = WaveletSplitKernel::kAuto,
+    DpWorkspace* workspace = nullptr);
 
 }  // namespace probsyn
 

@@ -56,27 +56,29 @@ std::string FormatSolver(const char* route, ThreadPool* pool) {
 }
 
 
-std::string FormatSolverEps(const char* route, double epsilon,
-                            ThreadPool* pool) {
-  char buffer[64];
-  std::snprintf(buffer, sizeof(buffer), "%s(eps=%g)", route, epsilon);
-  return FormatSolver(buffer, pool);
-}
-
-// DP-backed routes always record which kernel filled their tables, e.g.
-// "histogram/approx-dp(eps=0.1)[kernel=sse-moment,sequential]" or
-// "wavelet/restricted-dp[kernel=budget-split,sequential]" — a path left on
-// the reference solver says kernel=reference rather than omitting the
-// label.
+// DP-backed routes always record which kernel filled their tables AND the
+// SIMD path the min-reductions dispatched to, e.g.
+// "histogram/approx-dp(eps=0.1)[kernel=sse-moment,simd=avx2,sequential]" or
+// "wavelet/restricted-dp[kernel=budget-split,memo=dense-arena,simd=avx2,
+// sequential]" — a path left on the reference solver says kernel=reference
+// (and simd=scalar when forced) rather than omitting the labels.
 std::string FormatKernelSolver(const char* route, const char* kernel_name,
-                               ThreadPool* pool) {
-  char buffer[112];
-  if (pool != nullptr) {
-    std::snprintf(buffer, sizeof(buffer), "%s[kernel=%s,parallel=%zu]", route,
-                  kernel_name, pool->num_threads() + 1);
+                               ThreadPool* pool,
+                               const char* memo = nullptr) {
+  char labels[96];
+  if (memo != nullptr) {
+    std::snprintf(labels, sizeof(labels), "kernel=%s,memo=%s,simd=%s",
+                  kernel_name, memo, SimdPathName(ActiveSimdPath()));
   } else {
-    std::snprintf(buffer, sizeof(buffer), "%s[kernel=%s,sequential]", route,
-                  kernel_name);
+    std::snprintf(labels, sizeof(labels), "kernel=%s,simd=%s", kernel_name,
+                  SimdPathName(ActiveSimdPath()));
+  }
+  char buffer[160];
+  if (pool != nullptr) {
+    std::snprintf(buffer, sizeof(buffer), "%s[%s,parallel=%zu]", route,
+                  labels, pool->num_threads() + 1);
+  } else {
+    std::snprintf(buffer, sizeof(buffer), "%s[%s,sequential]", route, labels);
   }
   return buffer;
 }
@@ -113,8 +115,13 @@ StatusOr<SynopsisResult> ExecStreamingOnValuePdf(const ValuePdfInput& input,
   result.kind = SynopsisKind::kHistogram;
   result.histogram = std::move(finished->histogram);
   result.cost = finished->cost;
-  result.solver =
-      FormatSolverEps("histogram/streaming-ahist", request.epsilon, nullptr);
+  {
+    char route[64];
+    std::snprintf(route, sizeof(route), "histogram/streaming-ahist(eps=%g)",
+                  request.epsilon);
+    result.solver = FormatKernelSolver(
+        route, StreamingKernelName(builder.kernel()), nullptr);
+  }
   result.timing.preprocess_seconds = preprocess_seconds;
   result.timing.solve_seconds = watch.ElapsedSeconds();
   return result;
@@ -182,7 +189,8 @@ StatusOr<SynopsisResult> ExecHistogramBaseline(const Input& input,
 
 template <typename Input>
 StatusOr<SynopsisResult> ExecWavelet(const Input& input,
-                                     const SynopsisRequest& request) {
+                                     const SynopsisRequest& request,
+                                     DpWorkspace* workspace) {
   WaveletMethod method = request.wavelet_method;
   if (method == WaveletMethod::kAuto) {
     method = request.options.metric == ErrorMetric::kSse
@@ -223,15 +231,17 @@ StatusOr<SynopsisResult> ExecWavelet(const Input& input,
 
   Stopwatch watch;
   if (method == WaveletMethod::kRestrictedDp) {
-    auto dp = BuildRestrictedWaveletDp(*value_input, request.budget,
-                                       request.options,
-                                       request.wavelet_max_domain);
+    // The batch's leased workspace hosts the solver's flat state arena, so
+    // steady-state wavelet requests allocate no DP state.
+    auto dp = BuildRestrictedWaveletDp(
+        *value_input, request.budget, request.options,
+        request.wavelet_max_domain, WaveletSplitKernel::kAuto, workspace);
     if (!dp.ok()) return dp.status();
     result.wavelet = std::move(dp->synopsis);
     result.cost = dp->cost;
     result.solver = FormatKernelSolver("wavelet/restricted-dp",
                                        WaveletSplitKernelName(dp->kernel),
-                                       nullptr);
+                                       nullptr, dp->memo);
   } else {
     auto dp = BuildUnrestrictedWaveletDp(*value_input, request.budget,
                                          request.options,
@@ -249,9 +259,10 @@ StatusOr<SynopsisResult> ExecWavelet(const Input& input,
 
 template <typename Input>
 StatusOr<SynopsisResult> ExecuteSingle(const Input& input,
-                                       const SynopsisRequest& request) {
+                                       const SynopsisRequest& request,
+                                       DpWorkspace* workspace) {
   if (request.kind == SynopsisKind::kWavelet) {
-    return ExecWavelet(input, request);
+    return ExecWavelet(input, request, workspace);
   }
   if (request.method == HistogramMethod::kStreaming) {
     return ExecStreaming(input, request);
@@ -429,9 +440,11 @@ StatusOr<std::vector<SynopsisResult>> SynopsisEngine::BuildBatchImpl(
     }
   }
 
-  // --- Execute everything else individually.
+  // --- Execute everything else individually. Requests run after the
+  // oracle groups have extracted their results, so sharing the batch's
+  // leased workspace (the wavelet route's state arena) is safe.
   for (std::size_t i : singles) {
-    auto result = ExecuteSingle(input, requests[i]);
+    auto result = ExecuteSingle(input, requests[i], workspace.get());
     if (!result.ok()) return result.status();
     results[i] = std::move(result).value();
     results[i].timing.plan_seconds = plan_seconds;

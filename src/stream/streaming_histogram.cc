@@ -3,18 +3,31 @@
 #include <algorithm>
 #include <limits>
 
+#include "core/dp_kernels.h"
 #include "util/logging.h"
 #include "util/math.h"
 
 namespace probsyn {
 
+const char* StreamingKernelName(StreamingKernel kind) {
+  switch (kind) {
+    case StreamingKernel::kAuto: return "auto";
+    case StreamingKernel::kReference: return "reference";
+    case StreamingKernel::kPointCost: return "point-cost";
+  }
+  return "?";
+}
+
 StreamingHistogramBuilder::StreamingHistogramBuilder(std::size_t max_buckets,
-                                                     double epsilon)
+                                                     double epsilon,
+                                                     StreamingKernel kernel)
     : max_buckets_(std::max<std::size_t>(1, max_buckets)),
       delta_(std::min(
           0.5, std::max(epsilon, 1e-9) / (2.0 * static_cast<double>(
                                                     std::max<std::size_t>(
-                                                        1, max_buckets))))) {
+                                                        1, max_buckets))))),
+      kernel_(kernel == StreamingKernel::kAuto ? StreamingKernel::kPointCost
+                                               : kernel) {
   layers_.resize(max_buckets_);
 }
 
@@ -39,18 +52,29 @@ void StreamingHistogramBuilder::Push(const ValuePdf& pdf) {
   running_.sum_mean += pdf.Mean();
   running_.sum_second += pdf.SecondMoment();
 
+  if (kernel_ == StreamingKernel::kReference) {
+    PushReference();
+  } else {
+    PushPointCost();
+  }
+  peak_breakpoints_ = std::max(peak_breakpoints_, breakpoints());
+}
+
+// The pre-kernel scan, preserved as the parity baseline: one compare per
+// candidate, copying the candidate's boundary chain on every improvement,
+// with freshly allocated per-push evaluation state.
+void StreamingHistogramBuilder::PushReference() {
+  constexpr double kInf = std::numeric_limits<double>::infinity();
   // Evaluate every layer's prefix error at the current position using the
   // PREVIOUS pendings/breakpoints (all at positions <= count_-1).
-  struct Eval {
-    double error = std::numeric_limits<double>::infinity();
-    std::vector<Snapshot> boundaries;
-  };
   std::vector<Eval> evals(max_buckets_);
+  for (Eval& eval : evals) eval.error = kInf;
   Snapshot origin;  // zero state at position 0
   evals[0].error = BucketCost(origin, running_);
 
   for (std::size_t b = 2; b <= max_buckets_; ++b) {
     Eval best;
+    best.error = kInf;
     auto consider = [&](const Breakpoint& candidate) {
       if (candidate.at.position >= count_) return;  // empty last bucket
       double err = candidate.error + BucketCost(candidate.at, running_);
@@ -68,27 +92,111 @@ void StreamingHistogramBuilder::Push(const ValuePdf& pdf) {
     evals[b - 1] = std::move(best);
   }
 
-  // Update each layer's pending / committed breakpoints (last-position-of-
-  // class rule: commit the previous pending when the error outgrows its
-  // class).
+  CommitLayers(evals, /*move_chains=*/false);
+}
+
+// Point-cost kernel: per layer, materialize every committed candidate's
+// extension cost from the hoisted snapshot columns (the identical
+// prefix-moment arithmetic as BucketCost), minimize through the SIMD
+// dispatch, resolve the reference tie-break (first committed candidate
+// attaining the minimum; the pending and inherit candidates win only
+// strictly, in that order), and copy the winning boundary chain ONCE into
+// recycled scratch. Steady-state pushes allocate nothing: evaluation slots,
+// value buffers, and pending chains all reuse their capacity
+// (capacity-preserving clears, buffer swaps instead of copy-assignments).
+// Outputs are bit-identical to the reference scan.
+void StreamingHistogramBuilder::PushPointCost() {
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  evals_.resize(max_buckets_);
+  for (Eval& eval : evals_) {
+    eval.error = kInf;
+    eval.boundaries.clear();  // keeps capacity
+  }
+  Snapshot origin;  // zero state at position 0
+  evals_[0].error = BucketCost(origin, running_);
+
+  for (std::size_t b = 2; b <= max_buckets_; ++b) {
+    const Layer& prev = layers_[b - 2];
+    Eval& best = evals_[b - 1];
+
+    const std::size_t committed = prev.committed.size();
+    candidate_values_.resize(committed);
+    double error = SimdStreamingMergeColumn(
+        prev.cand_error.data(), prev.cand_sum_mean.data(),
+        prev.cand_sum_second.data(), prev.cand_position.data(), committed,
+        static_cast<double>(count_), running_.sum_mean, running_.sum_second,
+        candidate_values_.data());
+    const Breakpoint* winner = nullptr;
+    if (error < kInf) {
+      for (std::size_t i = 0; i < committed; ++i) {
+        if (candidate_values_[i] == error) {
+          winner = &prev.committed[i];
+          break;
+        }
+      }
+    }
+    if (prev.has_pending && prev.pending.at.position < count_) {
+      double err = prev.pending.error + BucketCost(prev.pending.at, running_);
+      if (err < error) {
+        error = err;
+        winner = &prev.pending;
+      }
+    }
+    // "At most b" inheritance keeps layers monotone; resolving it BEFORE
+    // assembling the boundary chain skips the chain copy when inheritance
+    // wins (the reference path assembles first and then overwrites —
+    // identical result, one copy more).
+    if (evals_[b - 2].error < error) {
+      best.error = evals_[b - 2].error;
+      best.boundaries.assign(evals_[b - 2].boundaries.begin(),
+                             evals_[b - 2].boundaries.end());
+      continue;
+    }
+    best.error = error;
+    if (winner != nullptr) {
+      best.boundaries.assign(winner->boundaries.begin(),
+                             winner->boundaries.end());
+      best.boundaries.push_back(winner->at);
+    }
+  }
+
+  CommitLayers(evals_, /*move_chains=*/true);
+}
+
+void StreamingHistogramBuilder::CommitLayers(std::vector<Eval>& evals,
+                                             bool move_chains) {
+  // Last-position-of-class rule: commit the previous pending when the
+  // error outgrows its geometric class.
   for (std::size_t b = 1; b <= max_buckets_; ++b) {
     Layer& layer = layers_[b - 1];
-    const Eval& eval = evals[b - 1];
+    Eval& eval = evals[b - 1];
     bool class_overflow =
         layer.has_pending &&
         (eval.error > (1.0 + delta_) * layer.class_base ||
          (layer.class_base == 0.0 && eval.error > 0.0));
     if (class_overflow) {
       layer.committed.push_back(layer.pending);
+      // Keep the hoisted candidate columns in lockstep with `committed`.
+      layer.cand_error.push_back(layer.pending.error);
+      layer.cand_sum_mean.push_back(layer.pending.at.sum_mean);
+      layer.cand_sum_second.push_back(layer.pending.at.sum_second);
+      layer.cand_position.push_back(
+          static_cast<double>(layer.pending.at.position));
       layer.class_base = eval.error;
     }
     if (!layer.has_pending) layer.class_base = eval.error;
     layer.pending.at = running_;
     layer.pending.error = eval.error;
-    layer.pending.boundaries = eval.boundaries;
+    if (move_chains) {
+      // Each eval feeds exactly one layer and this push is done reading
+      // it, so the chain SWAPS into the pending slot — both buffers
+      // recycle, no allocation.
+      layer.pending.boundaries.swap(eval.boundaries);
+    } else {
+      layer.pending.boundaries = eval.boundaries;
+    }
     layer.has_pending = true;
   }
-  peak_breakpoints_ = std::max(peak_breakpoints_, breakpoints());
 }
 
 std::size_t StreamingHistogramBuilder::breakpoints() const {

@@ -11,6 +11,24 @@
 
 namespace probsyn {
 
+/// Which Push-loop implementation the streaming builder runs. kPointCost
+/// hoists each layer's committed-breakpoint snapshots into flat parallel
+/// columns, materializes the candidate extension costs with the identical
+/// arithmetic, minimizes through the runtime-dispatched SIMD min-reduction
+/// (core/dp_kernels.h), and copies the winning boundary chain ONCE —
+/// instead of the reference path's virtual-free but branchy
+/// compare-and-copy per improving candidate. Both kernels are bit-identical
+/// in every returned histogram, cost, and breakpoint count (parity-tested
+/// in streaming_test.cc).
+enum class StreamingKernel {
+  kAuto,       ///< Resolve to kPointCost.
+  kReference,  ///< Per-candidate compare-and-copy scan (parity baseline).
+  kPointCost,  ///< Hoisted snapshot columns + SIMD min-reduction.
+};
+
+/// Stable display name ("reference", "point-cost", ...).
+const char* StreamingKernelName(StreamingKernel kind);
+
 /// One-pass (1+epsilon)-approximate histogram construction over a stream
 /// of per-item frequency pdfs arriving in domain order — the streaming
 /// counterpart of SolveApproxHistogramDp, in the style of Guha, Koudas &
@@ -43,8 +61,14 @@ class StreamingHistogramBuilder {
     std::size_t peak_breakpoints = 0;
   };
 
-  /// `max_buckets` >= 1; epsilon > 0 (the approximation slack).
-  StreamingHistogramBuilder(std::size_t max_buckets, double epsilon);
+  /// `max_buckets` >= 1; epsilon > 0 (the approximation slack). `kernel`
+  /// selects the Push-loop implementation (kAuto = the fast kPointCost;
+  /// results are bit-identical either way).
+  StreamingHistogramBuilder(std::size_t max_buckets, double epsilon,
+                            StreamingKernel kernel = StreamingKernel::kAuto);
+
+  /// The Push-loop implementation this builder runs (never kAuto).
+  StreamingKernel kernel() const { return kernel_; }
 
   /// Appends the next item's frequency pdf (domain position = arrival
   /// order).
@@ -85,9 +109,18 @@ class StreamingHistogramBuilder {
   };
 
   // Per-layer state: committed breakpoints are the LAST position of each
-  // geometric error class; `pending` tracks the most recent position.
+  // geometric error class; `pending` tracks the most recent position. The
+  // cand_* vectors are hoisted columns of `committed` (error, snapshot
+  // moments, position, kept in lockstep) that the point-cost kernel scans
+  // contiguously instead of striding through the breakpoint structs.
+  // Positions are carried as doubles (exact below 2^53) so the fused SIMD
+  // column kernel can guard and subtract them in vector lanes.
   struct Layer {
     std::vector<Breakpoint> committed;
+    std::vector<double> cand_error;
+    std::vector<double> cand_sum_mean;
+    std::vector<double> cand_sum_second;
+    std::vector<double> cand_position;
     Breakpoint pending;
     bool has_pending = false;
     double class_base = 0.0;
@@ -98,11 +131,36 @@ class StreamingHistogramBuilder {
   static double BucketCost(const Snapshot& from, const Snapshot& to);
   static double Representative(const Snapshot& from, const Snapshot& to);
 
+  // Per-layer evaluation of the current position: the approximate prefix
+  // error and the boundary chain achieving it.
+  struct Eval {
+    double error;  // initialized to +infinity by the Push loops
+    std::vector<Snapshot> boundaries;
+  };
+
+  // The two Push-loop implementations (see StreamingKernel). Bit-identical
+  // outputs; they differ in scan layout and copy orchestration only.
+  void PushReference();
+  void PushPointCost();
+
+  // Shared commit/update step of both Push loops: applies the geometric
+  // last-position-of-class rule to every layer from this push's
+  // evaluations, keeping the hoisted candidate columns in lockstep with
+  // `committed`. `move_chains` swaps each evaluation's boundary chain into
+  // the pending slot (point-cost kernel: both buffers recycle) instead of
+  // copying it (reference path).
+  void CommitLayers(std::vector<Eval>& evals, bool move_chains);
+
   std::size_t max_buckets_;
   double delta_;  // per-layer geometric slack
+  StreamingKernel kernel_;
   std::size_t count_ = 0;
   Snapshot running_;
   std::vector<Layer> layers_;
+  // Point-cost kernel scratch, recycled across pushes (capacity-preserving
+  // clears keep the steady-state Push allocation-free).
+  std::vector<double> candidate_values_;
+  std::vector<Eval> evals_;
   std::size_t peak_breakpoints_ = 0;
 };
 

@@ -168,6 +168,51 @@ TEST(Guillotine2D, MonotoneInBudgetAndConsistentWithEvaluation) {
   }
 }
 
+// The min-scan kernel (budget-vector memo + SIMD budget-split reduction)
+// must reproduce the reference recursive solver bit-for-bit: costs AND the
+// extracted tiling (traceback cut / orientation / budget-split ties).
+TEST(Guillotine2D, MinScanKernelMatchesReferenceBitForBit) {
+  for (std::uint64_t seed : {4u, 19u, 31u}) {
+    ProbGrid2D grid = RandomGrid(6, 5, seed);
+    for (std::size_t b = 1; b <= 10; ++b) {
+      auto reference = BuildOptimalGuillotineHistogram2D(
+          grid, SseOptions(), b, 4096, Guillotine2DKernel::kReference);
+      auto fast = BuildOptimalGuillotineHistogram2D(
+          grid, SseOptions(), b, 4096, Guillotine2DKernel::kMinScan);
+      ASSERT_TRUE(reference.ok() && fast.ok());
+      EXPECT_EQ(reference->kernel, Guillotine2DKernel::kReference);
+      EXPECT_EQ(fast->kernel, Guillotine2DKernel::kMinScan);
+      EXPECT_EQ(reference->cost, fast->cost) << "seed " << seed << " B=" << b;
+      ASSERT_EQ(reference->histogram.num_buckets(),
+                fast->histogram.num_buckets());
+      for (std::size_t i = 0; i < fast->histogram.num_buckets(); ++i) {
+        EXPECT_EQ(reference->histogram.buckets()[i],
+                  fast->histogram.buckets()[i])
+            << "seed " << seed << " B=" << b << " bucket " << i;
+      }
+    }
+  }
+}
+
+TEST(Guillotine2D, DefaultKernelIsMinScan) {
+  ProbGrid2D grid = RandomGrid(3, 3, 8);
+  auto result = BuildOptimalGuillotineHistogram2D(grid, SseOptions(), 3);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->kernel, Guillotine2DKernel::kMinScan);
+}
+
+TEST(Guillotine2D, SsreMetricAgreesAcrossKernels) {
+  ProbGrid2D grid = RandomGrid(5, 4, 41);
+  SynopsisOptions options;
+  options.metric = ErrorMetric::kSsre;
+  options.sanity_c = 0.5;
+  auto reference = BuildOptimalGuillotineHistogram2D(
+      grid, options, 6, 4096, Guillotine2DKernel::kReference);
+  auto fast = BuildOptimalGuillotineHistogram2D(grid, options, 6);
+  ASSERT_TRUE(reference.ok() && fast.ok());
+  EXPECT_EQ(reference->cost, fast->cost);
+}
+
 TEST(Guillotine2D, RejectsOversizedGrids) {
   ProbGrid2D grid = RandomGrid(10, 10, 2);
   auto result =

@@ -1,0 +1,313 @@
+// Runtime-dispatched SIMD min-reductions (core/dp_kernels.h): every path
+// the build and CPU support (scalar / AVX2 / AVX-512) must produce
+// bit-identical results — raw primitives on adversarial FP columns, and
+// end-to-end through every DP family that consumes them. CI runs this
+// binary twice: once under native dispatch and once with the force-scalar
+// override (PROBSYN_SIMD=scalar), so the scalar fallback stays honest on
+// machines where it is never the auto-dispatched path.
+
+#include <cmath>
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/dp_kernels.h"
+#include "core/histogram_dp.h"
+#include "core/oracle_factory.h"
+#include "core/wavelet_dp.h"
+#include "engine/synopsis_engine.h"
+#include "gen/generators.h"
+#include "stream/streaming_histogram.h"
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace probsyn {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Restores the dispatch decision on scope exit so one test's forcing never
+// leaks into another.
+class ScopedSimdPath {
+ public:
+  explicit ScopedSimdPath(SimdPath path)
+      : previous_(ActiveSimdPath()), active_(ForceSimdPath(path)) {}
+  ~ScopedSimdPath() { ForceSimdPath(previous_); }
+
+  ScopedSimdPath(const ScopedSimdPath&) = delete;
+  ScopedSimdPath& operator=(const ScopedSimdPath&) = delete;
+
+  /// The path actually in effect (the request clamps to CPU/build support).
+  SimdPath active() const { return active_; }
+
+ private:
+  SimdPath previous_;
+  SimdPath active_;
+};
+
+// The paths this machine can actually run (kScalar always).
+std::vector<SimdPath> SupportedPaths() {
+  std::vector<SimdPath> paths{SimdPath::kScalar};
+  for (SimdPath wide : {SimdPath::kAvx2, SimdPath::kAvx512}) {
+    ScopedSimdPath forced(wide);
+    if (forced.active() == wide) paths.push_back(wide);
+  }
+  return paths;
+}
+
+// Adversarial FP columns: denormals, infinities, ten-orders-of-magnitude
+// mixes, exact ties, and negatives — everything except NaN, which the
+// cost arrays never contain (documented precondition).
+std::vector<double> AdversarialColumn(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    switch (rng.NextBounded(8)) {
+      case 0: out[i] = kInf; break;
+      case 1: out[i] = 5e-324; break;  // smallest denormal
+      case 2: out[i] = 1e300 * rng.NextDouble(); break;
+      case 3: out[i] = 1e-300 * rng.NextDouble(); break;
+      case 4: out[i] = 0.0; break;
+      case 5: out[i] = -rng.NextDouble(); break;
+      case 6: out[i] = 1.0; break;  // exact-tie fodder
+      default: out[i] = rng.NextDouble(); break;
+    }
+  }
+  return out;
+}
+
+TEST(SimdDispatch, ScalarIsAlwaysForceable) {
+  ScopedSimdPath forced(SimdPath::kScalar);
+  EXPECT_EQ(forced.active(), SimdPath::kScalar);
+  EXPECT_EQ(ActiveSimdPath(), SimdPath::kScalar);
+}
+
+TEST(SimdDispatch, NamesAreStable) {
+  EXPECT_STREQ(SimdPathName(SimdPath::kScalar), "scalar");
+  EXPECT_STREQ(SimdPathName(SimdPath::kAvx2), "avx2");
+  EXPECT_STREQ(SimdPathName(SimdPath::kAvx512), "avx512");
+}
+
+TEST(SimdDispatch, PrimitivesMatchScalarOnAdversarialColumns) {
+  // Lengths cross every unroll width (4/8/16/32) and the 512-entry chunk.
+  const std::size_t lengths[] = {0,  1,  2,  3,   4,   5,   7,   8,  9,
+                                 15, 16, 17, 31,  32,  33,  63,  64, 65,
+                                 511, 512, 513, 1024, 2000};
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    std::vector<double> a = AdversarialColumn(2048, seed);
+    std::vector<double> b = AdversarialColumn(2048, seed + 100);
+    for (std::size_t n : lengths) {
+      // Scalar ground truth.
+      double want_const, want_pairs, want_rev, want_max, want_arr;
+      {
+        ScopedSimdPath forced(SimdPath::kScalar);
+        want_const = SimdMinPlusConst(a.data(), n, 0.25);
+        want_pairs = SimdMinPlusPairs(a.data(), b.data(), n);
+        want_rev = SimdMinPlusReverse(a.data(), b.data() + n, n);
+        want_max = SimdMinMaxPairs(a.data(), b.data(), n);
+        want_arr = SimdMinArray(a.data(), n);
+      }
+      if (n == 0) {
+        EXPECT_EQ(want_arr, kInf);
+        EXPECT_EQ(want_pairs, kInf);
+      }
+      for (SimdPath path : SupportedPaths()) {
+        ScopedSimdPath forced(path);
+        EXPECT_EQ(SimdMinPlusConst(a.data(), n, 0.25), want_const)
+            << SimdPathName(path) << " n=" << n << " seed=" << seed;
+        EXPECT_EQ(SimdMinPlusPairs(a.data(), b.data(), n), want_pairs)
+            << SimdPathName(path) << " n=" << n << " seed=" << seed;
+        EXPECT_EQ(SimdMinPlusReverse(a.data(), b.data() + n, n), want_rev)
+            << SimdPathName(path) << " n=" << n << " seed=" << seed;
+        EXPECT_EQ(SimdMinMaxPairs(a.data(), b.data(), n), want_max)
+            << SimdPathName(path) << " n=" << n << " seed=" << seed;
+        EXPECT_EQ(SimdMinArray(a.data(), n), want_arr)
+            << SimdPathName(path) << " n=" << n << " seed=" << seed;
+      }
+    }
+  }
+}
+
+// End-to-end: the exact DP's kSum and kMax tables must be bit-identical
+// under every SIMD path — errors, traceback choices, and representatives.
+TEST(SimdDispatch, ExactDpBitIdenticalAcrossPaths) {
+  ValuePdfInput input = GenerateRandomValuePdf(
+      {.domain_size = 700, .max_support = 3, .max_value = 6, .seed = 9});
+  SynopsisOptions options;
+  options.metric = ErrorMetric::kSse;
+  options.sse_variant = SseVariant::kFixedRepresentative;
+  auto bundle = MakeBucketOracle(input, options);
+  ASSERT_TRUE(bundle.ok());
+
+  for (DpCombiner combiner : {DpCombiner::kSum, DpCombiner::kMax}) {
+    std::vector<double> want_err;
+    std::vector<std::int64_t> want_choice;
+    std::vector<double> want_rep;
+    {
+      ScopedSimdPath forced(SimdPath::kScalar);
+      HistogramDpResult dp =
+          SolveHistogramDp(*bundle->oracle, 24, combiner);
+      for (std::size_t b = 1; b <= dp.table_layers(); ++b) {
+        auto err = dp.ErrorRow(b);
+        auto choice = dp.ChoiceRow(b);
+        auto rep = dp.RepresentativeRow(b);
+        want_err.insert(want_err.end(), err.begin(), err.end());
+        want_choice.insert(want_choice.end(), choice.begin(), choice.end());
+        want_rep.insert(want_rep.end(), rep.begin(), rep.end());
+      }
+    }
+    for (SimdPath path : SupportedPaths()) {
+      ScopedSimdPath forced(path);
+      HistogramDpResult dp =
+          SolveHistogramDp(*bundle->oracle, 24, combiner);
+      std::size_t offset = 0;
+      for (std::size_t b = 1; b <= dp.table_layers(); ++b) {
+        auto err = dp.ErrorRow(b);
+        auto choice = dp.ChoiceRow(b);
+        auto rep = dp.RepresentativeRow(b);
+        for (std::size_t j = 0; j < err.size(); ++j, ++offset) {
+          ASSERT_EQ(err[j], want_err[offset])
+              << SimdPathName(path) << " b=" << b << " j=" << j;
+          ASSERT_EQ(choice[j], want_choice[offset])
+              << SimdPathName(path) << " b=" << b << " j=" << j;
+          ASSERT_EQ(rep[j], want_rep[offset])
+              << SimdPathName(path) << " b=" << b << " j=" << j;
+        }
+      }
+    }
+  }
+}
+
+// The approximate DP materializes candidate values and min-reduces them
+// through the dispatch; histogram, cost, and evaluation count must not
+// move across paths.
+TEST(SimdDispatch, ApproxDpBitIdenticalAcrossPaths) {
+  ValuePdfInput input = GenerateRandomValuePdf(
+      {.domain_size = 600, .max_support = 3, .max_value = 6, .seed = 21});
+  SynopsisOptions options;
+  options.metric = ErrorMetric::kSse;
+  options.sse_variant = SseVariant::kFixedRepresentative;
+  auto bundle = MakeBucketOracle(input, options);
+  ASSERT_TRUE(bundle.ok());
+
+  double want_cost;
+  std::size_t want_evaluations;
+  Histogram want_histogram;
+  {
+    ScopedSimdPath forced(SimdPath::kScalar);
+    auto approx = SolveApproxHistogramDp(*bundle->oracle, 16, 0.1);
+    ASSERT_TRUE(approx.ok());
+    want_cost = approx->cost;
+    want_evaluations = approx->oracle_evaluations;
+    want_histogram = approx->histogram;
+  }
+  for (SimdPath path : SupportedPaths()) {
+    ScopedSimdPath forced(path);
+    auto approx = SolveApproxHistogramDp(*bundle->oracle, 16, 0.1);
+    ASSERT_TRUE(approx.ok());
+    EXPECT_EQ(approx->cost, want_cost) << SimdPathName(path);
+    EXPECT_EQ(approx->oracle_evaluations, want_evaluations)
+        << SimdPathName(path);
+    ASSERT_EQ(approx->histogram.num_buckets(), want_histogram.num_buckets());
+    for (std::size_t i = 0; i < want_histogram.num_buckets(); ++i) {
+      EXPECT_EQ(approx->histogram.buckets()[i].start,
+                want_histogram.buckets()[i].start);
+      EXPECT_EQ(approx->histogram.buckets()[i].end,
+                want_histogram.buckets()[i].end);
+      EXPECT_EQ(approx->histogram.buckets()[i].representative,
+                want_histogram.buckets()[i].representative);
+    }
+  }
+}
+
+// The restricted wavelet DP's budget splits ride SimdMinPlusConst /
+// SimdMinPlusReverse; kept coefficients and cost must not move.
+TEST(SimdDispatch, RestrictedWaveletBitIdenticalAcrossPaths) {
+  ValuePdfInput input = GenerateRandomValuePdf(
+      {.domain_size = 128, .max_support = 3, .max_value = 6, .seed = 33});
+  for (ErrorMetric metric : {ErrorMetric::kSae, ErrorMetric::kMae}) {
+    SynopsisOptions options;
+    options.metric = metric;
+    double want_cost;
+    std::vector<WaveletCoefficient> want_coeffs;
+    {
+      ScopedSimdPath forced(SimdPath::kScalar);
+      auto dp = BuildRestrictedWaveletDp(input, 48, options);
+      ASSERT_TRUE(dp.ok());
+      want_cost = dp->cost;
+      want_coeffs = dp->synopsis.coefficients();
+    }
+    for (SimdPath path : SupportedPaths()) {
+      ScopedSimdPath forced(path);
+      auto dp = BuildRestrictedWaveletDp(input, 48, options);
+      ASSERT_TRUE(dp.ok());
+      EXPECT_EQ(dp->cost, want_cost) << SimdPathName(path);
+      ASSERT_EQ(dp->synopsis.coefficients().size(), want_coeffs.size());
+      for (std::size_t i = 0; i < want_coeffs.size(); ++i) {
+        EXPECT_EQ(dp->synopsis.coefficients()[i].index,
+                  want_coeffs[i].index);
+        EXPECT_EQ(dp->synopsis.coefficients()[i].value,
+                  want_coeffs[i].value);
+      }
+    }
+  }
+}
+
+// The streaming builder's point-cost scan min-reduces through the
+// dispatch; the returned histogram must not move across paths.
+TEST(SimdDispatch, StreamingBitIdenticalAcrossPaths) {
+  ValuePdfInput input = GenerateRandomValuePdf(
+      {.domain_size = 400, .max_support = 3, .max_value = 8, .seed = 47});
+  auto run = [&input]() {
+    StreamingHistogramBuilder builder(12, 0.1);
+    for (const ValuePdf& pdf : input.items()) builder.Push(pdf);
+    auto result = builder.Finish();
+    PROBSYN_CHECK(result.ok());
+    return std::move(result).value();
+  };
+  StreamingHistogramBuilder::Result want;
+  {
+    ScopedSimdPath forced(SimdPath::kScalar);
+    want = run();
+  }
+  for (SimdPath path : SupportedPaths()) {
+    ScopedSimdPath forced(path);
+    StreamingHistogramBuilder::Result got = run();
+    EXPECT_EQ(got.cost, want.cost) << SimdPathName(path);
+    EXPECT_EQ(got.peak_breakpoints, want.peak_breakpoints);
+    ASSERT_EQ(got.histogram.num_buckets(), want.histogram.num_buckets());
+    for (std::size_t i = 0; i < want.histogram.num_buckets(); ++i) {
+      EXPECT_EQ(got.histogram.buckets()[i].start,
+                want.histogram.buckets()[i].start);
+      EXPECT_EQ(got.histogram.buckets()[i].end,
+                want.histogram.buckets()[i].end);
+      EXPECT_EQ(got.histogram.buckets()[i].representative,
+                want.histogram.buckets()[i].representative);
+    }
+  }
+}
+
+// The engine must record the dispatched path in DP-route solver strings.
+TEST(SimdDispatch, EngineSolverStringsRecordSimdPath) {
+  ValuePdfInput input = GenerateRandomValuePdf({.domain_size = 64, .seed = 5});
+  SynopsisEngine engine({.parallelism = 1});
+  SynopsisRequest request;
+  request.budget = 8;
+  request.options.metric = ErrorMetric::kSse;
+  request.options.sse_variant = SseVariant::kFixedRepresentative;
+
+  for (SimdPath path : SupportedPaths()) {
+    ScopedSimdPath forced(path);
+    auto result = engine.Build(input, request);
+    ASSERT_TRUE(result.ok());
+    const std::string want =
+        std::string("simd=") + SimdPathName(ActiveSimdPath());
+    EXPECT_NE(result->solver.find(want), std::string::npos)
+        << result->solver;
+  }
+}
+
+}  // namespace
+}  // namespace probsyn

@@ -126,6 +126,57 @@ TEST(Streaming, FinishIsNonDestructiveAndRepeatable) {
   EXPECT_GE(second->cost, offline->OptimalCost(5) - 1e-9);
 }
 
+// The point-cost kernel (hoisted snapshot columns + SIMD min-reduction +
+// single winner-chain copy) must reproduce the reference compare-and-copy
+// scan bit-for-bit: same costs, same bucket boundaries and
+// representatives, same breakpoint counts at every prefix.
+TEST(Streaming, PointCostKernelMatchesReferenceBitForBit) {
+  struct Case {
+    std::size_t buckets;
+    double epsilon;
+    std::uint64_t seed;
+  };
+  for (const Case& c : {Case{4, 0.1, 11}, Case{8, 0.25, 12},
+                        Case{16, 0.05, 13}, Case{1, 0.5, 14}}) {
+    ValuePdfInput input = GenerateRandomValuePdf(
+        {.domain_size = 300, .max_support = 4, .max_value = 9,
+         .seed = c.seed});
+    StreamingHistogramBuilder reference(c.buckets, c.epsilon,
+                                        StreamingKernel::kReference);
+    StreamingHistogramBuilder fast(c.buckets, c.epsilon,
+                                   StreamingKernel::kPointCost);
+    EXPECT_EQ(reference.kernel(), StreamingKernel::kReference);
+    EXPECT_EQ(fast.kernel(), StreamingKernel::kPointCost);
+    for (std::size_t i = 0; i < input.domain_size(); ++i) {
+      reference.Push(input.item(i));
+      fast.Push(input.item(i));
+      if (i % 50 == 0) {
+        ASSERT_EQ(reference.breakpoints(), fast.breakpoints())
+            << "prefix " << i << " B=" << c.buckets;
+      }
+    }
+    auto ref_result = reference.Finish();
+    auto fast_result = fast.Finish();
+    ASSERT_TRUE(ref_result.ok() && fast_result.ok());
+    EXPECT_EQ(ref_result->cost, fast_result->cost) << "B=" << c.buckets;
+    EXPECT_EQ(ref_result->peak_breakpoints, fast_result->peak_breakpoints);
+    ASSERT_EQ(ref_result->histogram.num_buckets(),
+              fast_result->histogram.num_buckets());
+    for (std::size_t i = 0; i < ref_result->histogram.num_buckets(); ++i) {
+      const HistogramBucket& want = ref_result->histogram.buckets()[i];
+      const HistogramBucket& got = fast_result->histogram.buckets()[i];
+      EXPECT_EQ(want.start, got.start);
+      EXPECT_EQ(want.end, got.end);
+      EXPECT_EQ(want.representative, got.representative);
+    }
+  }
+}
+
+TEST(Streaming, DefaultKernelIsPointCost) {
+  StreamingHistogramBuilder builder(4, 0.1);
+  EXPECT_EQ(builder.kernel(), StreamingKernel::kPointCost);
+}
+
 TEST(Streaming, EmptyStreamFails) {
   StreamingHistogramBuilder builder(4, 0.1);
   auto result = builder.Finish();

@@ -142,6 +142,91 @@ TEST(WaveletDp, RejectsOversizedDomains) {
   EXPECT_EQ(result.status().code(), StatusCode::kOutOfRange);
 }
 
+// Regression for the old hash-memo's rehash-dangling footgun: the
+// recursive solver held a reference to the left child's best table while
+// computing the right child, and an unordered_map rehash in between left
+// it dangling (the historical fix copied the vector per state). This input
+// is big enough that the old memo rehashed many times mid-recursion, so a
+// reintroduced dangling read would corrupt costs or coefficients; under
+// the flat arena, child spans are stable by construction. The check is
+// three-way: fast kernel == reference kernel bit-for-bit, and the reported
+// cost equals the evaluated cost of the returned synopsis.
+TEST(WaveletDp, ArenaSpansStableUnderLargeStateCounts) {
+  for (std::size_t domain : {64u, 200u}) {
+    ValuePdfInput input = GenerateRandomValuePdf(
+        {.domain_size = domain, .max_support = 3, .max_value = 6,
+         .seed = domain});
+    SynopsisOptions options;
+    options.metric = ErrorMetric::kSae;
+    auto reference = BuildRestrictedWaveletDp(input, 24, options, 2048,
+                                              WaveletSplitKernel::kReference);
+    auto fast = BuildRestrictedWaveletDp(input, 24, options);
+    ASSERT_TRUE(reference.ok() && fast.ok());
+    EXPECT_EQ(reference->cost, fast->cost);
+    ASSERT_EQ(reference->synopsis.coefficients().size(),
+              fast->synopsis.coefficients().size());
+    for (std::size_t i = 0; i < fast->synopsis.coefficients().size(); ++i) {
+      EXPECT_EQ(reference->synopsis.coefficients()[i].index,
+                fast->synopsis.coefficients()[i].index);
+      EXPECT_EQ(reference->synopsis.coefficients()[i].value,
+                fast->synopsis.coefficients()[i].value);
+    }
+    auto evaluated = EvaluateWavelet(input, fast->synopsis, options);
+    ASSERT_TRUE(evaluated.ok());
+    EXPECT_NEAR(fast->cost, *evaluated, 1e-9) << "n=" << domain;
+  }
+}
+
+// Zero steady-state allocation: repeat solves through one leased workspace
+// must not grow the arena (the pool-stats assertion of the acceptance
+// criteria), and reusing the arena must not change any output.
+TEST(WaveletDp, WorkspaceReuseAllocatesNoDpState) {
+  ValuePdfInput input = GenerateRandomValuePdf(
+      {.domain_size = 128, .max_support = 3, .max_value = 6, .seed = 77});
+  SynopsisOptions options;
+  options.metric = ErrorMetric::kMae;
+
+  DpWorkspacePool pool;
+  DpWorkspacePool::Lease lease = pool.Acquire();
+  DpWorkspace* workspace = lease.get();
+
+  auto first = BuildRestrictedWaveletDp(input, 32, options, 2048,
+                                        WaveletSplitKernel::kAuto, workspace);
+  ASSERT_TRUE(first.ok());
+  const std::size_t grows_after_warmup =
+      workspace->wavelet_arena().grow_events;
+  EXPECT_GT(grows_after_warmup, 0u);  // the warmup solve sized the arena
+
+  for (int repeat = 0; repeat < 3; ++repeat) {
+    auto again = BuildRestrictedWaveletDp(
+        input, 32, options, 2048, WaveletSplitKernel::kAuto, workspace);
+    ASSERT_TRUE(again.ok());
+    EXPECT_EQ(again->cost, first->cost);
+    EXPECT_EQ(again->synopsis.coefficients().size(),
+              first->synopsis.coefficients().size());
+    EXPECT_EQ(workspace->wavelet_arena().grow_events, grows_after_warmup)
+        << "repeat solve " << repeat << " grew the arena";
+  }
+
+  // Smaller shapes fit the warm arena too: still no growth.
+  ValuePdfInput smaller = GenerateRandomValuePdf(
+      {.domain_size = 64, .max_support = 3, .max_value = 6, .seed = 78});
+  auto small = BuildRestrictedWaveletDp(smaller, 8, options, 2048,
+                                        WaveletSplitKernel::kAuto, workspace);
+  ASSERT_TRUE(small.ok());
+  EXPECT_EQ(workspace->wavelet_arena().grow_events, grows_after_warmup);
+  EXPECT_EQ(workspace->wavelet_arena().solves, 5u);
+}
+
+TEST(WaveletDp, ResultRecordsMemoLayout) {
+  ValuePdfInput input = testing::PaperExampleValuePdf();
+  SynopsisOptions options;
+  options.metric = ErrorMetric::kSae;
+  auto result = BuildRestrictedWaveletDp(input, 2, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_STREQ(result->memo, "dense-arena");
+}
+
 TEST(WaveletDp, MonotoneInBudget) {
   ValuePdfInput input = GenerateRandomValuePdf(
       {.domain_size = 16, .max_support = 3, .max_value = 5, .seed = 55});
