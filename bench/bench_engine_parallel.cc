@@ -32,6 +32,16 @@
 //       scalar solver (kernel = 0) vs the budget-vector memo with
 //       SIMD budget-split min-reductions (kernel = 1).
 //
+//   (i) parallel wavelet arena fill — the restricted DP's level sweeps
+//       fanned out across 1/2/4/8 lanes at the acceptance point n = 1024,
+//       B = 64 (bit-identical outputs; speedup = lanes=1 row / lanes=L
+//       row — on a multi-core host real_time drops, on a single-core CI
+//       box only cpu_time tells the story, as with the exact-DP rows).
+//   (j) streaming Push latency — whole-stream time at a wide layer count
+//       (B = 32), where the reference path's per-push winner-chain copies
+//       are O(B^2) and the persistent chain store's are O(B); compare
+//       kernel = 0 vs 1 and against the B = 16 series (g).
+//
 // The restricted-wavelet series (e) carry the PR 4 acceptance point
 // n = 1024, B = 64: the arena-backed bottom-up solver vs the PR 3
 // hash-memo baseline committed in BENCH_baseline.json.
@@ -187,6 +197,43 @@ void BM_WaveletRestrictedDpSae(benchmark::State& state) {
   RunWaveletRestricted(state, ErrorMetric::kSae);
 }
 
+// (i) Thread-scaling of the restricted wavelet DP's parallel arena fill:
+// identical solve at 1..8 lanes through a reused workspace (zero
+// steady-state allocation, like the engine route). Outputs are
+// bit-identical across rows; only the wall clock moves.
+void RunWaveletRestrictedParallel(benchmark::State& state,
+                                  ErrorMetric metric) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const std::size_t coeffs = static_cast<std::size_t>(state.range(1));
+  const std::size_t lanes = static_cast<std::size_t>(state.range(2));
+
+  ValuePdfInput input = MakeInput(n);
+  SynopsisOptions options;
+  options.metric = metric;
+  ThreadPool pool(lanes > 1 ? lanes - 1 : 0);
+  DpWorkspace workspace;
+  for (auto _ : state) {
+    auto result = BuildRestrictedWaveletDp(input, coeffs, options, 2048,
+                                           WaveletSplitKernel::kAuto,
+                                           &workspace,
+                                           lanes > 1 ? &pool : nullptr);
+    PROBSYN_CHECK(result.ok());
+    benchmark::DoNotOptimize(result->cost);
+  }
+  state.counters["n"] = static_cast<double>(n);
+  state.counters["B"] = static_cast<double>(coeffs);
+  state.counters["lanes"] = static_cast<double>(lanes);
+  // Speedup(L) = Time(lanes=1) / Time(lanes=L) across rows of equal n, B.
+}
+
+void BM_WaveletRestrictedDpParallelMae(benchmark::State& state) {
+  RunWaveletRestrictedParallel(state, ErrorMetric::kMae);
+}
+
+void BM_WaveletRestrictedDpParallelSae(benchmark::State& state) {
+  RunWaveletRestrictedParallel(state, ErrorMetric::kSae);
+}
+
 // (g) Streaming merge kernels: reference compare-and-copy candidate scan
 // vs the point-cost kernel over hoisted snapshot columns.
 void BM_StreamingMerge(benchmark::State& state) {
@@ -206,6 +253,34 @@ void BM_StreamingMerge(benchmark::State& state) {
   }
   state.counters["n"] = static_cast<double>(n);
   state.counters["B"] = static_cast<double>(kBuckets);
+  state.counters["eps"] = kEpsilon;
+  state.counters["kernel"] = kernelized ? 1.0 : 0.0;
+}
+
+// (j) Streaming Push latency at a wide layer count: the reference path
+// copies each layer's winner chain per push (O(B^2) snapshots), the
+// point-cost path takes one persistent-chain operation per layer (O(B)).
+// items_per_second is the push throughput.
+void BM_StreamingPushLatency(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const std::size_t buckets = static_cast<std::size_t>(state.range(1));
+  const bool kernelized = state.range(2) != 0;
+  const double kEpsilon = 0.1;
+  ValuePdfInput input = MakeInput(n);
+  const StreamingKernel kernel = kernelized ? StreamingKernel::kPointCost
+                                            : StreamingKernel::kReference;
+  DpWorkspace workspace;
+  for (auto _ : state) {
+    StreamingHistogramBuilder builder(buckets, kEpsilon, kernel,
+                                      kernelized
+                                          ? &workspace.stream_chains()
+                                          : nullptr);
+    for (const ValuePdf& pdf : input.items()) builder.Push(pdf);
+    benchmark::DoNotOptimize(builder.breakpoints());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations() * n));
+  state.counters["n"] = static_cast<double>(n);
+  state.counters["B"] = static_cast<double>(buckets);
   state.counters["eps"] = kEpsilon;
   state.counters["kernel"] = kernelized ? 1.0 : 0.0;
 }
@@ -377,9 +452,26 @@ BENCHMARK(probsyn::BM_WaveletRestrictedDpSae)
     ->Args({1024, 64, 1})
     ->Unit(benchmark::kMillisecond);
 
+BENCHMARK(probsyn::BM_WaveletRestrictedDpParallelMae)
+    ->Args({1024, 64, 1})
+    ->Args({1024, 64, 2})
+    ->Args({1024, 64, 4})
+    ->Args({1024, 64, 8})
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK(probsyn::BM_WaveletRestrictedDpParallelSae)
+    ->Args({1024, 64, 1})
+    ->Args({1024, 64, 4})
+    ->Unit(benchmark::kMillisecond);
+
 BENCHMARK(probsyn::BM_StreamingMerge)
     ->Args({20000, 0})
     ->Args({20000, 1})
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK(probsyn::BM_StreamingPushLatency)
+    ->Args({20000, 32, 0})
+    ->Args({20000, 32, 1})
     ->Unit(benchmark::kMillisecond);
 
 BENCHMARK(probsyn::BM_Guillotine2dDp)

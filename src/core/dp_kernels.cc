@@ -1465,6 +1465,107 @@ StatusOr<ApproxHistogramResult> RunApproxDp(const BucketCostOracle& oracle,
 
 }  // namespace
 
+// ---------------------------------------------------------------------------
+// StreamChainStore: hash-consed, refcounted boundary-chain nodes.
+
+std::size_t StreamChainStore::BucketOf(Ref parent,
+                                       std::size_t position) const {
+  std::uint64_t h =
+      static_cast<std::uint64_t>(position) * 0x9E3779B97F4A7C15ull ^
+      (static_cast<std::uint64_t>(parent) + 0x9E3779B97F4A7C15ull) *
+          0xC2B2AE3D27D4EB4Full;
+  h ^= h >> 29;
+  return static_cast<std::size_t>(h) & (buckets_.size() - 1);
+}
+
+// Rebuilds the hash table over the whole reserved node pool (load factor
+// <= 1 against capacity, so one rehash per pool growth, never per insert).
+void StreamChainStore::Rehash() {
+  std::size_t want = 64;
+  while (want < nodes_.capacity()) want <<= 1;
+  if (want <= buckets_.size()) return;
+  ++stats_.grow_events;
+  buckets_.assign(want, kNil);
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    Node& node = nodes_[i];
+    if (node.refcount == 0) continue;  // free-listed slot
+    const std::size_t b = BucketOf(node.parent, node.position);
+    node.hash_next = buckets_[b];
+    buckets_[b] = static_cast<Ref>(i);
+  }
+}
+
+StreamChainStore::Ref StreamChainStore::Extend(Ref parent, double sum_mean,
+                                               double sum_second,
+                                               std::size_t position) {
+  if (!buckets_.empty()) {
+    for (Ref i = buckets_[BucketOf(parent, position)]; i != kNil;
+         i = nodes_[i].hash_next) {
+      Node& node = nodes_[i];
+      if (node.parent == parent && node.position == position) {
+        // One stream has one snapshot per position, so a consed hit is
+        // necessarily payload-identical.
+        PROBSYN_DCHECK(node.sum_mean == sum_mean &&
+                       node.sum_second == sum_second);
+        ++node.refcount;
+        ++stats_.consed;
+        return i;
+      }
+    }
+  }
+
+  Ref i;
+  if (!free_.empty()) {
+    i = free_.back();
+    free_.pop_back();
+  } else {
+    if (nodes_.size() == nodes_.capacity()) {
+      ++stats_.grow_events;
+      nodes_.reserve(nodes_.empty() ? 64 : nodes_.capacity() * 2);
+      // The free list can hold every node, so releasing never allocates.
+      free_.reserve(nodes_.capacity());
+    }
+    i = static_cast<Ref>(nodes_.size());
+    nodes_.emplace_back();
+  }
+  Rehash();  // no-op unless the pool outgrew the table
+
+  Node& node = nodes_[i];
+  node.sum_mean = sum_mean;
+  node.sum_second = sum_second;
+  node.position = position;
+  node.parent = parent;
+  node.refcount = 1;
+  const std::size_t b = BucketOf(parent, position);
+  node.hash_next = buckets_[b];
+  buckets_[b] = i;
+  if (parent != kNil) ++nodes_[parent].refcount;
+  ++stats_.created;
+  ++stats_.live;
+  return i;
+}
+
+void StreamChainStore::AddRef(Ref node) {
+  PROBSYN_DCHECK(node != kNil && nodes_[node].refcount > 0);
+  ++nodes_[node].refcount;
+}
+
+void StreamChainStore::Release(Ref node) {
+  while (node != kNil) {
+    Node& dying = nodes_[node];
+    PROBSYN_DCHECK(dying.refcount > 0);
+    if (--dying.refcount > 0) return;
+    // Unlink from the hash bucket, free the slot, cascade to the parent.
+    Ref* link = &buckets_[BucketOf(dying.parent, dying.position)];
+    while (*link != node) link = &nodes_[*link].hash_next;
+    *link = dying.hash_next;
+    free_.push_back(node);
+    ++stats_.freed;
+    --stats_.live;
+    node = dying.parent;
+  }
+}
+
 void DpWorkspacePool::Lease::Release() {
   if (pool_ != nullptr && workspace_ != nullptr) {
     std::lock_guard<std::mutex> lock(pool_->mutex_);

@@ -118,6 +118,89 @@ struct WaveletDpDecision {
   std::uint16_t right_budget = 0;
 };
 
+/// Persistent shared-suffix store of streaming boundary chains
+/// (stream/streaming_histogram.cc): each node is one bucket boundary (a
+/// prefix-moment snapshot) plus a parent pointer to the chain of the
+/// boundaries before it, so extending a winner's chain by one boundary is
+/// O(1) and chains sharing a suffix share its nodes physically. Nodes are
+/// hash-consed — Extend() returns the existing node when an identical
+/// (parent, position) chain is already live — and refcounted: every chain
+/// head held by a breakpoint owns one reference, every node owns one on
+/// its parent, and Release() returns zero-refcount nodes (and, cascading,
+/// their newly unreferenced ancestors) to an internal free list.
+///
+/// Storage is arena-pooled like WaveletDpArena: the node pool, hash
+/// table, and free list grow geometrically but never shrink, so a store
+/// leased across streams (via DpWorkspace::stream_chains()) performs zero
+/// steady-state allocations — `Stats::grow_events` counts capacity
+/// growths and `Stats::live` must return to zero once every holder has
+/// released (the leak tests in tests/streaming_test.cc assert both).
+///
+/// The store is NOT thread-safe; like the rest of a DpWorkspace it serves
+/// one solve/stream at a time.
+class StreamChainStore {
+ public:
+  /// Handle of a chain head inside the store; kNil is the empty chain.
+  using Ref = std::uint32_t;
+
+  /// Sentinel: the empty chain / no parent.
+  static constexpr Ref kNil = 0xFFFFFFFFu;
+
+  /// Observability counters (monotone except `live`).
+  struct Stats {
+    std::size_t created = 0;      ///< Nodes physically taken from the pool.
+    std::size_t consed = 0;       ///< Extend() calls served by an existing node.
+    std::size_t freed = 0;        ///< Nodes returned to the free list.
+    std::size_t grow_events = 0;  ///< Capacity growths (node pool or table).
+    std::size_t live = 0;         ///< Currently allocated nodes.
+  };
+
+  /// The chain `parent` extended by one boundary snapshot. Returns an
+  /// owned reference: the existing node when (parent, position) is already
+  /// live (their moment sums are then necessarily equal — snapshots of one
+  /// stream at one position are unique), else a fresh node referencing
+  /// `parent`.
+  Ref Extend(Ref parent, double sum_mean, double sum_second,
+             std::size_t position);
+
+  /// Takes one additional owned reference on `node` (O(1) chain sharing).
+  void AddRef(Ref node);
+
+  /// Drops one owned reference; frees the node and cascades up the parent
+  /// chain while refcounts hit zero. Release(kNil) is a no-op.
+  void Release(Ref node);
+
+  /// Payload accessors of a live node (extraction walks parents once).
+  double sum_mean(Ref node) const { return nodes_[node].sum_mean; }
+  /// Running second-moment sum at the boundary.
+  double sum_second(Ref node) const { return nodes_[node].sum_second; }
+  /// Stream position of the boundary (items before the cut).
+  std::size_t position(Ref node) const { return nodes_[node].position; }
+  /// The chain of the boundaries before this one (kNil at the root).
+  Ref parent(Ref node) const { return nodes_[node].parent; }
+
+  /// Counter snapshot (see Stats).
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct Node {
+    double sum_mean = 0.0;
+    double sum_second = 0.0;
+    std::size_t position = 0;
+    Ref parent = kNil;
+    Ref hash_next = kNil;
+    std::uint32_t refcount = 0;  // 0 = free slot
+  };
+
+  std::size_t BucketOf(Ref parent, std::size_t position) const;
+  void Rehash();
+
+  std::vector<Node> nodes_;
+  std::vector<Ref> buckets_;  // power-of-two; kNil-terminated chains
+  std::vector<Ref> free_;
+  Stats stats_;
+};
+
 /// Flat arena of the restricted wavelet DP (core/wavelet_dp.cc): per-state
 /// `best` tables and traceback decisions stored contiguously, indexed
 /// directly by (level, node, ancestor-decision mask) — no hash memo, no
@@ -142,8 +225,10 @@ struct WaveletDpArena {
 /// clearing pass is needed either.
 ///
 /// The workspace also hosts the restricted wavelet DP's flat arena
-/// (wavelet_arena()), so an engine batch leases ONE workspace and serves
-/// exact-DP and wavelet requests from the same recycled storage.
+/// (wavelet_arena()) and the streaming builder's boundary-chain store
+/// (stream_chains()), so an engine batch leases ONE workspace and serves
+/// exact-DP, wavelet, and streaming requests from the same recycled
+/// storage.
 ///
 /// A workspace serves ONE solve at a time; results borrow its storage (see
 /// HistogramDpResult), so reuse only after the previous result is consumed.
@@ -159,6 +244,10 @@ class DpWorkspace {
   /// The restricted wavelet DP's reusable flat arena (see WaveletDpArena);
   /// serves one solve at a time, like the histogram buffers.
   WaveletDpArena& wavelet_arena() { return wavelet_arena_; }
+
+  /// The streaming builder's reusable boundary-chain store (see
+  /// StreamChainStore); serves one stream at a time.
+  StreamChainStore& stream_chains() { return stream_chains_; }
 
  private:
   friend HistogramDpResult SolveHistogramDpWithKernel(const BucketCostOracle&,
@@ -178,6 +267,7 @@ class DpWorkspace {
   std::vector<double> cost_cmin_;     // ceil(n/512) or block x ceil(n/512)
 
   WaveletDpArena wavelet_arena_;
+  StreamChainStore stream_chains_;
 };
 
 /// Mutex-guarded free list of DpWorkspaces for engines whose const entry

@@ -8,6 +8,7 @@
 #include "core/point_error.h"
 #include "util/logging.h"
 #include "util/math.h"
+#include "util/thread_pool.h"
 
 namespace probsyn {
 
@@ -50,7 +51,7 @@ class WaveletDpSolver {
  public:
   WaveletDpSolver(const ValuePdfInput& padded, std::size_t num_coefficients,
                   const SynopsisOptions& options, WaveletSplitKernel kernel,
-                  WaveletDpArena* arena)
+                  WaveletDpArena* arena, ThreadPool* pool)
       : n_(padded.domain_size()),
         levels_(n_ > 1 ? FloorLog2(n_) : 0),
         budget_(num_coefficients),
@@ -60,6 +61,7 @@ class WaveletDpSolver {
                     ? WaveletSplitKernel::kBudgetSplit
                     : kernel),
         arena_(arena),
+        pool_(pool != nullptr && pool->num_threads() > 0 ? pool : nullptr),
         tables_(padded, options.sanity_c),
         mu_(HaarTransform(PadToPowerOfTwo(padded.ExpectedFrequencies()))) {
     if (options.HasWorkload()) {
@@ -69,6 +71,10 @@ class WaveletDpSolver {
   }
 
   WaveletSplitKernel kernel() const { return kernel_; }
+
+  std::size_t lanes() const {
+    return pool_ == nullptr ? 1 : pool_->num_threads() + 1;
+  }
 
   WaveletDpResult Solve() {
     std::vector<WaveletCoefficient> kept;
@@ -177,7 +183,32 @@ class WaveletDpSolver {
     return v;
   }
 
+  // One level is an embarrassingly parallel sweep: its states read only the
+  // completed level below (stable arena memory) and write disjoint spans of
+  // their own level, so the range splits into contiguous chunks dispatched
+  // across the pool with identical per-state computation — the parallel
+  // fill is bit-identical to the sequential one at every thread count.
   void FillLevel(std::size_t d) {
+    const std::size_t states = std::size_t{1} << (2 * d + 1);
+    // Below the cutoff the fork-join handshake costs more than the level;
+    // the top of the tree (2, 8, 32 states) always runs on the caller.
+    constexpr std::size_t kMinParallelStates = 64;
+    if (pool_ != nullptr && states >= kMinParallelStates) {
+      pool_->ParallelFor(0, states, [this, d](std::size_t begin,
+                                              std::size_t end) {
+        FillStates(d, begin, end);
+      });
+    } else {
+      FillStates(d, 0, states);
+    }
+  }
+
+  // Fills the contiguous state range [state_begin, state_end) of level d.
+  // The flat state index s enumerates (node, mask) exactly like the arena
+  // layout — s == StateSlot(d, j, mask) — so a range's writes are one
+  // disjoint arena span.
+  void FillStates(std::size_t d, std::size_t state_begin,
+                  std::size_t state_end) {
     const bool leaf_children = d == levels_ - 1;  // 2j >= n for the level
     const std::size_t cap = CapAt(d);
     const std::size_t node0 = std::size_t{1} << d;
@@ -187,56 +218,56 @@ class WaveletDpSolver {
         cumulative_ ? DpCombiner::kSum : DpCombiner::kMax;
     const double* contribution = arena_->contribution.data();
 
-    for (std::size_t j = node0; j < 2 * node0; ++j) {
-      for (std::uint64_t mask = 0; mask < masks; ++mask) {
-        double* best = BestTable(d, j, mask);
-        WaveletDpDecision* decision = DecisionTable(d, j, mask);
+    for (std::size_t s = state_begin; s < state_end; ++s) {
+      const std::size_t j = node0 + (s >> (d + 1));
+      const std::uint64_t mask = s & (masks - 1);
+      double* best = BestTable(d, j, mask);
+      WaveletDpDecision* decision = DecisionTable(d, j, mask);
 
-        if (leaf_children) {
-          const double v = StateV(d, j, mask);
-          const std::size_t left_item = 2 * j - n_;
-          // keep == 0 initializes every budget; keep == 1 (b >= 1)
-          // overwrites where strictly better — the reference tie-break.
-          const double err0 =
-              Combine(LeafError(left_item, v), LeafError(left_item + 1, v));
-          for (std::size_t b = 0; b <= cap; ++b) {
-            best[b] = err0;
-            decision[b] = {false, 0, 0};
-          }
-          if (cap >= 1) {
-            const double c = contribution[j];
-            const double err1 = Combine(LeafError(left_item, v + c),
-                                        LeafError(left_item + 1, v - c));
-            for (std::size_t b = 1; b <= cap; ++b) {
-              if (err1 < best[b]) {
-                best[b] = err1;
-                decision[b] = {true, 0, 0};
-              }
-            }
-          }
-          continue;
+      if (leaf_children) {
+        const double v = StateV(d, j, mask);
+        const std::size_t left_item = 2 * j - n_;
+        // keep == 0 initializes every budget; keep == 1 (b >= 1)
+        // overwrites where strictly better — the reference tie-break.
+        const double err0 =
+            Combine(LeafError(left_item, v), LeafError(left_item + 1, v));
+        for (std::size_t b = 0; b <= cap; ++b) {
+          best[b] = err0;
+          decision[b] = {false, 0, 0};
         }
-
-        for (std::size_t keep = 0; keep <= 1 && keep <= cap; ++keep) {
-          const std::uint64_t child_mask = (mask << 1) | keep;
-          const double* left = BestTable(d + 1, 2 * j, child_mask);
-          const double* right = BestTable(d + 1, 2 * j + 1, child_mask);
-          for (std::size_t b = keep; b <= cap; ++b) {
-            const std::size_t rem = b - keep;
-            // The split minimization runs through the kernel layer; the
-            // keep passes preserve the reference tie-break (keep == 0
-            // assigns unconditionally, keep == 1 wins only strictly).
-            BudgetSplit split =
-                MinBudgetSplit(combiner, left, std::min(rem, cap_child),
-                               right, cap_child, rem, kernel_);
-            if (keep == 0 || split.value < best[b]) {
-              const std::size_t br =
-                  std::min(rem - split.left_budget, cap_child);
-              best[b] = split.value;
-              decision[b] = {keep == 1,
-                             static_cast<std::uint16_t>(split.left_budget),
-                             static_cast<std::uint16_t>(br)};
+        if (cap >= 1) {
+          const double c = contribution[j];
+          const double err1 = Combine(LeafError(left_item, v + c),
+                                      LeafError(left_item + 1, v - c));
+          for (std::size_t b = 1; b <= cap; ++b) {
+            if (err1 < best[b]) {
+              best[b] = err1;
+              decision[b] = {true, 0, 0};
             }
+          }
+        }
+        continue;
+      }
+
+      for (std::size_t keep = 0; keep <= 1 && keep <= cap; ++keep) {
+        const std::uint64_t child_mask = (mask << 1) | keep;
+        const double* left = BestTable(d + 1, 2 * j, child_mask);
+        const double* right = BestTable(d + 1, 2 * j + 1, child_mask);
+        for (std::size_t b = keep; b <= cap; ++b) {
+          const std::size_t rem = b - keep;
+          // The split minimization runs through the kernel layer; the
+          // keep passes preserve the reference tie-break (keep == 0
+          // assigns unconditionally, keep == 1 wins only strictly).
+          BudgetSplit split =
+              MinBudgetSplit(combiner, left, std::min(rem, cap_child),
+                             right, cap_child, rem, kernel_);
+          if (keep == 0 || split.value < best[b]) {
+            const std::size_t br =
+                std::min(rem - split.left_budget, cap_child);
+            best[b] = split.value;
+            decision[b] = {keep == 1,
+                           static_cast<std::uint16_t>(split.left_budget),
+                           static_cast<std::uint16_t>(br)};
           }
         }
       }
@@ -263,6 +294,7 @@ class WaveletDpSolver {
   bool cumulative_;
   WaveletSplitKernel kernel_;
   WaveletDpArena* arena_;
+  ThreadPool* pool_;  // null = sequential fill
   PointErrorTables tables_;
   std::vector<double> mu_;
   std::vector<double> weights_;  // empty = uniform
@@ -283,7 +315,7 @@ ValuePdfInput PadInput(const ValuePdfInput& input) {
 StatusOr<WaveletDpResult> BuildRestrictedWaveletDp(
     const ValuePdfInput& input, std::size_t num_coefficients,
     const SynopsisOptions& options, std::size_t max_domain,
-    WaveletSplitKernel kernel, DpWorkspace* workspace) {
+    WaveletSplitKernel kernel, DpWorkspace* workspace, ThreadPool* pool) {
   PROBSYN_RETURN_IF_ERROR(options.Validate());
   PROBSYN_RETURN_IF_ERROR(input.Validate());
   if (input.domain_size() == 0) {
@@ -310,9 +342,11 @@ StatusOr<WaveletDpResult> BuildRestrictedWaveletDp(
   WaveletDpArena local_arena;
   WaveletDpArena* arena =
       workspace != nullptr ? &workspace->wavelet_arena() : &local_arena;
-  WaveletDpSolver solver(padded, num_coefficients, options, kernel, arena);
+  WaveletDpSolver solver(padded, num_coefficients, options, kernel, arena,
+                         pool);
   WaveletDpResult result = solver.Solve();
   result.kernel = solver.kernel();
+  result.lanes = solver.lanes();
   // Report the synopsis against the caller's (unpadded) domain.
   result.synopsis = WaveletSynopsis(
       input.domain_size(), padded_n,

@@ -11,6 +11,8 @@
 
 namespace probsyn {
 
+class ThreadPool;
+
 /// Output of the restricted coefficient-tree DP.
 struct WaveletDpResult {
   WaveletSynopsis synopsis;
@@ -25,6 +27,11 @@ struct WaveletDpResult {
   /// ancestor-decision mask) — recorded for observability (the engine puts
   /// it in solver strings as `memo=`).
   const char* memo = "dense-arena";
+  /// Parallel lanes the arena fill ran with (calling thread included; 1 =
+  /// sequential) — recorded for observability (the engine puts it in
+  /// solver strings as `par=`). The fill is bit-identical at every lane
+  /// count.
+  std::size_t lanes = 1;
 };
 
 /// Optimal *restricted* B-term wavelet synopsis for non-SSE error metrics
@@ -63,11 +70,19 @@ struct WaveletDpResult {
 /// reductions ride the runtime-dispatched SIMD primitives. All kernels and
 /// SIMD paths are bit-identical in cost and kept coefficients
 /// (parity-tested).
+///
+/// A non-null `pool` fans each level's state sweep out across the workers
+/// (util/thread_pool.h): states within a level are independent, chunks
+/// write disjoint arena spans, and every state runs the identical scalar
+/// computation, so the parallel fill is bit-identical to the sequential
+/// one at every thread count and SIMD path (pinned by
+/// tests/wavelet_parallel_test.cc). The lane count lands in
+/// WaveletDpResult::lanes.
 StatusOr<WaveletDpResult> BuildRestrictedWaveletDp(
     const ValuePdfInput& input, std::size_t num_coefficients,
     const SynopsisOptions& options, std::size_t max_domain = 2048,
     WaveletSplitKernel kernel = WaveletSplitKernel::kAuto,
-    DpWorkspace* workspace = nullptr);
+    DpWorkspace* workspace = nullptr, ThreadPool* pool = nullptr);
 
 }  // namespace probsyn
 

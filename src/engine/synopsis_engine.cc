@@ -60,21 +60,28 @@ std::string FormatSolver(const char* route, ThreadPool* pool) {
 // SIMD path the min-reductions dispatched to, e.g.
 // "histogram/approx-dp(eps=0.1)[kernel=sse-moment,simd=avx2,sequential]" or
 // "wavelet/restricted-dp[kernel=budget-split,memo=dense-arena,simd=avx2,
-// sequential]" — a path left on the reference solver says kernel=reference
-// (and simd=scalar when forced) rather than omitting the labels.
+// par=4]" — a path left on the reference solver says kernel=reference
+// (and simd=scalar when forced) rather than omitting the labels. Routes
+// that report their own lane count (the restricted wavelet DP's parallel
+// arena fill) pass `lanes` > 0 and get a `par=` label instead of the
+// pool-derived parallel=/sequential suffix.
 std::string FormatKernelSolver(const char* route, const char* kernel_name,
-                               ThreadPool* pool,
-                               const char* memo = nullptr) {
-  char labels[96];
+                               ThreadPool* pool, const char* memo = nullptr,
+                               std::size_t lanes = 0) {
+  char par[24] = "";
+  if (lanes > 0) std::snprintf(par, sizeof(par), ",par=%zu", lanes);
+  char labels[112];
   if (memo != nullptr) {
-    std::snprintf(labels, sizeof(labels), "kernel=%s,memo=%s,simd=%s",
-                  kernel_name, memo, SimdPathName(ActiveSimdPath()));
+    std::snprintf(labels, sizeof(labels), "kernel=%s,memo=%s,simd=%s%s",
+                  kernel_name, memo, SimdPathName(ActiveSimdPath()), par);
   } else {
-    std::snprintf(labels, sizeof(labels), "kernel=%s,simd=%s", kernel_name,
-                  SimdPathName(ActiveSimdPath()));
+    std::snprintf(labels, sizeof(labels), "kernel=%s,simd=%s%s", kernel_name,
+                  SimdPathName(ActiveSimdPath()), par);
   }
-  char buffer[160];
-  if (pool != nullptr) {
+  char buffer[176];
+  if (lanes > 0) {
+    std::snprintf(buffer, sizeof(buffer), "%s[%s]", route, labels);
+  } else if (pool != nullptr) {
     std::snprintf(buffer, sizeof(buffer), "%s[%s,parallel=%zu]", route,
                   labels, pool->num_threads() + 1);
   } else {
@@ -104,9 +111,15 @@ StatusOr<double> EvaluateHistogramCost(const Input& input, const Histogram& h,
 
 StatusOr<SynopsisResult> ExecStreamingOnValuePdf(const ValuePdfInput& input,
                                                  const SynopsisRequest& request,
-                                                 double preprocess_seconds) {
+                                                 double preprocess_seconds,
+                                                 DpWorkspace* workspace) {
   Stopwatch watch;
-  StreamingHistogramBuilder builder(request.budget, request.epsilon);
+  // The leased workspace hosts the boundary-chain store, so steady-state
+  // streaming requests allocate no chain nodes (the builder releases every
+  // reference on destruction).
+  StreamingHistogramBuilder builder(
+      request.budget, request.epsilon, StreamingKernel::kAuto,
+      workspace != nullptr ? &workspace->stream_chains() : nullptr);
   for (const ValuePdf& pdf : input.items()) builder.Push(pdf);
   auto finished = builder.Finish();
   if (!finished.ok()) return finished.status();
@@ -129,9 +142,10 @@ StatusOr<SynopsisResult> ExecStreamingOnValuePdf(const ValuePdfInput& input,
 
 template <typename Input>
 StatusOr<SynopsisResult> ExecStreaming(const Input& input,
-                                       const SynopsisRequest& request) {
+                                       const SynopsisRequest& request,
+                                       DpWorkspace* workspace) {
   if constexpr (std::is_same_v<Input, ValuePdfInput>) {
-    return ExecStreamingOnValuePdf(input, request, 0.0);
+    return ExecStreamingOnValuePdf(input, request, 0.0, workspace);
   } else {
     // The stream consumes per-item frequency pdfs; tuple input induces
     // them first (exact — SSE fixed-rep is per-item decomposable).
@@ -139,7 +153,7 @@ StatusOr<SynopsisResult> ExecStreaming(const Input& input,
     auto induced = InduceValuePdf(input);
     if (!induced.ok()) return induced.status();
     return ExecStreamingOnValuePdf(induced.value(), request,
-                                   watch.ElapsedSeconds());
+                                   watch.ElapsedSeconds(), workspace);
   }
 }
 
@@ -190,7 +204,8 @@ StatusOr<SynopsisResult> ExecHistogramBaseline(const Input& input,
 template <typename Input>
 StatusOr<SynopsisResult> ExecWavelet(const Input& input,
                                      const SynopsisRequest& request,
-                                     DpWorkspace* workspace) {
+                                     DpWorkspace* workspace,
+                                     ThreadPool* pool) {
   WaveletMethod method = request.wavelet_method;
   if (method == WaveletMethod::kAuto) {
     method = request.options.metric == ErrorMetric::kSse
@@ -232,16 +247,18 @@ StatusOr<SynopsisResult> ExecWavelet(const Input& input,
   Stopwatch watch;
   if (method == WaveletMethod::kRestrictedDp) {
     // The batch's leased workspace hosts the solver's flat state arena, so
-    // steady-state wavelet requests allocate no DP state.
+    // steady-state wavelet requests allocate no DP state; the engine pool
+    // fans the level sweeps out (bit-identical, recorded as par=).
     auto dp = BuildRestrictedWaveletDp(
         *value_input, request.budget, request.options,
-        request.wavelet_max_domain, WaveletSplitKernel::kAuto, workspace);
+        request.wavelet_max_domain, WaveletSplitKernel::kAuto, workspace,
+        pool);
     if (!dp.ok()) return dp.status();
     result.wavelet = std::move(dp->synopsis);
     result.cost = dp->cost;
     result.solver = FormatKernelSolver("wavelet/restricted-dp",
                                        WaveletSplitKernelName(dp->kernel),
-                                       nullptr, dp->memo);
+                                       nullptr, dp->memo, dp->lanes);
   } else {
     auto dp = BuildUnrestrictedWaveletDp(*value_input, request.budget,
                                          request.options,
@@ -260,12 +277,13 @@ StatusOr<SynopsisResult> ExecWavelet(const Input& input,
 template <typename Input>
 StatusOr<SynopsisResult> ExecuteSingle(const Input& input,
                                        const SynopsisRequest& request,
-                                       DpWorkspace* workspace) {
+                                       DpWorkspace* workspace,
+                                       ThreadPool* pool) {
   if (request.kind == SynopsisKind::kWavelet) {
-    return ExecWavelet(input, request, workspace);
+    return ExecWavelet(input, request, workspace, pool);
   }
   if (request.method == HistogramMethod::kStreaming) {
-    return ExecStreaming(input, request);
+    return ExecStreaming(input, request, workspace);
   }
   return ExecHistogramBaseline(input, request);
 }
@@ -444,7 +462,7 @@ StatusOr<std::vector<SynopsisResult>> SynopsisEngine::BuildBatchImpl(
   // oracle groups have extracted their results, so sharing the batch's
   // leased workspace (the wavelet route's state arena) is safe.
   for (std::size_t i : singles) {
-    auto result = ExecuteSingle(input, requests[i], workspace.get());
+    auto result = ExecuteSingle(input, requests[i], workspace.get(), pool);
     if (!result.ok()) return result.status();
     results[i] = std::move(result).value();
     results[i].timing.plan_seconds = plan_seconds;

@@ -18,17 +18,37 @@ const char* StreamingKernelName(StreamingKernel kind) {
   return "?";
 }
 
-StreamingHistogramBuilder::StreamingHistogramBuilder(std::size_t max_buckets,
-                                                     double epsilon,
-                                                     StreamingKernel kernel)
+StreamingHistogramBuilder::StreamingHistogramBuilder(
+    std::size_t max_buckets, double epsilon, StreamingKernel kernel,
+    StreamChainStore* chain_store)
     : max_buckets_(std::max<std::size_t>(1, max_buckets)),
       delta_(std::min(
           0.5, std::max(epsilon, 1e-9) / (2.0 * static_cast<double>(
                                                     std::max<std::size_t>(
                                                         1, max_buckets))))),
       kernel_(kernel == StreamingKernel::kAuto ? StreamingKernel::kPointCost
-                                               : kernel) {
+                                               : kernel),
+      owned_chain_store_(kernel_ == StreamingKernel::kPointCost &&
+                                 chain_store == nullptr
+                             ? std::make_unique<StreamChainStore>()
+                             : nullptr),
+      chain_store_(kernel_ == StreamingKernel::kPointCost
+                       ? (chain_store == nullptr ? owned_chain_store_.get()
+                                                 : chain_store)
+                       : nullptr) {
   layers_.resize(max_buckets_);
+}
+
+StreamingHistogramBuilder::~StreamingHistogramBuilder() {
+  if (chain_store_ == nullptr) return;  // reference path: copy-based chains
+  // Hand every owned chain reference back so an injected store's live-node
+  // count returns to its pre-builder baseline (leak-tested).
+  for (Layer& layer : layers_) {
+    for (Breakpoint& breakpoint : layer.committed) {
+      chain_store_->Release(breakpoint.chain);
+    }
+    if (layer.has_pending) chain_store_->Release(layer.pending.chain);
+  }
 }
 
 double StreamingHistogramBuilder::BucketCost(const Snapshot& from,
@@ -100,17 +120,21 @@ void StreamingHistogramBuilder::PushReference() {
 // prefix-moment arithmetic as BucketCost), minimize through the SIMD
 // dispatch, resolve the reference tie-break (first committed candidate
 // attaining the minimum; the pending and inherit candidates win only
-// strictly, in that order), and copy the winning boundary chain ONCE into
-// recycled scratch. Steady-state pushes allocate nothing: evaluation slots,
-// value buffers, and pending chains all reuse their capacity
-// (capacity-preserving clears, buffer swaps instead of copy-assignments).
-// Outputs are bit-identical to the reference scan.
+// strictly, in that order), and record the winner's boundary chain as ONE
+// persistent-chain operation — Extend() on the winner's chain reference
+// (hash-consed: a re-chosen winner resolves to the already-live node) or
+// an AddRef() when inheritance wins. Push therefore does O(1) chain work
+// per layer REGARDLESS of chain length, where the reference path copies
+// the full O(B) winner chain; steady-state pushes allocate nothing (the
+// store recycles freed nodes, evaluation slots and value buffers reuse
+// their capacity). Outputs are bit-identical to the reference scan.
 void StreamingHistogramBuilder::PushPointCost() {
   constexpr double kInf = std::numeric_limits<double>::infinity();
+  constexpr StreamChainStore::Ref kNil = StreamChainStore::kNil;
   evals_.resize(max_buckets_);
   for (Eval& eval : evals_) {
     eval.error = kInf;
-    eval.boundaries.clear();  // keeps capacity
+    eval.chain = kNil;  // previous push transferred every owned reference
   }
   Snapshot origin;  // zero state at position 0
   evals_[0].error = BucketCost(origin, running_);
@@ -142,29 +166,27 @@ void StreamingHistogramBuilder::PushPointCost() {
         winner = &prev.pending;
       }
     }
-    // "At most b" inheritance keeps layers monotone; resolving it BEFORE
-    // assembling the boundary chain skips the chain copy when inheritance
-    // wins (the reference path assembles first and then overwrites —
-    // identical result, one copy more).
+    // "At most b" inheritance keeps layers monotone; it shares the
+    // inherited evaluation's chain outright (one refcount bump).
     if (evals_[b - 2].error < error) {
       best.error = evals_[b - 2].error;
-      best.boundaries.assign(evals_[b - 2].boundaries.begin(),
-                             evals_[b - 2].boundaries.end());
+      best.chain = evals_[b - 2].chain;
+      if (best.chain != kNil) chain_store_->AddRef(best.chain);
       continue;
     }
     best.error = error;
     if (winner != nullptr) {
-      best.boundaries.assign(winner->boundaries.begin(),
-                             winner->boundaries.end());
-      best.boundaries.push_back(winner->at);
+      best.chain =
+          chain_store_->Extend(winner->chain, winner->at.sum_mean,
+                               winner->at.sum_second, winner->at.position);
     }
   }
 
-  CommitLayers(evals_, /*move_chains=*/true);
+  CommitLayers(evals_, /*use_chain_refs=*/true);
 }
 
 void StreamingHistogramBuilder::CommitLayers(std::vector<Eval>& evals,
-                                             bool move_chains) {
+                                             bool use_chain_refs) {
   // Last-position-of-class rule: commit the previous pending when the
   // error outgrows its geometric class.
   for (std::size_t b = 1; b <= max_buckets_; ++b) {
@@ -183,15 +205,20 @@ void StreamingHistogramBuilder::CommitLayers(std::vector<Eval>& evals,
       layer.cand_position.push_back(
           static_cast<double>(layer.pending.at.position));
       layer.class_base = eval.error;
+      // The pending's owned chain reference moved into committed.back();
+      // mark it handed over so the replacement below doesn't release it.
+      layer.pending.chain = StreamChainStore::kNil;
     }
     if (!layer.has_pending) layer.class_base = eval.error;
     layer.pending.at = running_;
     layer.pending.error = eval.error;
-    if (move_chains) {
-      // Each eval feeds exactly one layer and this push is done reading
-      // it, so the chain SWAPS into the pending slot — both buffers
-      // recycle, no allocation.
-      layer.pending.boundaries.swap(eval.boundaries);
+    if (use_chain_refs) {
+      // Transfer the evaluation's owned reference into the pending slot
+      // (and drop the reference the replaced pending held) — O(1), no
+      // copy, no allocation.
+      chain_store_->Release(layer.pending.chain);
+      layer.pending.chain = eval.chain;
+      eval.chain = StreamChainStore::kNil;
     } else {
       layer.pending.boundaries = eval.boundaries;
     }
@@ -217,7 +244,21 @@ StatusOr<StreamingHistogramBuilder::Result> StreamingHistogramBuilder::Finish()
   const Breakpoint& final_state = top.pending;
 
   std::vector<HistogramBucket> buckets;
-  std::vector<Snapshot> cuts = final_state.boundaries;
+  std::vector<Snapshot> cuts;
+  if (kernel_ == StreamingKernel::kReference) {
+    cuts = final_state.boundaries;
+  } else {
+    // One parent walk recovers the boundaries newest-first; reversing
+    // restores stream order — the only O(chain) step, paid once per
+    // Finish instead of once per Push.
+    for (StreamChainStore::Ref ref = final_state.chain;
+         ref != StreamChainStore::kNil; ref = chain_store_->parent(ref)) {
+      cuts.push_back({chain_store_->sum_mean(ref),
+                      chain_store_->sum_second(ref),
+                      chain_store_->position(ref)});
+    }
+    std::reverse(cuts.begin(), cuts.end());
+  }
   cuts.push_back(running_);
   Snapshot prev;  // origin
   double total = 0.0;

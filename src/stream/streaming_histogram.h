@@ -2,8 +2,11 @@
 #define PROBSYN_STREAM_STREAMING_HISTOGRAM_H_
 
 #include <cstddef>
+#include <cstdint>
+#include <memory>
 #include <vector>
 
+#include "core/dp_kernels.h"
 #include "core/histogram.h"
 #include "core/metrics.h"
 #include "model/value_pdf.h"
@@ -15,15 +18,17 @@ namespace probsyn {
 /// hoists each layer's committed-breakpoint snapshots into flat parallel
 /// columns, materializes the candidate extension costs with the identical
 /// arithmetic, minimizes through the runtime-dispatched SIMD min-reduction
-/// (core/dp_kernels.h), and copies the winning boundary chain ONCE —
-/// instead of the reference path's virtual-free but branchy
-/// compare-and-copy per improving candidate. Both kernels are bit-identical
-/// in every returned histogram, cost, and breakpoint count (parity-tested
-/// in streaming_test.cc).
+/// (core/dp_kernels.h), and records the winning boundary chain as an O(1)
+/// persistent-chain reference (StreamChainStore: hash-consed parent
+/// pointers with refcounts) — the reference path instead copies the full
+/// winner chain per improving candidate, the historical O(B)-per-layer
+/// behavior kept as the parity and differential-test baseline. Both
+/// kernels are bit-identical in every returned histogram, cost, and
+/// breakpoint count (parity-tested in streaming_test.cc).
 enum class StreamingKernel {
   kAuto,       ///< Resolve to kPointCost.
   kReference,  ///< Per-candidate compare-and-copy scan (parity baseline).
-  kPointCost,  ///< Hoisted snapshot columns + SIMD min-reduction.
+  kPointCost,  ///< Hoisted snapshot columns + persistent chains.
 };
 
 /// Stable display name ("reference", "point-cost", ...).
@@ -63,12 +68,29 @@ class StreamingHistogramBuilder {
 
   /// `max_buckets` >= 1; epsilon > 0 (the approximation slack). `kernel`
   /// selects the Push-loop implementation (kAuto = the fast kPointCost;
-  /// results are bit-identical either way).
+  /// results are bit-identical either way). A non-null `chain_store`
+  /// (e.g. DpWorkspace::stream_chains(), as the engine passes) hosts the
+  /// point-cost path's boundary-chain nodes so repeated streams reuse its
+  /// warm capacity; null lets the builder own a private store. The builder
+  /// releases every chain reference on destruction, returning the store's
+  /// live-node count to what it was at construction.
   StreamingHistogramBuilder(std::size_t max_buckets, double epsilon,
-                            StreamingKernel kernel = StreamingKernel::kAuto);
+                            StreamingKernel kernel = StreamingKernel::kAuto,
+                            StreamChainStore* chain_store = nullptr);
+  ~StreamingHistogramBuilder();
+
+  StreamingHistogramBuilder(const StreamingHistogramBuilder&) = delete;
+  StreamingHistogramBuilder& operator=(const StreamingHistogramBuilder&) =
+      delete;
 
   /// The Push-loop implementation this builder runs (never kAuto).
   StreamingKernel kernel() const { return kernel_; }
+
+  /// The boundary-chain store backing the point-cost path (the builder's
+  /// own unless one was injected); null on the reference kernel, which
+  /// keeps copy-based chains. Stats expose the O(1)-chain-work and
+  /// zero-allocation counters the tests assert on.
+  const StreamChainStore* chain_store() const { return chain_store_; }
 
   /// Appends the next item's frequency pdf (domain position = arrival
   /// order).
@@ -101,11 +123,15 @@ class StreamingHistogramBuilder {
   // A retained position of a layer's prefix-error curve: the prefix state,
   // the approximate error there, and the boundary chain (split snapshots)
   // of the solution achieving it — carrying the chain makes traceback
-  // self-contained (no dangling parent indices when pendings rotate).
+  // self-contained (no dangling parent indices when pendings rotate). The
+  // reference path materializes the chain as a copied vector; the
+  // point-cost path carries one owned StreamChainStore reference instead
+  // (shared-suffix, O(1) to extend or hand over).
   struct Breakpoint {
     Snapshot at;
     double error = 0.0;
-    std::vector<Snapshot> boundaries;
+    std::vector<Snapshot> boundaries;            // reference path only
+    StreamChainStore::Ref chain = StreamChainStore::kNil;  // point-cost only
   };
 
   // Per-layer state: committed breakpoints are the LAST position of each
@@ -132,24 +158,26 @@ class StreamingHistogramBuilder {
   static double Representative(const Snapshot& from, const Snapshot& to);
 
   // Per-layer evaluation of the current position: the approximate prefix
-  // error and the boundary chain achieving it.
+  // error and the boundary chain achieving it (vector on the reference
+  // path, owned store reference on the point-cost path).
   struct Eval {
     double error;  // initialized to +infinity by the Push loops
     std::vector<Snapshot> boundaries;
+    StreamChainStore::Ref chain = StreamChainStore::kNil;
   };
 
   // The two Push-loop implementations (see StreamingKernel). Bit-identical
-  // outputs; they differ in scan layout and copy orchestration only.
+  // outputs; they differ in scan layout and chain representation only.
   void PushReference();
   void PushPointCost();
 
   // Shared commit/update step of both Push loops: applies the geometric
   // last-position-of-class rule to every layer from this push's
   // evaluations, keeping the hoisted candidate columns in lockstep with
-  // `committed`. `move_chains` swaps each evaluation's boundary chain into
-  // the pending slot (point-cost kernel: both buffers recycle) instead of
-  // copying it (reference path).
-  void CommitLayers(std::vector<Eval>& evals, bool move_chains);
+  // `committed`. `use_chain_refs` transfers each evaluation's owned chain
+  // reference into the pending slot (point-cost kernel, O(1)) instead of
+  // copying its boundary vector (reference path).
+  void CommitLayers(std::vector<Eval>& evals, bool use_chain_refs);
 
   std::size_t max_buckets_;
   double delta_;  // per-layer geometric slack
@@ -162,6 +190,10 @@ class StreamingHistogramBuilder {
   std::vector<double> candidate_values_;
   std::vector<Eval> evals_;
   std::size_t peak_breakpoints_ = 0;
+  // Chain-node backing of the point-cost path: the injected store, or the
+  // builder's own.
+  std::unique_ptr<StreamChainStore> owned_chain_store_;
+  StreamChainStore* chain_store_;
 };
 
 }  // namespace probsyn

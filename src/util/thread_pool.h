@@ -11,9 +11,10 @@
 namespace probsyn {
 
 /// Fixed-size worker pool for the data-parallel cuts of synopsis
-/// construction: the exact DP's per-budget row sweeps and the oracles'
-/// O(n |V|) prefix-table preprocessing (both are embarrassingly parallel
-/// given the previous DP layer / the shared value grid).
+/// construction: the exact DP's per-budget row sweeps, the restricted
+/// wavelet DP's per-level arena sweeps, and the oracles' O(n |V|)
+/// prefix-table preprocessing (all embarrassingly parallel given the
+/// previous DP layer / tree level / the shared value grid).
 ///
 /// Design notes:
 ///  * `ParallelFor` is a blocking fork-join over an index range; the

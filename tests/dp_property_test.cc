@@ -6,11 +6,13 @@
 #include <gtest/gtest.h>
 
 #include "core/builders.h"
+#include "core/dp_kernels.h"
 #include "core/evaluate.h"
 #include "core/histogram_dp.h"
 #include "core/oracle_factory.h"
 #include "gen/generators.h"
 #include "model/induced.h"
+#include "stream/streaming_histogram.h"
 
 namespace probsyn {
 namespace {
@@ -160,6 +162,98 @@ TEST_P(ApproxGuaranteeTest, HoldsOnRandomInputs) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ApproxGuaranteeTest,
                          ::testing::Values(31, 32, 33, 34, 35, 36, 37, 38));
+
+// --- Randomized differential sweep: streaming vs offline DP vs chains. ---
+//
+// A seeded generator sweep (200 cases: 8 blocks x 25 seeds) that
+// cross-checks, per case,
+//   (1) the streaming builder against the OFFLINE exact DP run through
+//       BOTH the reference oracle path and the specialized kernel path
+//       (the two offline solvers must agree bit-for-bit; the stream must
+//       land in [opt, (1 + eps) opt]),
+//   (2) the persistent-chain point-cost builder against the old
+//       copy-based-chain reference builder, bit-for-bit (costs, bucket
+//       boundaries, representatives, breakpoint counts), and
+//   (3) the reported stream cost against the independent evaluator.
+// Shapes (n, B, eps) are derived from the seed so the sweep covers the
+// B = 1 and tiny-epsilon corners as well as wide buckets and loose slack.
+
+class StreamingDifferentialTest
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(StreamingDifferentialTest, StreamMatchesOfflineDpAndCopyChains) {
+  constexpr std::uint64_t kSeedsPerBlock = 25;
+  const double kEpsilons[] = {0.05, 0.1, 0.25, 0.5, 1.0};
+  SynopsisOptions options;
+  options.metric = ErrorMetric::kSse;
+  options.sse_variant = SseVariant::kFixedRepresentative;
+
+  StreamChainStore shared_store;  // leak check across the whole block
+  for (std::uint64_t k = 0; k < kSeedsPerBlock; ++k) {
+    const std::uint64_t seed = GetParam() * kSeedsPerBlock + k + 1;
+    const std::size_t n = 40 + (seed * 7919) % 160;
+    const std::size_t buckets = 1 + (seed * 104729) % 12;
+    const double eps = kEpsilons[seed % 5];
+    ValuePdfInput input = GenerateRandomValuePdf(
+        {.domain_size = n, .max_support = 4, .max_value = 9, .seed = seed});
+
+    StreamingHistogramBuilder reference(buckets, eps,
+                                        StreamingKernel::kReference);
+    StreamingHistogramBuilder fast(buckets, eps, StreamingKernel::kPointCost,
+                                   &shared_store);
+    for (const ValuePdf& pdf : input.items()) {
+      reference.Push(pdf);
+      fast.Push(pdf);
+    }
+    auto want = reference.Finish();
+    auto got = fast.Finish();
+    ASSERT_TRUE(want.ok() && got.ok()) << "seed " << seed;
+
+    // (2) Persistent chains == copy-based chains, bit-for-bit.
+    EXPECT_EQ(want->cost, got->cost) << "seed " << seed;
+    EXPECT_EQ(want->peak_breakpoints, got->peak_breakpoints)
+        << "seed " << seed;
+    ASSERT_EQ(want->histogram.num_buckets(), got->histogram.num_buckets())
+        << "seed " << seed;
+    for (std::size_t i = 0; i < want->histogram.num_buckets(); ++i) {
+      const HistogramBucket& a = want->histogram.buckets()[i];
+      const HistogramBucket& b = got->histogram.buckets()[i];
+      EXPECT_EQ(a.start, b.start) << "seed " << seed << " bucket " << i;
+      EXPECT_EQ(a.end, b.end) << "seed " << seed << " bucket " << i;
+      EXPECT_EQ(a.representative, b.representative)
+          << "seed " << seed << " bucket " << i;
+    }
+
+    // (3) The reported cost is the exact expected SSE of the histogram.
+    auto evaluated = EvaluateHistogram(input, got->histogram, options);
+    ASSERT_TRUE(evaluated.ok()) << "seed " << seed;
+    EXPECT_NEAR(*evaluated, got->cost, 1e-7) << "seed " << seed;
+
+    // (1) Offline optimum, solved through the reference oracle path AND
+    // the specialized kernel path — they must agree exactly, and bound
+    // the stream.
+    auto bundle = MakeBucketOracle(input, options);
+    ASSERT_TRUE(bundle.ok()) << "seed " << seed;
+    HistogramDpResult ref_dp = SolveHistogramDpWithKernel(
+        *bundle->oracle, buckets, bundle->combiner,
+        {.kernel = DpKernelKind::kReference});
+    DpWorkspace workspace;
+    HistogramDpResult fast_dp = SolveHistogramDpWithKernel(
+        *bundle->oracle, buckets, bundle->combiner,
+        {.workspace = &workspace, .kernel = DpKernelKind::kAuto});
+    const double opt = ref_dp.OptimalCost(buckets);
+    EXPECT_EQ(opt, fast_dp.OptimalCost(buckets)) << "seed " << seed;
+    EXPECT_GE(got->cost, opt - 1e-9) << "seed " << seed;
+    EXPECT_LE(got->cost, (1.0 + eps) * opt + 1e-6)
+        << "seed " << seed << " n=" << n << " B=" << buckets
+        << " eps=" << eps;
+  }
+  // Every builder in the block released its chains on destruction.
+  EXPECT_EQ(shared_store.stats().live, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Blocks, StreamingDifferentialTest,
+                         ::testing::Range<std::uint64_t>(0, 8));
 
 // Cross-model consistency: the basic model, its tuple-pdf embedding, and
 // its induced value pdf must all produce the same optimal histograms for

@@ -22,40 +22,18 @@
 #include "stream/streaming_histogram.h"
 #include "util/logging.h"
 #include "util/random.h"
+#include "test_util.h"
 
 namespace probsyn {
 namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
-// Restores the dispatch decision on scope exit so one test's forcing never
-// leaks into another.
-class ScopedSimdPath {
- public:
-  explicit ScopedSimdPath(SimdPath path)
-      : previous_(ActiveSimdPath()), active_(ForceSimdPath(path)) {}
-  ~ScopedSimdPath() { ForceSimdPath(previous_); }
+// The force-and-restore helper and supported-path probe live in
+// test_util.h so the parallel-wavelet determinism tests share them.
+using testing::ScopedSimdPath;
 
-  ScopedSimdPath(const ScopedSimdPath&) = delete;
-  ScopedSimdPath& operator=(const ScopedSimdPath&) = delete;
-
-  /// The path actually in effect (the request clamps to CPU/build support).
-  SimdPath active() const { return active_; }
-
- private:
-  SimdPath previous_;
-  SimdPath active_;
-};
-
-// The paths this machine can actually run (kScalar always).
-std::vector<SimdPath> SupportedPaths() {
-  std::vector<SimdPath> paths{SimdPath::kScalar};
-  for (SimdPath wide : {SimdPath::kAvx2, SimdPath::kAvx512}) {
-    ScopedSimdPath forced(wide);
-    if (forced.active() == wide) paths.push_back(wide);
-  }
-  return paths;
-}
+std::vector<SimdPath> SupportedPaths() { return testing::SupportedSimdPaths(); }
 
 // Adversarial FP columns: denormals, infinities, ten-orders-of-magnitude
 // mixes, exact ties, and negatives — everything except NaN, which the

@@ -177,6 +177,87 @@ TEST(Streaming, DefaultKernelIsPointCost) {
   EXPECT_EQ(builder.kernel(), StreamingKernel::kPointCost);
 }
 
+// --- Persistent chain store (StreamChainStore) accounting. ---------------
+
+// Every chain reference the builder takes must come back: with an injected
+// store, the live-node count returns to its pre-builder baseline once the
+// builder is destroyed (Finish is non-destructive and must not leak
+// either). This is the refcount-leak half of the acceptance criteria.
+TEST(Streaming, ChainNodeRefcountsReturnToBaselineAfterFinalize) {
+  ValuePdfInput input = GenerateRandomValuePdf(
+      {.domain_size = 400, .max_support = 4, .max_value = 9, .seed = 91});
+  StreamChainStore store;
+  {
+    StreamingHistogramBuilder builder(8, 0.2, StreamingKernel::kAuto, &store);
+    for (const ValuePdf& pdf : input.items()) builder.Push(pdf);
+    EXPECT_GT(store.stats().live, 0u);
+
+    auto first = builder.Finish();
+    ASSERT_TRUE(first.ok());
+    const std::size_t live_after_finish = store.stats().live;
+
+    // Finish walks chains read-only: no references taken or dropped.
+    auto second = builder.Finish();
+    ASSERT_TRUE(second.ok());
+    EXPECT_EQ(store.stats().live, live_after_finish);
+    EXPECT_EQ(first->cost, second->cost);
+  }
+  EXPECT_EQ(store.stats().live, 0u);
+  EXPECT_EQ(store.stats().created, store.stats().freed);
+}
+
+// Zero steady-state allocation, mirroring the wavelet arena's
+// WaveletDpArena::grow_events contract: a second stream through the same
+// (warm) store must not grow the node pool, hash table, or free list.
+TEST(Streaming, ChainStoreReuseAllocatesNoNodes) {
+  ValuePdfInput input = GenerateRandomValuePdf(
+      {.domain_size = 600, .max_support = 4, .max_value = 9, .seed = 92});
+  StreamChainStore store;
+  auto run_stream = [&] {
+    StreamingHistogramBuilder builder(8, 0.25, StreamingKernel::kAuto,
+                                      &store);
+    for (const ValuePdf& pdf : input.items()) builder.Push(pdf);
+    auto result = builder.Finish();
+    PROBSYN_CHECK(result.ok());
+    return result->cost;
+  };
+  const double first = run_stream();
+  const std::size_t grows_after_warmup = store.stats().grow_events;
+  EXPECT_GT(grows_after_warmup, 0u);  // the warmup stream sized the pool
+  for (int repeat = 0; repeat < 3; ++repeat) {
+    EXPECT_EQ(run_stream(), first);
+    EXPECT_EQ(store.stats().grow_events, grows_after_warmup)
+        << "repeat stream " << repeat << " grew the chain store";
+  }
+}
+
+// O(1) chain work per Push: the point-cost path performs at most one
+// chain-store operation per layer per push — Extend on the winner or a
+// refcount bump on inheritance — REGARDLESS of chain length. The
+// reference path copies the full winner chain instead, so its snapshot
+// copies grow superlinearly in B; the counter pins the new bound.
+TEST(Streaming, PushDoesConstantChainWorkPerLayer) {
+  ValuePdfInput input = GenerateRandomValuePdf(
+      {.domain_size = 500, .max_support = 4, .max_value = 9, .seed = 93});
+  const std::size_t kBuckets = 16;
+  StreamingHistogramBuilder builder(kBuckets, 0.1);
+  for (const ValuePdf& pdf : input.items()) builder.Push(pdf);
+
+  ASSERT_NE(builder.chain_store(), nullptr);
+  const StreamChainStore::Stats& stats = builder.chain_store()->stats();
+  // At most one node creation or cons hit per layer per push (layers 2..B
+  // extend; layer 1 never does).
+  EXPECT_LE(stats.created + stats.consed,
+            input.domain_size() * (kBuckets - 1));
+  // Shared suffixes keep the live set far below the sum of chain lengths:
+  // every committed/pending breakpoint holds one head reference, so live
+  // nodes can only beat breakpoints * (B - 1) through sharing.
+  auto result = builder.Finish();
+  ASSERT_TRUE(result.ok());
+  EXPECT_LE(stats.live, builder.breakpoints() * (kBuckets - 1));
+  EXPECT_GT(stats.consed, 0u);  // hash-consing actually deduplicates
+}
+
 TEST(Streaming, EmptyStreamFails) {
   StreamingHistogramBuilder builder(4, 0.1);
   auto result = builder.Finish();

@@ -78,4 +78,13 @@ double EnumeratedWorldMeanSse(const std::vector<PossibleWorld>& worlds,
   return total;
 }
 
+std::vector<SimdPath> SupportedSimdPaths() {
+  std::vector<SimdPath> paths{SimdPath::kScalar};
+  for (SimdPath wide : {SimdPath::kAvx2, SimdPath::kAvx512}) {
+    ScopedSimdPath forced(wide);
+    if (forced.active() == wide) paths.push_back(wide);
+  }
+  return paths;
+}
+
 }  // namespace probsyn::testing

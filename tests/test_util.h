@@ -4,6 +4,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "core/dp_kernels.h"
 #include "core/histogram.h"
 #include "core/metrics.h"
 #include "model/basic.h"
@@ -12,6 +13,30 @@
 #include "model/worlds.h"
 
 namespace probsyn::testing {
+
+/// Forces the SIMD min-reduction dispatch onto `path` for the enclosing
+/// scope and restores the previous decision on exit, so one test's forcing
+/// never leaks into another. The request clamps to what the CPU and build
+/// support; active() reports the path actually in effect.
+class ScopedSimdPath {
+ public:
+  explicit ScopedSimdPath(SimdPath path)
+      : previous_(ActiveSimdPath()), active_(ForceSimdPath(path)) {}
+  ~ScopedSimdPath() { ForceSimdPath(previous_); }
+
+  ScopedSimdPath(const ScopedSimdPath&) = delete;
+  ScopedSimdPath& operator=(const ScopedSimdPath&) = delete;
+
+  /// The path actually in effect (the request clamps to CPU/build support).
+  SimdPath active() const { return active_; }
+
+ private:
+  SimdPath previous_;
+  SimdPath active_;
+};
+
+/// The SIMD paths this machine can actually run (kScalar always).
+std::vector<SimdPath> SupportedSimdPaths();
 
 /// The paper's Example 1 (section 2.1), mapped to the 0-based domain
 /// {0, 1, 2} (the paper's items 1, 2, 3).
