@@ -41,6 +41,16 @@
 //       (B = 32), where the reference path's per-push winner-chain copies
 //       are O(B^2) and the persistent chain store's are O(B); compare
 //       kernel = 0 vs 1 and against the B = 16 series (g).
+//   (k) sharded construction — the engine's sharded route
+//       (core/sharded_dp.h) at n = 1e5 and 1e6, S shards x `threads`
+//       lanes, exact and approx shard solvers. shards = 1 rows run the
+//       UNSHARDED route (RequestSharding::Mode::kOff) as the baseline the
+//       acceptance speedup is measured against; heavy rows pin
+//       Iterations(1) so the full suite stays CI-sized. Two effects
+//       compose: the per-shard budget cap shrinks each shard's DP
+//       superlinearly (visible even at 1 thread), and shard solves run
+//       concurrently (visible in real_time only on a multi-core host — on
+//       a single-core box threads > 1 can only add scheduling overhead).
 //
 // The restricted-wavelet series (e) carry the PR 4 acceptance point
 // n = 1024, B = 64: the arena-backed bottom-up solver vs the PR 3
@@ -52,6 +62,7 @@
 #include <benchmark/benchmark.h>
 
 #include <cstddef>
+#include <map>
 #include <vector>
 
 #include "bench_util.h"
@@ -407,6 +418,53 @@ void BM_EngineSweep(benchmark::State& state) {
   state.counters["batched"] = batched ? 1.0 : 0.0;
 }
 
+// (k) Sharded construction through the engine route. The generated inputs
+// are cached across rows (a 1e6-item pdf set takes seconds to build).
+void RunShardedConstruction(benchmark::State& state, HistogramMethod method) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const std::size_t shards = static_cast<std::size_t>(state.range(1));
+  const std::size_t threads = static_cast<std::size_t>(state.range(2));
+
+  static std::map<std::size_t, ValuePdfInput>* cache =
+      new std::map<std::size_t, ValuePdfInput>;
+  auto it = cache->find(n);
+  if (it == cache->end()) it = cache->emplace(n, MakeInput(n)).first;
+  const ValuePdfInput& input = it->second;
+
+  SynopsisEngine engine({.parallelism = threads, .min_parallel_domain = 1});
+  SynopsisRequest request;
+  request.budget = 64;
+  request.method = method;
+  request.epsilon = 0.1;
+  request.options = SseOptions();
+  if (shards <= 1) {
+    request.sharding.mode = RequestSharding::Mode::kOff;  // baseline
+  } else {
+    request.sharding.mode = RequestSharding::Mode::kOn;
+    request.sharding.shards = shards;
+  }
+
+  for (auto _ : state) {
+    auto result = engine.Build(input, request);
+    PROBSYN_CHECK(result.ok());
+    benchmark::DoNotOptimize(result->cost);
+  }
+  state.counters["n"] = static_cast<double>(n);
+  state.counters["S"] = static_cast<double>(shards);
+  state.counters["threads"] = static_cast<double>(threads);
+  state.counters["B"] = 64.0;
+  // Acceptance: Time(n, S, threads) vs Time(n, 1, 1) — the unsharded
+  // single-thread baseline of the same method — in real time.
+}
+
+void BM_ShardedConstruction(benchmark::State& state) {
+  RunShardedConstruction(state, HistogramMethod::kApprox);
+}
+
+void BM_ShardedConstructionExact(benchmark::State& state) {
+  RunShardedConstruction(state, HistogramMethod::kOptimal);
+}
+
 }  // namespace
 }  // namespace probsyn
 
@@ -492,6 +550,38 @@ BENCHMARK(probsyn::BM_WaveletUnrestrictedDpSse)
 BENCHMARK(probsyn::BM_ExactDpSaeWarmSweep)
     ->Args({1024, 0})
     ->Args({1024, 1})
+    ->Unit(benchmark::kMillisecond);
+
+// (k) {n, S, threads}. S = 1 is the unsharded baseline; every row is one
+// iteration because the large solves run seconds each. Rows that would
+// only repeat a seconds-long measurement are deliberately absent so the
+// committed series stays affordable in CI: S = 1 at n = 1e6 would run
+// minutes (extrapolate from the n = 1e5 baseline, see docs/benchmarks.md);
+// S = 4 threaded rows repeat a ~28 s solve whose per-shard cap clamps to
+// nearly the whole budget (no work reduction to parallelize); n = 1e6
+// S = 16 runs ~36 s, so only the threads = 1 feasibility row is kept.
+BENCHMARK(probsyn::BM_ShardedConstruction)
+    ->Args({100000, 1, 1})
+    ->Args({100000, 4, 1})
+    ->Args({100000, 16, 1})
+    ->Args({100000, 16, 4})
+    ->Args({100000, 16, 8})
+    ->Args({100000, 64, 1})
+    ->Args({100000, 64, 4})
+    ->Args({100000, 64, 8})
+    ->Args({1000000, 16, 1})
+    ->Args({1000000, 64, 1})
+    ->Args({1000000, 64, 4})
+    ->Args({1000000, 64, 8})
+    ->Iterations(1)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK(probsyn::BM_ShardedConstructionExact)
+    ->Args({100000, 64, 1})
+    ->Args({100000, 64, 4})
+    ->Iterations(1)
+    ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
 
 BENCHMARK_MAIN();

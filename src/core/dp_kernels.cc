@@ -1111,17 +1111,35 @@ void RunDp(const Filler& filler, std::size_t n, std::size_t cap,
     return;
   }
 
-  // Blocked parallel path. Columns are processed in blocks; per block the
-  // column fills (mutually independent) fan out first, then each budget
-  // layer's cells fan out — cell (b, j) only reads layer b-1 at columns
-  // <= j, all complete by then (earlier blocks ran every layer already;
-  // this block ran layer b-1 in the previous iteration). Chunk-minimum
-  // maintenance runs on the calling thread between fan-outs (block size <=
-  // 256 < chunk size 512, so concurrent workers could otherwise race on a
-  // shared chunk slot). The block size balances fork-join overhead against
-  // the two column buffers (~32 MB total cap).
+  // Blocked parallel path. Columns are processed in blocks sized to keep
+  // the two column buffers within ~16 MB each; per block the column fills
+  // (mutually independent, and the O(n) work units that dominate every
+  // configuration except sum-combiner cells) fan out in ONE fork-join.
+  //
+  // The budget layers are where the original route degraded (one fork-join
+  // per (block, layer) — ~1000 per solve at n = 4096, B = 64 — left each
+  // lane with less work per fan-out than the fork-join itself, and
+  // BENCH_baseline showed real time RISING with lane count). The
+  // repartition fixes the granularity without introducing any cross-lane
+  // waiting — ThreadPool chunks may run sequentially in any order, so a
+  // chunk that spins on another chunk's progress can livelock:
+  //
+  //  * max-combiner fast cells (track_bounds): each cell is an O(log n)
+  //    bisection, asymptotically free next to its column's O(n) fill, so
+  //    all layers' cells plus the chunk-minimum maintenance they consume
+  //    run sequentially on the caller. One fan-out per block total.
+  //  * sum combiners and the reference kernel (O(j)-scan cells): a
+  //    staggered diagonal schedule. The block's columns split into `lanes`
+  //    contiguous ranges and the cap-1 layers into batches of `tbatch`
+  //    consecutive layers; in diagonal d, lane k computes batch d - k over
+  //    its own columns (layers ascending). Cell (b, j) needs layer b-1 at
+  //    every column <= j: lanes left of k finished that batch one diagonal
+  //    earlier (joined), and within a lane layers run in order — so every
+  //    dependency is complete and each cell is the identical computation
+  //    on identical inputs as the sequential solver (bit-equal tables).
+  //    Fork-joins per block: ~(cap-1)/tbatch + lanes instead of cap - 1.
   const std::size_t block =
-      std::clamp<std::size_t>((16u << 20) / (sizeof(double) * n), 16, 256);
+      std::clamp<std::size_t>((16u << 20) / (sizeof(double) * n), 16, 512);
   ws.cost_cols.resize(block * n);
   ws.rep_cols.resize(block * n);
   if (track_bounds) ws.cost_cmin.resize(block * nchunks);
@@ -1143,19 +1161,38 @@ void RunDp(const Filler& filler, std::size_t n, std::size_t cap,
     });
     if (track_bounds) {
       for (std::size_t j = j0; j < j1; ++j) update_layer_cmin(0, j);
-    }
-    for (std::size_t b = 2; b <= cap; ++b) {
-      pool->ParallelFor(j0, j1, [&](std::size_t jb, std::size_t je) {
-        for (std::size_t j = jb; j < je; ++j) {
+      for (std::size_t b = 2; b <= cap; ++b) {
+        for (std::size_t j = j0; j < j1; ++j) {
           finish_cell(b, j, &cost_block[(j - j0) * n],
                       &rep_block[(j - j0) * n],
-                      track_bounds ? &cost_cmin_block[(j - j0) * nchunks]
-                                   : nullptr);
+                      &cost_cmin_block[(j - j0) * nchunks]);
+          update_layer_cmin(b - 1, j);
+        }
+      }
+      continue;
+    }
+    if (cap < 2) continue;
+    const std::size_t cols = j1 - j0;
+    const std::size_t lanes = std::min(pool->num_threads() + 1, cols);
+    const std::size_t nlayers = cap - 1;  // layers 2..cap
+    const std::size_t tbatch = std::max<std::size_t>(1, (nlayers + 7) / 8);
+    const std::size_t nbatch = (nlayers + tbatch - 1) / tbatch;
+    for (std::size_t d = 0; d + 1 < nbatch + lanes; ++d) {
+      pool->ParallelFor(0, lanes, [&](std::size_t lb, std::size_t le) {
+        for (std::size_t lane = lb; lane < le; ++lane) {
+          if (d < lane || d - lane >= nbatch) continue;
+          const std::size_t ja = j0 + lane * cols / lanes;
+          const std::size_t jz = j0 + (lane + 1) * cols / lanes;
+          const std::size_t b_lo = 2 + (d - lane) * tbatch;
+          const std::size_t b_hi = std::min(cap, b_lo + tbatch - 1);
+          for (std::size_t b = b_lo; b <= b_hi; ++b) {
+            for (std::size_t j = ja; j < jz; ++j) {
+              finish_cell(b, j, &cost_block[(j - j0) * n],
+                          &rep_block[(j - j0) * n], nullptr);
+            }
+          }
         }
       });
-      if (track_bounds) {
-        for (std::size_t j = j0; j < j1; ++j) update_layer_cmin(b - 1, j);
-      }
     }
   }
 }
@@ -1349,6 +1386,13 @@ StatusOr<ApproxHistogramResult> RunApproxDp(const BucketCostOracle& oracle,
     prev[j] = cost_fn.Cost(0, j);
     ++evaluations;
   }
+  // Layer values at the full domain (ApproxHistogramResult::cost_curve):
+  // the sharded merge DP consumes the whole budget curve, not just the
+  // final layer. Exactly non-increasing because each cell seeds with the
+  // previous layer's value (`best = prev[j]` below).
+  std::vector<double> cost_curve;
+  cost_curve.reserve(cap);
+  cost_curve.push_back(prev[n - 1]);
 
   // Bulk-capable kernels (the quadratic oracles) gather the candidate
   // columns densely once per layer and evaluate whole columns in the fused
@@ -1424,6 +1468,7 @@ StatusOr<ApproxHistogramResult> RunApproxDp(const BucketCostOracle& oracle,
       choice[b - 1][j] = best_choice;
     }
     prev.swap(cur);
+    cost_curve.push_back(prev[n - 1]);
   }
 
   // Traceback (same scheme as the exact DP).
@@ -1460,6 +1505,7 @@ StatusOr<ApproxHistogramResult> RunApproxDp(const BucketCostOracle& oracle,
   result.cost = total;
   result.oracle_evaluations = evaluations;
   result.kernel = kind;
+  result.cost_curve = std::move(cost_curve);
   return result;
 }
 

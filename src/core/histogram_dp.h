@@ -129,12 +129,14 @@ class HistogramDpResult {
 /// oracle's concrete type (see DpKernelKind); results are bit-identical to
 /// the reference scalar solver in every configuration. When `pool` is
 /// non-null the DP runs in a blocked data-parallel form: columns are
-/// processed in blocks, each block's bucket-cost column fills run in
-/// parallel, and within every budget layer the block's cells are computed
-/// in parallel — legal because a cell (b, j) depends only on layer b-1 at
-/// columns <= j, all finished before layer b starts. Every cell is produced
-/// by the same per-cell computation on the same inputs as the sequential
-/// solver, so the result (costs AND traceback choices) is bit-identical.
+/// processed in blocks, each block's bucket-cost column fills run in one
+/// fan-out, then the block's budget layers run either sequentially on the
+/// caller (max-combiner fast cells, whose O(log n) bisections are cheaper
+/// than any fan-out) or through a staggered diagonal schedule that fuses
+/// layer batches into a handful of fork-joins (sum combiners and the
+/// reference kernel). Every cell is produced by the same per-cell
+/// computation on the same inputs as the sequential solver, so the result
+/// (costs AND traceback choices) is bit-identical.
 ///
 /// For explicit kernel choice or zero-allocation workspace reuse, use
 /// SolveHistogramDpWithKernel (core/dp_kernels.h).
@@ -155,6 +157,15 @@ struct ApproxHistogramResult {
   /// specialized kernel evaluates each candidate bucket cost inline over
   /// the oracle's raw prefix tables instead of through the virtual Cost().
   DpKernelKind kernel = DpKernelKind::kReference;
+  /// cost_curve[b-1]: the approximate DP's layer-(b) value at the full
+  /// domain — the (1 + epsilon)-optimal cost of covering [0, n) with at
+  /// most b buckets, for b = 1..min(max_buckets, n). Exactly non-increasing
+  /// in b (every layer seeds each cell with the previous layer's value), a
+  /// property the sharded merge DP's MinBudgetSplit fast paths rely on.
+  /// Note: cost_curve.back() is the DP's internal value of the returned
+  /// histogram; `cost` re-costs the extracted buckets through the oracle
+  /// and may differ in the last ulps.
+  std::vector<double> cost_curve;
 };
 
 /// (1 + epsilon)-approximate histogram construction in the style of Guha,

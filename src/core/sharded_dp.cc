@@ -1,0 +1,289 @@
+#include "core/sharded_dp.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "core/dp_kernels.h"
+#include "core/oracle_factory.h"
+#include "util/thread_pool.h"
+
+namespace probsyn {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Everything one shard's solve leaves behind for the merge and extraction
+// phases. The exact path keeps the leased workspace alive because the
+// HistogramDpResult only borrows its storage; the approx path keeps the
+// oracle bundle (and the sub-input its prefix tables span) alive for the
+// re-solve at the assigned budget.
+struct ShardSlot {
+  Status status;
+  ValuePdfInput sub;
+  OracleBundle bundle;
+  std::optional<DpWorkspacePool::Lease> lease;
+  HistogramDpResult dp;  // exact solver only
+  // curve[b]: best shard cost with at most b buckets, b = 0..shard cap;
+  // curve[0] = +inf (every shard needs at least one bucket). Exactly
+  // non-increasing for b >= 1 — see the merge DP below.
+  std::vector<double> curve;
+  std::size_t evaluations = 0;
+  Histogram extracted;
+  double extracted_cost = 0.0;
+};
+
+}  // namespace
+
+std::vector<ShardRange> PlanShards(std::size_t n, std::size_t shards) {
+  std::vector<ShardRange> plan(shards);
+  for (std::size_t s = 0; s < shards; ++s) {
+    plan[s] = {s * n / shards, (s + 1) * n / shards};
+  }
+  return plan;
+}
+
+std::size_t ResolveShardCount(std::size_t n, std::size_t budget,
+                              std::size_t requested) {
+  std::size_t s = requested != 0
+                      ? requested
+                      : std::clamp<std::size_t>(n / 8192, 2, 64);
+  return std::clamp<std::size_t>(s, 1, std::min(n, budget));
+}
+
+std::size_t ResolveMaxShardBudget(std::size_t budget, std::size_t shards,
+                                  std::size_t requested) {
+  const std::size_t floor_cap = (budget + shards - 1) / shards;
+  const std::size_t ceil_cap = budget - shards + 1;
+  const std::size_t cap =
+      requested != 0 ? requested : std::max<std::size_t>(8, 4 * floor_cap);
+  return std::clamp(cap, floor_cap, ceil_cap);
+}
+
+StatusOr<ShardedDpResult> BuildShardedHistogram(
+    const ValuePdfInput& input, std::size_t budget,
+    const SynopsisOptions& options, const ShardedDpOptions& sharded) {
+  const std::size_t n = input.domain_size();
+  if (n == 0) return Status::InvalidArgument("empty domain");
+  if (budget < 1) {
+    return Status::InvalidArgument("synopsis budget must be >= 1");
+  }
+  PROBSYN_RETURN_IF_ERROR(options.Validate());
+  if (sharded.solver == ShardSolver::kApprox) {
+    if (!(sharded.epsilon > 0.0)) {
+      return Status::InvalidArgument("epsilon must be positive");
+    }
+    if (!IsCumulativeMetric(options.metric)) {
+      return Status::InvalidArgument(
+          "approximate shard solves support cumulative metrics only "
+          "(Theorem 5)");
+    }
+  }
+  if (options.HasWorkload() && options.workload.size() != n) {
+    return Status::InvalidArgument("workload size must match the domain");
+  }
+
+  const std::size_t total_budget = std::min(budget, n);
+  const std::size_t num_shards =
+      ResolveShardCount(n, total_budget, sharded.shards);
+  const std::size_t shard_cap =
+      ResolveMaxShardBudget(total_budget, num_shards, sharded.max_shard_budget);
+  const std::vector<ShardRange> plan = PlanShards(n, num_shards);
+  const DpCombiner combiner = IsCumulativeMetric(options.metric)
+                                  ? DpCombiner::kSum
+                                  : DpCombiner::kMax;
+
+  ThreadPool* pool = (sharded.pool != nullptr &&
+                      sharded.pool->num_threads() > 0 && num_shards > 1)
+                         ? sharded.pool
+                         : nullptr;
+  const std::size_t lanes =
+      pool != nullptr ? std::min(num_shards, pool->num_threads() + 1) : 1;
+
+  // Declared before the slots so shard leases release back into it before
+  // it is destroyed when no external workspace pool was provided.
+  DpWorkspacePool local_workspaces;
+  DpWorkspacePool* workspaces = sharded.workspaces != nullptr
+                                    ? sharded.workspaces
+                                    : &local_workspaces;
+
+  // Phase A: independent per-shard solves, one fork-join over the shards.
+  // Each slot is written by exactly one task; solvers get no pool (nested
+  // ParallelFor calls inside a worker run inline anyway).
+  std::vector<ShardSlot> slots(num_shards);
+  auto solve_shard = [&](std::size_t s) {
+    ShardSlot& slot = slots[s];
+    const ShardRange range = plan[s];
+    const std::size_t ns = range.end - range.begin;
+    const std::size_t cap_s = std::min(shard_cap, ns);
+    slot.sub = ValuePdfInput(std::vector<ValuePdf>(
+        input.items().begin() + static_cast<std::ptrdiff_t>(range.begin),
+        input.items().begin() + static_cast<std::ptrdiff_t>(range.end)));
+    SynopsisOptions shard_options = options;
+    if (options.HasWorkload()) {
+      shard_options.workload.assign(
+          options.workload.begin() + static_cast<std::ptrdiff_t>(range.begin),
+          options.workload.begin() + static_cast<std::ptrdiff_t>(range.end));
+    }
+    auto bundle = MakeBucketOracle(slot.sub, shard_options);
+    if (!bundle.ok()) {
+      slot.status = bundle.status();
+      return;
+    }
+    slot.bundle = std::move(bundle).value();
+    slot.curve.assign(cap_s + 1, kInf);
+    if (sharded.solver == ShardSolver::kExact) {
+      slot.lease.emplace(workspaces->Acquire());
+      DpKernelOptions dp_options;
+      dp_options.workspace = slot.lease->get();
+      dp_options.kernel = slot.bundle.kernel;
+      slot.dp = SolveHistogramDpWithKernel(*slot.bundle.oracle, cap_s,
+                                           combiner, dp_options);
+      for (std::size_t b = 1; b <= cap_s; ++b) {
+        slot.curve[b] = slot.dp.OptimalCost(b);
+      }
+    } else {
+      ApproxDpKernelOptions approx_options;
+      approx_options.kernel = slot.bundle.kernel;
+      auto approx = SolveApproxHistogramDpWithKernel(
+          *slot.bundle.oracle, cap_s, sharded.epsilon, approx_options);
+      if (!approx.ok()) {
+        slot.status = approx.status();
+        return;
+      }
+      slot.evaluations = approx->oracle_evaluations;
+      for (std::size_t b = 1; b <= cap_s; ++b) {
+        slot.curve[b] = approx->cost_curve[b - 1];
+      }
+    }
+  };
+  if (pool != nullptr) {
+    pool->ParallelFor(0, num_shards, [&](std::size_t sb, std::size_t se) {
+      for (std::size_t s = sb; s < se; ++s) solve_shard(s);
+    });
+  } else {
+    for (std::size_t s = 0; s < num_shards; ++s) solve_shard(s);
+  }
+  for (const ShardSlot& slot : slots) {
+    if (!slot.status.ok()) return slot.status;
+  }
+
+  // Phase B: cross-shard budget allocation. fold[j] after absorbing shard
+  // k = best combined cost of shards 0..k under at most j buckets total
+  // (at least one per shard), computed by MinBudgetSplit over the running
+  // fold and shard k's curve. Every curve is exactly non-increasing past
+  // its +inf prefix — OptimalCost(b) by "at most b" semantics, the approx
+  // cost_curve by its inherit seeding — and +/max of non-increasing
+  // sequences is non-increasing, so the fold stays monotone and the fast
+  // split kernels (min-plus reduction for kSum, bisection for kMax) remain
+  // exact at every step. O(S B log B) total for kMax, O(S B^2 / simd)
+  // for kSum — noise next to the shard solves.
+  const std::size_t B = total_budget;
+  std::vector<double> fold(slots[0].curve);
+  fold.resize(B + 1, fold.back());
+  std::vector<double> next_fold(B + 1, kInf);
+  // choice[(k-1) * (B+1) + j]: buckets the fold kept left of shard k on
+  // the path to fold value j.
+  std::vector<std::uint32_t> choice(
+      num_shards > 1 ? (num_shards - 1) * (B + 1) : 0, 0);
+  for (std::size_t k = 1; k < num_shards; ++k) {
+    const std::vector<double>& right = slots[k].curve;
+    const std::size_t cap_k = right.size() - 1;
+    for (std::size_t j = 0; j <= B; ++j) {
+      if (j < k + 1) {
+        next_fold[j] = kInf;  // k+1 shards need at least k+1 buckets
+        continue;
+      }
+      const BudgetSplit split =
+          MinBudgetSplit(combiner, fold.data(), j - 1, right.data(), cap_k, j,
+                         WaveletSplitKernel::kBudgetSplit);
+      next_fold[j] = split.value;
+      choice[(k - 1) * (B + 1) + j] =
+          static_cast<std::uint32_t>(split.left_budget);
+    }
+    fold.swap(next_fold);
+  }
+  if (!(fold[B] < kInf)) {
+    return Status::Internal("sharded merge DP found no feasible allocation");
+  }
+
+  // Traceback: walk the choice rows right to left. Finite fold values
+  // imply the left budget covers at least one bucket per remaining shard.
+  std::vector<std::size_t> alloc(num_shards);
+  {
+    std::size_t j = B;
+    for (std::size_t k = num_shards; k-- > 1;) {
+      const std::size_t bl = choice[(k - 1) * (B + 1) + j];
+      alloc[k] = std::min(j - bl, slots[k].curve.size() - 1);
+      j = bl;
+    }
+    alloc[0] = std::min(j, slots[0].curve.size() - 1);
+  }
+
+  // Phase C: per-shard extraction at the assigned budgets. Exact shards
+  // read the already-solved DP (O(B)); approx shards re-solve at the
+  // assigned budget — the expensive part, so it fans out again. (The rerun
+  // uses a per-layer slack derived from the smaller budget, so its cost can
+  // differ slightly from the curve entry the allocation used; the reported
+  // cost is always the actual extracted histogram's.)
+  auto extract_shard = [&](std::size_t s) {
+    ShardSlot& slot = slots[s];
+    if (sharded.solver == ShardSolver::kExact) {
+      slot.extracted = slot.dp.ExtractHistogram(alloc[s]);
+      slot.extracted_cost = slot.dp.OptimalCost(alloc[s]);
+      return;
+    }
+    ApproxDpKernelOptions approx_options;
+    approx_options.kernel = slot.bundle.kernel;
+    auto approx = SolveApproxHistogramDpWithKernel(
+        *slot.bundle.oracle, alloc[s], sharded.epsilon, approx_options);
+    if (!approx.ok()) {
+      slot.status = approx.status();
+      return;
+    }
+    slot.evaluations += approx->oracle_evaluations;
+    slot.extracted = std::move(approx->histogram);
+    slot.extracted_cost = approx->cost;
+  };
+  if (pool != nullptr && sharded.solver == ShardSolver::kApprox) {
+    pool->ParallelFor(0, num_shards, [&](std::size_t sb, std::size_t se) {
+      for (std::size_t s = sb; s < se; ++s) extract_shard(s);
+    });
+  } else {
+    for (std::size_t s = 0; s < num_shards; ++s) extract_shard(s);
+  }
+  for (const ShardSlot& slot : slots) {
+    if (!slot.status.ok()) return slot.status;
+  }
+
+  ShardedDpResult result;
+  result.shards = num_shards;
+  result.lanes = lanes;
+  result.max_shard_budget = shard_cap;
+  result.kernel = slots[0].bundle.kernel;
+  result.shard_budgets = alloc;
+
+  std::vector<HistogramBucket> buckets;
+  buckets.reserve(B);
+  double total = 0.0;
+  for (std::size_t s = 0; s < num_shards; ++s) {
+    const ShardSlot& slot = slots[s];
+    for (const HistogramBucket& b : slot.extracted.buckets()) {
+      buckets.push_back({b.start + plan[s].begin, b.end + plan[s].begin,
+                         b.representative});
+    }
+    total = s == 0 ? slot.extracted_cost
+                   : (combiner == DpCombiner::kSum
+                          ? total + slot.extracted_cost
+                          : std::max(total, slot.extracted_cost));
+    result.oracle_evaluations += slot.evaluations;
+  }
+  result.histogram = Histogram(std::move(buckets));
+  result.cost = total;
+  return result;
+}
+
+}  // namespace probsyn

@@ -13,6 +13,7 @@
 #include "core/evaluate.h"
 #include "core/histogram_dp.h"
 #include "core/oracle_factory.h"
+#include "core/sharded_dp.h"
 #include "core/wavelet_dp.h"
 #include "model/induced.h"
 #include "stream/streaming_histogram.h"
@@ -274,6 +275,103 @@ StatusOr<SynopsisResult> ExecWavelet(const Input& input,
   return result;
 }
 
+StatusOr<SynopsisResult> ExecShardedOnValuePdf(const ValuePdfInput& input,
+                                               const SynopsisRequest& request,
+                                               double preprocess_seconds,
+                                               ThreadPool* pool,
+                                               DpWorkspacePool* workspaces) {
+  Stopwatch watch;
+  ShardedDpOptions sharded;
+  sharded.shards = request.sharding.shards;
+  sharded.max_shard_budget = request.sharding.max_shard_budget;
+  sharded.solver = request.method == HistogramMethod::kOptimal
+                       ? ShardSolver::kExact
+                       : ShardSolver::kApprox;
+  sharded.epsilon = request.epsilon;
+  sharded.pool = pool;
+  sharded.workspaces = workspaces;
+  auto built =
+      BuildShardedHistogram(input, request.budget, request.options, sharded);
+  if (!built.ok()) return built.status();
+
+  SynopsisResult result;
+  result.kind = SynopsisKind::kHistogram;
+  result.histogram = std::move(built->histogram);
+  result.cost = built->cost;
+  result.oracle_evaluations = built->oracle_evaluations;
+  {
+    char route[64];
+    if (sharded.solver == ShardSolver::kExact) {
+      std::snprintf(route, sizeof(route), "histogram/sharded-dp");
+    } else {
+      std::snprintf(route, sizeof(route), "histogram/sharded-approx(eps=%g)",
+                    request.epsilon);
+    }
+    char buffer[176];
+    std::snprintf(buffer, sizeof(buffer),
+                  "%s[kernel=%s,simd=%s,shards=%zu,par=%zu]", route,
+                  DpKernelKindName(built->kernel),
+                  SimdPathName(ActiveSimdPath()), built->shards, built->lanes);
+    result.solver = buffer;
+  }
+  // Per-shard oracle builds happen inside the shard solves, so preprocess
+  // only carries the tuple->value-pdf induction (if any).
+  result.timing.preprocess_seconds = preprocess_seconds;
+  result.timing.solve_seconds = watch.ElapsedSeconds();
+  return result;
+}
+
+template <typename Input>
+StatusOr<SynopsisResult> ExecSharded(const Input& input,
+                                     const SynopsisRequest& request,
+                                     ThreadPool* pool,
+                                     DpWorkspacePool* workspaces) {
+  if constexpr (std::is_same_v<Input, ValuePdfInput>) {
+    return ExecShardedOnValuePdf(input, request, 0.0, pool, workspaces);
+  } else {
+    if (request.options.metric == ErrorMetric::kSse &&
+        request.options.sse_variant == SseVariant::kWorldMean) {
+      return Status::Unimplemented(
+          "sharded construction does not support world-mean SSE on tuple "
+          "input (the joint-distribution oracle does not decompose across "
+          "shards); use the fixed-representative variant or the unsharded "
+          "route");
+    }
+    // Every other metric is per-item decomposable; induce the value pdfs
+    // once and shard those (exact, same as the other induced routes).
+    Stopwatch watch;
+    auto induced = InduceValuePdf(input);
+    if (!induced.ok()) return induced.status();
+    return ExecShardedOnValuePdf(induced.value(), request,
+                                 watch.ElapsedSeconds(), pool, workspaces);
+  }
+}
+
+// Whether a request takes the sharded route: explicit kOn always (only
+// valid on the exact/approx histogram methods — Validate enforces that);
+// kAuto only for kApprox at domains where the unsharded approximate DP is
+// infeasible, and never for tuple-input world-mean SSE (whose joint oracle
+// cannot shard — kAuto falls back to the unsharded route, kOn reports
+// Unimplemented).
+bool RoutesSharded(const SynopsisRequest& request, std::size_t domain_size,
+                   std::size_t shard_auto_domain, bool tuple_world_mean_sse) {
+  if (request.kind != SynopsisKind::kHistogram) return false;
+  if (request.method != HistogramMethod::kOptimal &&
+      request.method != HistogramMethod::kApprox) {
+    return false;
+  }
+  switch (request.sharding.mode) {
+    case RequestSharding::Mode::kOn:
+      return true;
+    case RequestSharding::Mode::kOff:
+      return false;
+    case RequestSharding::Mode::kAuto:
+      return request.method == HistogramMethod::kApprox &&
+             domain_size >= shard_auto_domain && !tuple_world_mean_sse;
+  }
+  return false;
+}
+
 template <typename Input>
 StatusOr<SynopsisResult> ExecuteSingle(const Input& input,
                                        const SynopsisRequest& request,
@@ -326,6 +424,14 @@ Status SynopsisRequest::Validate() const {
         break;
     }
   }
+  if (sharding.mode == RequestSharding::Mode::kOn &&
+      (kind != SynopsisKind::kHistogram ||
+       (method != HistogramMethod::kOptimal &&
+        method != HistogramMethod::kApprox))) {
+    return Status::Unimplemented(
+        "sharded construction serves the exact and approximate histogram "
+        "routes only");
+  }
   return Status::OK();
 }
 
@@ -370,8 +476,20 @@ StatusOr<std::vector<SynopsisResult>> SynopsisEngine::BuildBatchImpl(
 
   std::map<OracleKey, std::vector<std::size_t>> oracle_groups;
   std::vector<std::size_t> singles;
+  std::vector<std::size_t> sharded;
   for (std::size_t i = 0; i < requests.size(); ++i) {
     const SynopsisRequest& request = requests[i];
+    // The sharded route builds its own per-shard oracles, so it never
+    // joins an oracle-sharing group.
+    const bool tuple_world_mean_sse =
+        std::is_same_v<Input, TuplePdfInput> &&
+        request.options.metric == ErrorMetric::kSse &&
+        request.options.sse_variant == SseVariant::kWorldMean;
+    if (RoutesSharded(request, input.domain_size(),
+                      options_.shard_auto_domain, tuple_world_mean_sse)) {
+      sharded.push_back(i);
+      continue;
+    }
     bool oracle_backed =
         request.kind == SynopsisKind::kHistogram &&
         (request.method == HistogramMethod::kOptimal ||
@@ -463,6 +581,17 @@ StatusOr<std::vector<SynopsisResult>> SynopsisEngine::BuildBatchImpl(
   // leased workspace (the wavelet route's state arena) is safe.
   for (std::size_t i : singles) {
     auto result = ExecuteSingle(input, requests[i], workspace.get(), pool);
+    if (!result.ok()) return result.status();
+    results[i] = std::move(result).value();
+    results[i].timing.plan_seconds = plan_seconds;
+  }
+
+  // --- Execute sharded requests. Each build fans its shard solves out on
+  // the engine pool and leases per-shard workspaces from the engine's
+  // workspace pool (the batch lease above is NOT shared: shard solves run
+  // concurrently and each needs its own arena).
+  for (std::size_t i : sharded) {
+    auto result = ExecSharded(input, requests[i], pool, workspaces_.get());
     if (!result.ok()) return result.status();
     results[i] = std::move(result).value();
     results[i].timing.plan_seconds = plan_seconds;

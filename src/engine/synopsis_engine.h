@@ -47,6 +47,33 @@ enum class WaveletMethod {
   kUnrestrictedDp,  ///< Free coefficient values on a quantized grid.
 };
 
+/// Domain-sharding controls of the histogram exact/approx routes (the
+/// sharded construction backend, core/sharded_dp.h): the domain is split
+/// into contiguous shards whose DPs run concurrently on the engine pool,
+/// then a cross-shard budget-allocation DP assigns each shard its bucket
+/// count and the per-shard tracebacks concatenate.
+///
+/// Accuracy contract: the sharded cost is never below the unsharded
+/// optimum, and (for kOptimal) equals it exactly whenever some optimal
+/// histogram has a bucket boundary at every shard boundary and at most
+/// `max_shard_budget` buckets per shard; otherwise the gap is
+/// input-dependent and the differential sweep in tests/sharded_dp_test.cc
+/// pins the measured envelope. For a fixed shard plan the result is
+/// bit-identical across thread counts.
+struct RequestSharding {
+  /// When the engine takes the sharded route.
+  enum class Mode {
+    kAuto,  ///< Shard kApprox requests with domain >= shard_auto_domain.
+    kOff,   ///< Never shard.
+    kOn,    ///< Always shard; kOptimal/kApprox histogram requests only.
+  };
+  Mode mode = Mode::kAuto;
+  /// Shard count S; 0 = auto (~n/8192, clamped to [2, 64]).
+  std::size_t shards = 0;
+  /// Per-shard bucket cap; 0 = auto (see ResolveMaxShardBudget).
+  std::size_t max_shard_budget = 0;
+};
+
 /// One synopsis-construction request: input model is carried by the
 /// Build/BuildBatch overload, everything else lives here. This is the
 /// single entry type the paper's four disconnected construction paths
@@ -64,6 +91,8 @@ struct SynopsisRequest {
   double epsilon = 0.1;
   /// Seed of the kSampledWorld baseline.
   std::uint64_t seed = 42;
+  /// Domain-sharding policy of the kOptimal/kApprox routes.
+  RequestSharding sharding;
 
   // --- Wavelet routing (ignored for kHistogram). ---
   WaveletMethod wavelet_method = WaveletMethod::kAuto;
@@ -132,7 +161,13 @@ struct SynopsisResult {
 /// Every path's output is bit-identical to calling the underlying
 /// builder/solver directly (a property the engine parity tests pin down);
 /// the engine adds routing, sharing, parallelism, and timing — never a
-/// different answer.
+/// different answer. The single deliberate exception is the sharded route
+/// (see RequestSharding): it trades the global optimality guarantee for
+/// scale under a documented accuracy contract, which is why kOptimal
+/// requests are never auto-sharded — only Mode::kOn opts them in, while
+/// kApprox requests (already approximate) auto-shard above
+/// Options::shard_auto_domain, where the unsharded solvers stop being
+/// feasible at all.
 class SynopsisEngine {
  public:
   struct Options {
@@ -143,6 +178,11 @@ class SynopsisEngine {
     /// Domains smaller than this run sequentially even when a pool
     /// exists: fork-join overhead beats the win on tiny inputs.
     std::size_t min_parallel_domain = 256;
+    /// kApprox histogram requests with RequestSharding::Mode::kAuto route
+    /// to the sharded backend at domains at least this large (the regime
+    /// where the unsharded approximate DP's candidate count makes single
+    /// solves take minutes). kOptimal never auto-shards.
+    std::size_t shard_auto_domain = 1u << 16;
   };
 
   SynopsisEngine() : SynopsisEngine(Options{}) {}

@@ -23,7 +23,14 @@ namespace probsyn {
 ///    sequential loop (useful for parity tests and tiny inputs).
 ///  * Calls from inside a worker run inline (no nested fan-out), so
 ///    library code can use the pool without tracking call depth; this also
-///    makes accidental reentrancy deadlock-free.
+///    makes accidental reentrancy deadlock-free. The sharded construction
+///    backend leans on this: its per-shard solves fan out once at the top
+///    and every pool call inside a shard's solver degrades to a loop.
+///  * No intra-call ordering guarantee: queued chunks are popped LIFO and
+///    may all run on the calling thread when workers are busy, so `fn`
+///    must never wait on another chunk of the same call making progress
+///    (spinning on a sibling's output can livelock). Cross-chunk data flow
+///    belongs BETWEEN ParallelFor calls — the join is the only barrier.
 ///  * Determinism: chunks are contiguous, each index is executed exactly
 ///    once by exactly one thread, and callers are expected to write to
 ///    disjoint output slots per index — the engine's parallel DP is
@@ -59,10 +66,8 @@ class ThreadPool {
   std::vector<std::thread> workers_;
   std::mutex mutex_;
   std::condition_variable work_cv_;
-  std::condition_variable done_cv_;
   std::vector<std::function<void()>> queue_;
   bool shutdown_ = false;
-  std::size_t in_flight_ = 0;
 };
 
 }  // namespace probsyn
