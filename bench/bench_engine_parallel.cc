@@ -61,6 +61,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cstddef>
 #include <map>
 #include <vector>
@@ -465,6 +466,72 @@ void BM_ShardedConstructionExact(benchmark::State& state) {
   RunShardedConstruction(state, HistogramMethod::kOptimal);
 }
 
+// (l) Cancellation-poll overhead guard — identical engine builds with and
+// without an attached never-firing deadline + cancel token. The unpolled
+// build runs the historical unbounded path (no ExecContext at all); the
+// polled build hits every cooperative checkpoint — per DP column block,
+// per shard, per tree level. Both run INTERLEAVED inside one benchmark,
+// alternating order each iteration, so slow clock drift (thermal,
+// frequency scaling) cancels out of the ratio — back-to-back separate
+// rows on a single-core box drift by more than the effect being measured.
+// The robustness contract says the polls cost <= 2%;
+// tools/check_poll_overhead.py asserts the `overhead` counter in CI.
+void RunPollOverhead(benchmark::State& state, bool sharded) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+
+  ValuePdfInput input = MakeInput(n);
+  SynopsisEngine engine({.parallelism = 1});
+  SynopsisRequest unpolled;
+  unpolled.budget = 64;
+  unpolled.options = SseOptions();
+  if (sharded) {
+    unpolled.method = HistogramMethod::kApprox;
+    unpolled.epsilon = 0.1;
+    unpolled.sharding.mode = RequestSharding::Mode::kOn;
+    unpolled.sharding.shards = 64;
+  }
+  CancelToken token;  // never fired: every poll takes the not-stopped path
+  SynopsisRequest polled = unpolled;
+  polled.deadline = Deadline::After(3600.0);
+  polled.cancel = &token;
+
+  auto run = [&](const SynopsisRequest& request) {
+    auto start = std::chrono::steady_clock::now();
+    auto result = engine.Build(input, request);
+    PROBSYN_CHECK(result.ok());
+    benchmark::DoNotOptimize(result->cost);
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start)
+        .count();
+  };
+
+  double unpolled_seconds = 0.0;
+  double polled_seconds = 0.0;
+  bool polled_first = false;
+  for (auto _ : state) {
+    if (polled_first) {
+      polled_seconds += run(polled);
+      unpolled_seconds += run(unpolled);
+    } else {
+      unpolled_seconds += run(unpolled);
+      polled_seconds += run(polled);
+    }
+    polled_first = !polled_first;
+  }
+  state.counters["n"] = static_cast<double>(n);
+  state.counters["B"] = 64.0;
+  state.counters["overhead"] =
+      unpolled_seconds > 0.0 ? polled_seconds / unpolled_seconds - 1.0 : 0.0;
+}
+
+void BM_PollOverheadExactDp(benchmark::State& state) {
+  RunPollOverhead(state, /*sharded=*/false);
+}
+
+void BM_PollOverheadSharded(benchmark::State& state) {
+  RunPollOverhead(state, /*sharded=*/true);
+}
+
 }  // namespace
 }  // namespace probsyn
 
@@ -582,6 +649,26 @@ BENCHMARK(probsyn::BM_ShardedConstructionExact)
     ->Args({100000, 64, 4})
     ->Iterations(1)
     ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+// (l) The exact-DP point is the kernel acceptance size (~180 ms/build);
+// the sharded point is the 64-shard n = 1e5 row (~15 ms/build). Each
+// iteration times one unpolled + one polled build back to back (order
+// alternating) and reports the drift-free ratio in the `overhead`
+// counter; repetitions give the checker a median-of-5 (single-core boxes
+// show ±3% run-to-run drift, so one repetition cannot carry the bound).
+BENCHMARK(probsyn::BM_PollOverheadExactDp)
+    ->Arg(4096)
+    ->MinTime(2.0)
+    ->Repetitions(5)
+    ->ReportAggregatesOnly(false)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK(probsyn::BM_PollOverheadSharded)
+    ->Arg(100000)
+    ->MinTime(2.0)
+    ->Repetitions(5)
+    ->ReportAggregatesOnly(false)
     ->Unit(benchmark::kMillisecond);
 
 BENCHMARK_MAIN();

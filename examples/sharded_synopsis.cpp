@@ -19,13 +19,18 @@
 // sharded EXACT build at n = 1e5 — "histogram/sharded-dp[...]" — showing
 // the accuracy contract: the sharded cost is never below the unsharded
 // optimum, and the gap (here a few percent) buys orders of magnitude of
-// wall clock.
+// wall clock. A final build demonstrates deadline-aware degradation: the
+// same n = 1e6 request under a 5 ms deadline with
+// RequestFallback::kDegrade serves a truthfully re-costed equi-depth
+// histogram whose solver string records "[degraded=approx-dp->equidepth]"
+// instead of failing with kDeadlineExceeded.
 
 #include <cstdio>
 
 #include "engine/synopsis_engine.h"
 #include "gen/generators.h"
 #include "model/value_pdf.h"
+#include "util/deadline.h"
 
 using namespace probsyn;
 
@@ -40,9 +45,7 @@ void Report(const char* label, const SynopsisResult& result) {
               result.timing.preprocess_seconds, result.timing.solve_seconds);
 }
 
-}  // namespace
-
-int main() {
+Status Run() {
   // A million-item uncertain frequency distribution (each item a small
   // discrete pdf over integer frequencies) — far past shard_auto_domain,
   // so plain kApprox requests route to the sharded backend automatically.
@@ -64,13 +67,8 @@ int main() {
   // 1) Auto-sharded approximate build at n = 1e6. RequestSharding defaults
   //    to Mode::kAuto: the domain exceeds Options::shard_auto_domain, so
   //    the planner shards (S resolves to 64 here) without being asked.
-  auto approx = engine.Build(large, request);
-  if (!approx.ok()) {
-    std::fprintf(stderr, "sharded approx build failed: %s\n",
-                 approx.status().ToString().c_str());
-    return 1;
-  }
-  Report("approx, n=1e6, auto-shard:", *approx);
+  PROBSYN_ASSIGN_OR_RETURN(SynopsisResult approx, engine.Build(large, request));
+  Report("approx, n=1e6, auto-shard:", approx);
 
   // 2) Explicitly opted-in sharded EXACT build at n = 1e5. kOptimal never
   //    auto-shards (it would silently trade away the optimality
@@ -86,12 +84,32 @@ int main() {
   request.method = HistogramMethod::kOptimal;
   request.sharding.mode = RequestSharding::Mode::kOn;
   request.sharding.shards = 64;
-  auto exact = engine.Build(medium, request);
-  if (!exact.ok()) {
-    std::fprintf(stderr, "sharded exact build failed: %s\n",
-                 exact.status().ToString().c_str());
+  PROBSYN_ASSIGN_OR_RETURN(SynopsisResult exact, engine.Build(medium, request));
+  Report("exact, n=1e5, shards=64:", exact);
+
+  // 3) Deadline-aware degradation at n = 1e6. A 5 ms deadline cannot fit
+  //    even the sharded approximate build, so under RequestFallback::kNone
+  //    this request would fail with kDeadlineExceeded; with kDegrade the
+  //    engine's planner falls down the degradation ladder and serves
+  //    equi-depth boundaries (linear time), truthfully re-costed, with the
+  //    detour recorded in the solver string.
+  request.method = HistogramMethod::kApprox;
+  request.sharding = RequestSharding{};
+  request.deadline = Deadline::After(0.005);
+  request.fallback = RequestFallback::kDegrade;
+  PROBSYN_ASSIGN_OR_RETURN(SynopsisResult degraded,
+                           engine.Build(large, request));
+  Report("approx, n=1e6, 5ms budget:", degraded);
+  return Status::OK();
+}
+
+}  // namespace
+
+int main() {
+  if (Status status = Run(); !status.ok()) {
+    std::fprintf(stderr, "sharded_synopsis failed: %s\n",
+                 status.ToString().c_str());
     return 1;
   }
-  Report("exact, n=1e5, shards=64:", *exact);
   return 0;
 }

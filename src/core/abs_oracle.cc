@@ -56,7 +56,7 @@ AbsCumulativeOracle::AbsCumulativeOracle(const ValuePdfInput& input,
   }
   };
   if (pool != nullptr) {
-    pool->ParallelFor(0, n_, fill_items);
+    preprocess_status_ = pool->ParallelFor(0, n_, fill_items);
   } else {
     fill_items(0, n_);
   }

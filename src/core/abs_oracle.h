@@ -9,6 +9,7 @@
 #include "core/bucket_oracle.h"
 #include "model/value_pdf.h"
 #include "util/prefix_sums.h"
+#include "util/status.h"
 
 namespace probsyn {
 
@@ -57,6 +58,11 @@ class AbsCumulativeOracle final : public BucketCostOracle {
   }
 
   const std::vector<double>& grid() const { return grid_; }
+
+  /// Outcome of the constructor's parallel U/D table fill: non-OK when the
+  /// fan-out failed (an injected thread-pool fault) — the tables are then
+  /// garbage and the oracle must not be used. Checked by MakeBucketOracle.
+  const Status& preprocess_status() const { return preprocess_status_; }
 
   /// Sentinel for OptimalGridIndex / FlatSweep: no warm hint available.
   static constexpr std::size_t kNoHint = static_cast<std::size_t>(-1);
@@ -109,6 +115,7 @@ class AbsCumulativeOracle final : public BucketCostOracle {
  private:
   std::size_t n_;
   std::vector<double> grid_;
+  Status preprocess_status_;
   PrefixSumsBank below_;  // row l: per-item U_i(l)
   PrefixSumsBank above_;  // row l: per-item D_i(l)
 };

@@ -1030,8 +1030,9 @@ struct DpTables {
 };
 
 template <bool kFastCells, typename Filler>
-void RunDp(const Filler& filler, std::size_t n, std::size_t cap,
-           DpCombiner combiner, ThreadPool* pool, DpTables ws) {
+Status RunDp(const Filler& filler, std::size_t n, std::size_t cap,
+             DpCombiner combiner, ThreadPool* pool, const ExecContext* ctx,
+             DpTables ws) {
   const SimdOps& ops = Ops();  // one dispatch resolution per solve
   ws.err.resize(cap * n);
   ws.choice.resize(cap * n);
@@ -1099,6 +1100,13 @@ void RunDp(const Filler& filler, std::size_t n, std::size_t cap,
     double* repcol = ws.rep_cols.data();
     double* cost_cmin = track_bounds ? ws.cost_cmin.data() : nullptr;
     for (std::size_t j = 0; j < n; ++j) {
+      // Poll every 16 columns: a clock read can cost microseconds (vsyscall
+      // fallback), comparable to ONE column's O(j + cap) cell work, so a
+      // per-column poll blows the 2% overhead budget; 16 columns amortize
+      // it to noise while keeping stop latency far under the 50ms bound.
+      if ((j & 15u) == 0 && StopRequested(ctx)) {
+        return ctx->StopStatus("exact-dp", "column", j, n);
+      }
       filler.Fill(j, costcol, repcol);
       if (track_bounds) fill_cost_cmin(costcol, j, cost_cmin);
       first_layer(j, costcol, repcol);
@@ -1108,7 +1116,7 @@ void RunDp(const Filler& filler, std::size_t n, std::size_t cap,
         if (track_bounds) update_layer_cmin(b - 1, j);
       }
     }
-    return;
+    return Status::OK();
   }
 
   // Blocked parallel path. Columns are processed in blocks sized to keep
@@ -1148,20 +1156,38 @@ void RunDp(const Filler& filler, std::size_t n, std::size_t cap,
   double* cost_cmin_block = track_bounds ? ws.cost_cmin.data() : nullptr;
   for (std::size_t j0 = 0; j0 < n; j0 += block) {
     const std::size_t j1 = std::min(n, j0 + block);
-    pool->ParallelFor(j0, j1, [&](std::size_t jb, std::size_t je) {
-      for (std::size_t j = jb; j < je; ++j) {
-        double* costcol = &cost_block[(j - j0) * n];
-        double* repcol = &rep_block[(j - j0) * n];
-        filler.Fill(j, costcol, repcol);
-        if (track_bounds) {
-          fill_cost_cmin(costcol, j, &cost_cmin_block[(j - j0) * nchunks]);
-        }
-        first_layer(j, costcol, repcol);
-      }
-    });
+    if (StopRequested(ctx)) {
+      return ctx->StopStatus("exact-dp", "column", j0, n);
+    }
+    // Chunks poll too (every 64 columns) and bail by SKIPPING their
+    // remaining columns: once a stop fires the whole table is abandoned,
+    // so partial columns are never read — the fan-out still joins, leaving
+    // no chunk running behind the caller's back.
+    PROBSYN_RETURN_IF_ERROR(
+        pool->ParallelFor(j0, j1, [&](std::size_t jb, std::size_t je) {
+          for (std::size_t j = jb; j < je; ++j) {
+            if (ctx != nullptr && ((j - jb) & 63u) == 0 &&
+                ctx->StopRequested()) {
+              return;
+            }
+            double* costcol = &cost_block[(j - j0) * n];
+            double* repcol = &rep_block[(j - j0) * n];
+            filler.Fill(j, costcol, repcol);
+            if (track_bounds) {
+              fill_cost_cmin(costcol, j, &cost_cmin_block[(j - j0) * nchunks]);
+            }
+            first_layer(j, costcol, repcol);
+          }
+        }));
+    if (StopRequested(ctx)) {
+      return ctx->StopStatus("exact-dp", "column", j0, n);
+    }
     if (track_bounds) {
       for (std::size_t j = j0; j < j1; ++j) update_layer_cmin(0, j);
       for (std::size_t b = 2; b <= cap; ++b) {
+        if (StopRequested(ctx)) {
+          return ctx->StopStatus("exact-dp", "budget layer", b, cap);
+        }
         for (std::size_t j = j0; j < j1; ++j) {
           finish_cell(b, j, &cost_block[(j - j0) * n],
                       &rep_block[(j - j0) * n],
@@ -1178,23 +1204,29 @@ void RunDp(const Filler& filler, std::size_t n, std::size_t cap,
     const std::size_t tbatch = std::max<std::size_t>(1, (nlayers + 7) / 8);
     const std::size_t nbatch = (nlayers + tbatch - 1) / tbatch;
     for (std::size_t d = 0; d + 1 < nbatch + lanes; ++d) {
-      pool->ParallelFor(0, lanes, [&](std::size_t lb, std::size_t le) {
-        for (std::size_t lane = lb; lane < le; ++lane) {
-          if (d < lane || d - lane >= nbatch) continue;
-          const std::size_t ja = j0 + lane * cols / lanes;
-          const std::size_t jz = j0 + (lane + 1) * cols / lanes;
-          const std::size_t b_lo = 2 + (d - lane) * tbatch;
-          const std::size_t b_hi = std::min(cap, b_lo + tbatch - 1);
-          for (std::size_t b = b_lo; b <= b_hi; ++b) {
-            for (std::size_t j = ja; j < jz; ++j) {
-              finish_cell(b, j, &cost_block[(j - j0) * n],
-                          &rep_block[(j - j0) * n], nullptr);
+      if (StopRequested(ctx)) {
+        return ctx->StopStatus("exact-dp", "diagonal", d, nbatch + lanes - 1);
+      }
+      PROBSYN_RETURN_IF_ERROR(
+          pool->ParallelFor(0, lanes, [&](std::size_t lb, std::size_t le) {
+            for (std::size_t lane = lb; lane < le; ++lane) {
+              if (d < lane || d - lane >= nbatch) continue;
+              const std::size_t ja = j0 + lane * cols / lanes;
+              const std::size_t jz = j0 + (lane + 1) * cols / lanes;
+              const std::size_t b_lo = 2 + (d - lane) * tbatch;
+              const std::size_t b_hi = std::min(cap, b_lo + tbatch - 1);
+              for (std::size_t b = b_lo; b <= b_hi; ++b) {
+                if (StopRequested(ctx)) return;  // table abandoned anyway
+                for (std::size_t j = ja; j < jz; ++j) {
+                  finish_cell(b, j, &cost_block[(j - j0) * n],
+                              &rep_block[(j - j0) * n], nullptr);
+                }
+              }
             }
-          }
-        }
-      });
+          }));
     }
   }
+  return Status::OK();
 }
 
 // ---------------------------------------------------------------------------
@@ -1362,7 +1394,8 @@ StatusOr<ApproxHistogramResult> RunApproxDp(const BucketCostOracle& oracle,
                                             const CostFn& cost_fn,
                                             std::size_t max_buckets,
                                             double epsilon,
-                                            DpKernelKind kind) {
+                                            DpKernelKind kind,
+                                            const ExecContext* ctx) {
   const std::size_t n = oracle.domain_size();
   if (n == 0) return Status::InvalidArgument("empty domain");
   if (max_buckets < 1) return Status::InvalidArgument("need >= 1 bucket");
@@ -1404,6 +1437,9 @@ StatusOr<ApproxHistogramResult> RunApproxDp(const BucketCostOracle& oracle,
   [[maybe_unused]] ApproxCandidateGather gather;
   [[maybe_unused]] std::vector<double> candidate_values;
   for (std::size_t b = 2; b <= cap; ++b) {
+    if (StopRequested(ctx)) {
+      return ctx->StopStatus("approx-dp", "budget layer", b, cap);
+    }
     // Geometric error classes of the previous (monotone) layer; keep the
     // rightmost position of each class. Classes are contiguous intervals
     // because prev[] is non-decreasing in j.
@@ -1425,6 +1461,9 @@ StatusOr<ApproxHistogramResult> RunApproxDp(const BucketCostOracle& oracle,
     }
     std::size_t valid = 0;  // candidates with l < j; monotone in j
     for (std::size_t j = 0; j < n; ++j) {
+      if ((j & 255u) == 0 && StopRequested(ctx)) {
+        return ctx->StopStatus("approx-dp", "column", b * n + j, cap * n);
+      }
       while (valid < candidates.size() && candidates[valid] < j) ++valid;
       double best = prev[j];  // Inherit: fewer buckets already optimal.
       std::int64_t best_choice = kInherit;
@@ -1616,6 +1655,7 @@ void DpWorkspacePool::Lease::Release() {
   if (pool_ != nullptr && workspace_ != nullptr) {
     std::lock_guard<std::mutex> lock(pool_->mutex_);
     pool_->free_.push_back(std::move(workspace_));
+    --pool_->stats_.outstanding;
   }
 }
 
@@ -1627,9 +1667,19 @@ DpWorkspacePool::Lease DpWorkspacePool::Acquire() {
       workspace = std::move(free_.back());
       free_.pop_back();
     }
+    ++stats_.outstanding;
   }
-  if (workspace == nullptr) workspace = std::make_unique<DpWorkspace>();
+  if (workspace == nullptr) {
+    workspace = std::make_unique<DpWorkspace>();
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.created;
+  }
   return Lease(this, std::move(workspace));
+}
+
+DpWorkspacePool::Stats DpWorkspacePool::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
 }
 
 DpKernelKind SelectDpKernel(const BucketCostOracle& oracle) {
@@ -1674,13 +1724,15 @@ HistogramDpResult SolveHistogramDpWithKernel(const BucketCostOracle& oracle,
                                 ? SelectDpKernel(oracle)
                                 : options.kernel;
   ThreadPool* pool = options.pool;
+  const ExecContext* ctx = options.context;
   DpTables tables{ws->err_,      ws->choice_,    ws->rep_,
                   ws->cost_cols_, ws->rep_cols_, ws->layer_cmin_,
                   ws->cost_cmin_};
+  Status run_status;
   switch (kind) {
     case DpKernelKind::kReference: {
       ReferenceFiller filler{&oracle};
-      RunDp<false>(filler, n, cap, combiner, pool, tables);
+      run_status = RunDp<false>(filler, n, cap, combiner, pool, ctx, tables);
       break;
     }
     case DpKernelKind::kSseMoment: {
@@ -1692,7 +1744,7 @@ HistogramDpResult SolveHistogramDpWithKernel(const BucketCostOracle& oracle,
                              sse->variance_prefix().cumulative().data(),
                              sse->raw_mean_prefix().cumulative().data(),
                              sse->variant() == SseVariant::kWorldMean};
-      RunDp<true>(filler, n, cap, combiner, pool, tables);
+      run_status = RunDp<true>(filler, n, cap, combiner, pool, ctx, tables);
       break;
     }
     case DpKernelKind::kSsre: {
@@ -1701,28 +1753,28 @@ HistogramDpResult SolveHistogramDpWithKernel(const BucketCostOracle& oracle,
       SsreFiller filler{ssre->x_prefix().cumulative().data(),
                         ssre->y_prefix().cumulative().data(),
                         ssre->z_prefix().cumulative().data()};
-      RunDp<true>(filler, n, cap, combiner, pool, tables);
+      run_status = RunDp<true>(filler, n, cap, combiner, pool, ctx, tables);
       break;
     }
     case DpKernelKind::kAbsCumulative: {
       const auto* abs = dynamic_cast<const AbsCumulativeOracle*>(&oracle);
       PROBSYN_CHECK(abs != nullptr);
       AbsFiller filler{abs};
-      RunDp<true>(filler, n, cap, combiner, pool, tables);
+      run_status = RunDp<true>(filler, n, cap, combiner, pool, ctx, tables);
       break;
     }
     case DpKernelKind::kMaxError: {
       const auto* max = dynamic_cast<const MaxErrorOracle*>(&oracle);
       PROBSYN_CHECK(max != nullptr);
       MaxErrorFiller filler{max};
-      RunDp<true>(filler, n, cap, combiner, pool, tables);
+      run_status = RunDp<true>(filler, n, cap, combiner, pool, ctx, tables);
       break;
     }
     case DpKernelKind::kTupleSse: {
       const auto* tuple = dynamic_cast<const SseTupleWorldMeanOracle*>(&oracle);
       PROBSYN_CHECK(tuple != nullptr);
       TupleSseFiller filler{tuple};
-      RunDp<true>(filler, n, cap, combiner, pool, tables);
+      run_status = RunDp<true>(filler, n, cap, combiner, pool, ctx, tables);
       break;
     }
     case DpKernelKind::kAuto:
@@ -1730,6 +1782,7 @@ HistogramDpResult SolveHistogramDpWithKernel(const BucketCostOracle& oracle,
   }
 
   result.kernel_ = kind;
+  result.status_ = std::move(run_status);
   result.err_ = ws->err_.data();
   result.choice_ = ws->choice_.data();
   result.rep_ = ws->rep_.data();
@@ -1745,7 +1798,8 @@ StatusOr<ApproxHistogramResult> SolveApproxHistogramDpWithKernel(
   switch (kind) {
     case DpKernelKind::kReference: {
       ReferencePointCost cost_fn{&oracle};
-      return RunApproxDp(oracle, cost_fn, max_buckets, epsilon, kind);
+      return RunApproxDp(oracle, cost_fn, max_buckets, epsilon, kind,
+                         options.context);
     }
     case DpKernelKind::kSseMoment: {
       const auto* sse = dynamic_cast<const SseMomentOracle*>(&oracle);
@@ -1755,7 +1809,8 @@ StatusOr<ApproxHistogramResult> SolveApproxHistogramDpWithKernel(
                                  sse->second_prefix().cumulative().data(),
                                  sse->variance_prefix().cumulative().data(),
                                  sse->variant() == SseVariant::kWorldMean};
-      return RunApproxDp(oracle, cost_fn, max_buckets, epsilon, kind);
+      return RunApproxDp(oracle, cost_fn, max_buckets, epsilon, kind,
+                         options.context);
     }
     case DpKernelKind::kSsre: {
       const auto* ssre = dynamic_cast<const SsreOracle*>(&oracle);
@@ -1763,25 +1818,29 @@ StatusOr<ApproxHistogramResult> SolveApproxHistogramDpWithKernel(
       SsrePointCost cost_fn{ssre->x_prefix().cumulative().data(),
                             ssre->y_prefix().cumulative().data(),
                             ssre->z_prefix().cumulative().data()};
-      return RunApproxDp(oracle, cost_fn, max_buckets, epsilon, kind);
+      return RunApproxDp(oracle, cost_fn, max_buckets, epsilon, kind,
+                         options.context);
     }
     case DpKernelKind::kAbsCumulative: {
       const auto* abs = dynamic_cast<const AbsCumulativeOracle*>(&oracle);
       PROBSYN_CHECK(abs != nullptr);
       AbsPointCost cost_fn{abs};
-      return RunApproxDp(oracle, cost_fn, max_buckets, epsilon, kind);
+      return RunApproxDp(oracle, cost_fn, max_buckets, epsilon, kind,
+                         options.context);
     }
     case DpKernelKind::kMaxError: {
       const auto* max = dynamic_cast<const MaxErrorOracle*>(&oracle);
       PROBSYN_CHECK(max != nullptr);
       MaxErrorPointCost cost_fn{max};
-      return RunApproxDp(oracle, cost_fn, max_buckets, epsilon, kind);
+      return RunApproxDp(oracle, cost_fn, max_buckets, epsilon, kind,
+                         options.context);
     }
     case DpKernelKind::kTupleSse: {
       const auto* tuple = dynamic_cast<const SseTupleWorldMeanOracle*>(&oracle);
       PROBSYN_CHECK(tuple != nullptr);
       TupleSsePointCost cost_fn{tuple};
-      return RunApproxDp(oracle, cost_fn, max_buckets, epsilon, kind);
+      return RunApproxDp(oracle, cost_fn, max_buckets, epsilon, kind,
+                         options.context);
     }
     case DpKernelKind::kAuto:
       break;  // resolved above

@@ -12,6 +12,7 @@
 
 #include "core/bucket_oracle.h"
 #include "core/histogram_dp.h"
+#include "util/deadline.h"
 #include "util/status.h"
 
 namespace probsyn {
@@ -276,6 +277,14 @@ class DpWorkspace {
 /// destruction of the lease, so steady-state batches allocate nothing.
 class DpWorkspacePool {
  public:
+  /// Lease accounting, exposed so robustness tests can assert that failed
+  /// solves leak no lease: `outstanding` must return to zero once every
+  /// in-flight build — successful or not — has unwound.
+  struct Stats {
+    std::size_t created = 0;      ///< Workspaces ever constructed.
+    std::size_t outstanding = 0;  ///< Leases currently held.
+  };
+
   class Lease {
    public:
     Lease(Lease&& other) noexcept
@@ -305,9 +314,13 @@ class DpWorkspacePool {
 
   Lease Acquire();
 
+  /// Counter snapshot (see Stats).
+  Stats stats() const;
+
  private:
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::vector<std::unique_ptr<DpWorkspace>> free_;
+  Stats stats_;
 };
 
 /// Maps an oracle's dynamic type to its specialized kernel; kReference for
@@ -328,6 +341,13 @@ struct DpKernelOptions {
   /// oracle's dynamic type (checked); kReference always applies and is the
   /// parity baseline the kernel tests compare against.
   DpKernelKind kernel = DpKernelKind::kAuto;
+  /// Non-null arms cooperative stopping: the solver polls per column /
+  /// layer batch (work units far above the poll cost, so overhead stays
+  /// under the engine's 2% budget) and on a hit abandons the fill and
+  /// returns a result whose status() is kDeadlineExceeded/kCancelled. The
+  /// workspace stays reusable — every buffer is fully overwritten by the
+  /// next solve.
+  const ExecContext* context = nullptr;
 };
 
 /// The exact-DP solver behind SolveHistogramDp, with explicit control over
@@ -359,6 +379,9 @@ struct ApproxDpKernelOptions {
   /// oracle's dynamic type (checked); kReference always applies and is the
   /// parity baseline the kernel tests compare against.
   DpKernelKind kernel = DpKernelKind::kAuto;
+  /// Non-null arms cooperative stopping (poll per budget layer and every
+  /// 256 columns); the solve then fails with kDeadlineExceeded/kCancelled.
+  const ExecContext* context = nullptr;
 };
 
 /// The (1 + epsilon)-approximate DP behind SolveApproxHistogramDp, with

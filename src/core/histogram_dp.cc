@@ -48,6 +48,13 @@ std::span<const double> HistogramDpResult::RepresentativeRow(
 
 Histogram HistogramDpResult::ExtractHistogram(std::size_t num_buckets) const {
   PROBSYN_CHECK(num_buckets >= 1 && n_ > 0);
+  // A stopped or failed solve leaves the traceback tables partial (or, with
+  // a reused workspace, holding a PREVIOUS solve's data). Walking them
+  // could chase garbage split indices into a CHECK abort — or worse, stitch
+  // together a plausible-looking wrong histogram. Serve the unambiguous
+  // empty histogram instead; callers honoring the documented contract
+  // (check status() first) never reach this.
+  if (!status_.ok()) return Histogram(std::vector<HistogramBucket>{});
   std::size_t layer = std::min(num_buckets, cap_);
   std::vector<HistogramBucket> buckets;
   std::size_t j = n_ - 1;

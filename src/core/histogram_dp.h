@@ -61,12 +61,21 @@ const char* DpKernelKindName(DpKernelKind kind);
 /// sweeps, so ExtractHistogram never calls back into the oracle.
 class HistogramDpResult {
  public:
+  /// Outcome of the solve. OK for every unbounded solve; when the solver
+  /// ran under an ExecContext (DpKernelOptions::context) and was stopped,
+  /// this carries kDeadlineExceeded/kCancelled (or the fan-out's failure)
+  /// and the DP tables are PARTIAL — callers must check status() before
+  /// reading any cost, row, or histogram.
+  const Status& status() const { return status_; }
+
   /// Optimal expected error with at most `num_buckets` buckets.
   double OptimalCost(std::size_t num_buckets) const;
 
   /// Extracts an optimal histogram (boundaries + optimal representatives)
   /// for the given budget. O(B) — representatives come from the DP's
-  /// cached per-cell BucketCost, not from fresh oracle calls.
+  /// cached per-cell BucketCost, not from fresh oracle calls. When
+  /// status() is not OK the traceback tables are unusable and this returns
+  /// an empty histogram rather than walking them.
   Histogram ExtractHistogram(std::size_t num_buckets) const;
 
   std::size_t max_buckets() const { return max_buckets_; }
@@ -104,6 +113,7 @@ class HistogramDpResult {
   std::size_t n_ = 0;
   std::size_t max_buckets_ = 0;
   std::size_t cap_ = 0;
+  Status status_;
   DpKernelKind kernel_ = DpKernelKind::kReference;
   const double* err_ = nullptr;
   const std::int64_t* choice_ = nullptr;

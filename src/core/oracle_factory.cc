@@ -5,6 +5,7 @@
 #include "core/sse_oracle.h"
 #include "core/ssre_oracle.h"
 #include "model/induced.h"
+#include "util/fault_injection.h"
 
 namespace probsyn {
 
@@ -23,6 +24,7 @@ StatusOr<OracleBundle> MakeBucketOracle(const ValuePdfInput& input,
                                         PointErrorTablesCache* tables_cache) {
   PROBSYN_RETURN_IF_ERROR(options.Validate());
   PROBSYN_RETURN_IF_ERROR(input.Validate());
+  PROBSYN_RETURN_IF_ERROR(MaybeInjectFault(FaultSite::kOraclePreprocess));
   if (input.domain_size() == 0) {
     return Status::InvalidArgument("empty domain");
   }
@@ -48,16 +50,22 @@ StatusOr<OracleBundle> MakeBucketOracle(const ValuePdfInput& input,
                                                    options.workload);
       bundle.kernel = DpKernelKind::kSsre;
       break;
-    case ErrorMetric::kSae:
-      bundle.oracle = std::make_unique<AbsCumulativeOracle>(
+    case ErrorMetric::kSae: {
+      auto oracle = std::make_unique<AbsCumulativeOracle>(
           input, /*relative=*/false, options.sanity_c, options.workload, pool);
+      PROBSYN_RETURN_IF_ERROR(oracle->preprocess_status());
+      bundle.oracle = std::move(oracle);
       bundle.kernel = DpKernelKind::kAbsCumulative;
       break;
-    case ErrorMetric::kSare:
-      bundle.oracle = std::make_unique<AbsCumulativeOracle>(
+    }
+    case ErrorMetric::kSare: {
+      auto oracle = std::make_unique<AbsCumulativeOracle>(
           input, /*relative=*/true, options.sanity_c, options.workload, pool);
+      PROBSYN_RETURN_IF_ERROR(oracle->preprocess_status());
+      bundle.oracle = std::move(oracle);
       bundle.kernel = DpKernelKind::kAbsCumulative;
       break;
+    }
     case ErrorMetric::kMae:
     case ErrorMetric::kMare: {
       std::shared_ptr<const PointErrorTables> tables =
@@ -65,6 +73,7 @@ StatusOr<OracleBundle> MakeBucketOracle(const ValuePdfInput& input,
               ? tables_cache->GetOrBuild(input, options.sanity_c, pool)
               : std::make_shared<const PointErrorTables>(
                     input, options.sanity_c, pool);
+      PROBSYN_RETURN_IF_ERROR(tables->preprocess_status());
       bundle.tables = tables;
       bundle.oracle = std::make_unique<MaxErrorOracle>(
           tables, /*relative=*/options.metric == ErrorMetric::kMare,

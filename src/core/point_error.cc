@@ -67,7 +67,7 @@ PointErrorTables::PointErrorTables(const ValuePdfInput& input, double sanity_c,
   }
   };
   if (pool != nullptr) {
-    pool->ParallelFor(0, n_, fill_items);
+    preprocess_status_ = pool->ParallelFor(0, n_, fill_items);
   } else {
     fill_items(0, n_);
   }

@@ -7,6 +7,7 @@
 #include "core/metrics.h"
 #include "model/value_pdf.h"
 #include "util/envelope.h"
+#include "util/status.h"
 
 namespace probsyn {
 
@@ -43,6 +44,11 @@ class PointErrorTables {
   std::size_t domain_size() const { return n_; }
   double sanity_c() const { return c_; }
 
+  /// Outcome of the constructor's parallel table fill: non-OK when the
+  /// fan-out failed (an injected thread-pool fault) — the tables are then
+  /// garbage and must not be served. Checked by MakeBucketOracle.
+  const Status& preprocess_status() const { return preprocess_status_; }
+
   /// The global sorted value grid V (always contains 0).
   const std::vector<double>& grid() const { return grid_; }
 
@@ -76,6 +82,7 @@ class PointErrorTables {
   std::size_t n_ = 0;
   double c_ = 1.0;
   std::vector<double> grid_;
+  Status preprocess_status_;
 
   // Quadratic-form coefficients: E[(g-v)^2] = m2_[i] - 2 v m1_[i] + v^2,
   // and the weighted variant with w2(g) = 1/max(c,g)^2:

@@ -9,6 +9,7 @@
 
 #include "core/dp_kernels.h"
 #include "core/oracle_factory.h"
+#include "util/fault_injection.h"
 #include "util/thread_pool.h"
 
 namespace probsyn {
@@ -96,12 +97,38 @@ StatusOr<ShardedDpResult> BuildShardedHistogram(
                                   ? DpCombiner::kSum
                                   : DpCombiner::kMax;
 
+  const ExecContext* ctx = sharded.context;
+  if (StopRequested(ctx)) {
+    return ctx->StopStatus("sharded-dp", "shard", 0, num_shards);
+  }
+
   ThreadPool* pool = (sharded.pool != nullptr &&
                       sharded.pool->num_threads() > 0 && num_shards > 1)
                          ? sharded.pool
                          : nullptr;
   const std::size_t lanes =
       pool != nullptr ? std::min(num_shards, pool->num_threads() + 1) : 1;
+
+  // The exact fan-out pins every shard's DP tables at once (the merge and
+  // extraction phases read them); refuse up front when that footprint
+  // exceeds the caller's byte budget. err/rep are doubles and choice is
+  // int64, all cap_s x ns.
+  if (sharded.solver == ShardSolver::kExact &&
+      sharded.max_workspace_bytes != 0) {
+    std::size_t bytes = 0;
+    for (const ShardRange& range : plan) {
+      const std::size_t ns = range.end - range.begin;
+      bytes += std::min(shard_cap, ns) * ns *
+               (2 * sizeof(double) + sizeof(std::int64_t));
+    }
+    if (bytes > sharded.max_workspace_bytes) {
+      return Status::ResourceExhausted(
+          "sharded exact DP would pin " + std::to_string(bytes) +
+          " workspace bytes across " + std::to_string(num_shards) +
+          " shards, exceeding max_workspace_bytes (" +
+          std::to_string(sharded.max_workspace_bytes) + ")");
+    }
+  }
 
   // Declared before the slots so shard leases release back into it before
   // it is destroyed when no external workspace pool was provided.
@@ -116,6 +143,10 @@ StatusOr<ShardedDpResult> BuildShardedHistogram(
   std::vector<ShardSlot> slots(num_shards);
   auto solve_shard = [&](std::size_t s) {
     ShardSlot& slot = slots[s];
+    if (StopRequested(ctx)) {
+      slot.status = ctx->StopStatus("sharded-dp", "shard", s, num_shards);
+      return;
+    }
     const ShardRange range = plan[s];
     const std::size_t ns = range.end - range.begin;
     const std::size_t cap_s = std::min(shard_cap, ns);
@@ -136,18 +167,26 @@ StatusOr<ShardedDpResult> BuildShardedHistogram(
     slot.bundle = std::move(bundle).value();
     slot.curve.assign(cap_s + 1, kInf);
     if (sharded.solver == ShardSolver::kExact) {
+      slot.status = MaybeInjectFault(FaultSite::kWorkspaceAlloc);
+      if (!slot.status.ok()) return;
       slot.lease.emplace(workspaces->Acquire());
       DpKernelOptions dp_options;
       dp_options.workspace = slot.lease->get();
       dp_options.kernel = slot.bundle.kernel;
+      dp_options.context = ctx;
       slot.dp = SolveHistogramDpWithKernel(*slot.bundle.oracle, cap_s,
                                            combiner, dp_options);
+      if (!slot.dp.status().ok()) {
+        slot.status = slot.dp.status();
+        return;
+      }
       for (std::size_t b = 1; b <= cap_s; ++b) {
         slot.curve[b] = slot.dp.OptimalCost(b);
       }
     } else {
       ApproxDpKernelOptions approx_options;
       approx_options.kernel = slot.bundle.kernel;
+      approx_options.context = ctx;
       auto approx = SolveApproxHistogramDpWithKernel(
           *slot.bundle.oracle, cap_s, sharded.epsilon, approx_options);
       if (!approx.ok()) {
@@ -161,9 +200,10 @@ StatusOr<ShardedDpResult> BuildShardedHistogram(
     }
   };
   if (pool != nullptr) {
-    pool->ParallelFor(0, num_shards, [&](std::size_t sb, std::size_t se) {
-      for (std::size_t s = sb; s < se; ++s) solve_shard(s);
-    });
+    PROBSYN_RETURN_IF_ERROR(
+        pool->ParallelFor(0, num_shards, [&](std::size_t sb, std::size_t se) {
+          for (std::size_t s = sb; s < se; ++s) solve_shard(s);
+        }));
   } else {
     for (std::size_t s = 0; s < num_shards; ++s) solve_shard(s);
   }
@@ -190,6 +230,9 @@ StatusOr<ShardedDpResult> BuildShardedHistogram(
   std::vector<std::uint32_t> choice(
       num_shards > 1 ? (num_shards - 1) * (B + 1) : 0, 0);
   for (std::size_t k = 1; k < num_shards; ++k) {
+    if (StopRequested(ctx)) {
+      return ctx->StopStatus("sharded-dp", "merge shard", k, num_shards);
+    }
     const std::vector<double>& right = slots[k].curve;
     const std::size_t cap_k = right.size() - 1;
     for (std::size_t j = 0; j <= B; ++j) {
@@ -231,6 +274,11 @@ StatusOr<ShardedDpResult> BuildShardedHistogram(
   // cost is always the actual extracted histogram's.)
   auto extract_shard = [&](std::size_t s) {
     ShardSlot& slot = slots[s];
+    if (StopRequested(ctx)) {
+      slot.status = ctx->StopStatus("sharded-dp", "extract shard", s,
+                                    num_shards);
+      return;
+    }
     if (sharded.solver == ShardSolver::kExact) {
       slot.extracted = slot.dp.ExtractHistogram(alloc[s]);
       slot.extracted_cost = slot.dp.OptimalCost(alloc[s]);
@@ -238,6 +286,7 @@ StatusOr<ShardedDpResult> BuildShardedHistogram(
     }
     ApproxDpKernelOptions approx_options;
     approx_options.kernel = slot.bundle.kernel;
+    approx_options.context = ctx;
     auto approx = SolveApproxHistogramDpWithKernel(
         *slot.bundle.oracle, alloc[s], sharded.epsilon, approx_options);
     if (!approx.ok()) {
@@ -249,9 +298,10 @@ StatusOr<ShardedDpResult> BuildShardedHistogram(
     slot.extracted_cost = approx->cost;
   };
   if (pool != nullptr && sharded.solver == ShardSolver::kApprox) {
-    pool->ParallelFor(0, num_shards, [&](std::size_t sb, std::size_t se) {
-      for (std::size_t s = sb; s < se; ++s) extract_shard(s);
-    });
+    PROBSYN_RETURN_IF_ERROR(
+        pool->ParallelFor(0, num_shards, [&](std::size_t sb, std::size_t se) {
+          for (std::size_t s = sb; s < se; ++s) extract_shard(s);
+        }));
   } else {
     for (std::size_t s = 0; s < num_shards; ++s) extract_shard(s);
   }

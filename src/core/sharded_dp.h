@@ -8,6 +8,7 @@
 #include "core/histogram_dp.h"
 #include "core/metrics.h"
 #include "model/value_pdf.h"
+#include "util/deadline.h"
 #include "util/status.h"
 
 namespace probsyn {
@@ -69,6 +70,17 @@ struct ShardedDpOptions {
   /// steady-state allocation across repeated builds); a local pool is used
   /// otherwise.
   DpWorkspacePool* workspaces = nullptr;
+  /// Optional deadline/cancellation context: polled at every shard-solve
+  /// entry, inside each shard's DP, per merge-fold row, and at every
+  /// extraction; a stop returns kDeadlineExceeded/kCancelled with the
+  /// shard-level progress, and every leased workspace is released on
+  /// unwind. Null = unbounded build.
+  const ExecContext* context = nullptr;
+  /// Upper bound on the bytes of exact-DP workspace the fan-out may pin at
+  /// once (all shard leases are live simultaneously). When non-zero and the
+  /// estimate exceeds it the build fails up front with kResourceExhausted
+  /// instead of thrashing or OOM-ing. 0 = uncapped.
+  std::size_t max_workspace_bytes = 0;
 };
 
 /// Output of a sharded construction.

@@ -6,6 +6,8 @@
 
 #include "core/haar.h"
 #include "core/point_error.h"
+#include "util/deadline.h"
+#include "util/fault_injection.h"
 #include "util/logging.h"
 #include "util/math.h"
 #include "util/thread_pool.h"
@@ -51,7 +53,8 @@ class WaveletDpSolver {
  public:
   WaveletDpSolver(const ValuePdfInput& padded, std::size_t num_coefficients,
                   const SynopsisOptions& options, WaveletSplitKernel kernel,
-                  WaveletDpArena* arena, ThreadPool* pool)
+                  WaveletDpArena* arena, ThreadPool* pool,
+                  const ExecContext* context, std::size_t max_workspace_bytes)
       : n_(padded.domain_size()),
         levels_(n_ > 1 ? FloorLog2(n_) : 0),
         budget_(num_coefficients),
@@ -62,6 +65,8 @@ class WaveletDpSolver {
                     : kernel),
         arena_(arena),
         pool_(pool != nullptr && pool->num_threads() > 0 ? pool : nullptr),
+        ctx_(context),
+        max_workspace_bytes_(max_workspace_bytes),
         tables_(padded, options.sanity_c),
         mu_(HaarTransform(PadToPowerOfTwo(padded.ExpectedFrequencies()))) {
     if (options.HasWorkload()) {
@@ -76,7 +81,7 @@ class WaveletDpSolver {
     return pool_ == nullptr ? 1 : pool_->num_threads() + 1;
   }
 
-  WaveletDpResult Solve() {
+  StatusOr<WaveletDpResult> Solve() {
     std::vector<WaveletCoefficient> kept;
     double best_cost;
     if (n_ == 1) {
@@ -89,12 +94,15 @@ class WaveletDpSolver {
       } else {
         best_cost = without;
       }
-      return {WaveletSynopsis(n_, n_, std::move(kept)), best_cost};
+      return WaveletDpResult{WaveletSynopsis(n_, n_, std::move(kept)),
+                             best_cost};
     }
 
-    LayoutArena();
+    PROBSYN_RETURN_IF_ERROR(LayoutArena());
     FillContributions();
-    for (std::size_t d = levels_; d-- > 0;) FillLevel(d);
+    for (std::size_t d = levels_; d-- > 0;) {
+      PROBSYN_RETURN_IF_ERROR(FillLevel(d));
+    }
     ++arena_->solves;
 
     // Root choice: keep or drop the scaling coefficient c0.
@@ -111,7 +119,8 @@ class WaveletDpSolver {
     std::size_t b_root = std::min(budget_ - (keep0 ? 1 : 0), root_cap);
     Trace(1, keep0 ? 1 : 0, b_root, kept);
 
-    return {WaveletSynopsis(n_, n_, std::move(kept)), best_cost};
+    return WaveletDpResult{WaveletSynopsis(n_, n_, std::move(kept)),
+                           best_cost};
   }
 
  private:
@@ -139,7 +148,7 @@ class WaveletDpSolver {
            StateSlot(d, j, mask) * Stride(d);
   }
 
-  void LayoutArena() {
+  Status LayoutArena() {
     GrowTo(arena_->level_base, levels_, arena_->grow_events);
     std::size_t total = 0;
     for (std::size_t d = 0; d < levels_; ++d) {
@@ -147,8 +156,22 @@ class WaveletDpSolver {
       // 2^d nodes x 2^(d+1) masks per level, Stride(d) entries per state.
       total += (std::size_t{1} << (2 * d + 1)) * Stride(d);
     }
+    // The O(n^2 B) arena is the dominant allocation of this solver; honor
+    // the caller's byte budget before committing to it, and surface an
+    // injected allocation failure at the same point.
+    const std::size_t bytes =
+        total * (sizeof(double) + sizeof(WaveletDpDecision)) +
+        n_ * sizeof(double) + levels_ * sizeof(std::size_t);
+    if (max_workspace_bytes_ != 0 && bytes > max_workspace_bytes_) {
+      return Status::ResourceExhausted(
+          "restricted wavelet DP arena (" + std::to_string(bytes) +
+          " bytes) exceeds max_workspace_bytes (" +
+          std::to_string(max_workspace_bytes_) + ")");
+    }
+    PROBSYN_RETURN_IF_ERROR(MaybeInjectFault(FaultSite::kWorkspaceAlloc));
     GrowTo(arena_->best, total, arena_->grow_events);
     GrowTo(arena_->decision, total, arena_->grow_events);
+    return Status::OK();
   }
 
   void FillContributions() {
@@ -188,19 +211,31 @@ class WaveletDpSolver {
   // their own level, so the range splits into contiguous chunks dispatched
   // across the pool with identical per-state computation — the parallel
   // fill is bit-identical to the sequential one at every thread count.
-  void FillLevel(std::size_t d) {
+  Status FillLevel(std::size_t d) {
+    if (StopRequested(ctx_)) {
+      return ctx_->StopStatus("wavelet-dp", "level", levels_ - 1 - d,
+                              levels_);
+    }
     const std::size_t states = std::size_t{1} << (2 * d + 1);
     // Below the cutoff the fork-join handshake costs more than the level;
     // the top of the tree (2, 8, 32 states) always runs on the caller.
     constexpr std::size_t kMinParallelStates = 64;
     if (pool_ != nullptr && states >= kMinParallelStates) {
-      pool_->ParallelFor(0, states, [this, d](std::size_t begin,
-                                              std::size_t end) {
-        FillStates(d, begin, end);
-      });
+      PROBSYN_RETURN_IF_ERROR(
+          pool_->ParallelFor(0, states, [this, d](std::size_t begin,
+                                                  std::size_t end) {
+            FillStates(d, begin, end);
+          }));
     } else {
       FillStates(d, 0, states);
     }
+    // A stop inside a chunk leaves partially filled spans; polling again
+    // here turns that into a stop status before any partial table is read.
+    if (StopRequested(ctx_)) {
+      return ctx_->StopStatus("wavelet-dp", "level", levels_ - 1 - d,
+                              levels_);
+    }
+    return Status::OK();
   }
 
   // Fills the contiguous state range [state_begin, state_end) of level d.
@@ -219,6 +254,7 @@ class WaveletDpSolver {
     const double* contribution = arena_->contribution.data();
 
     for (std::size_t s = state_begin; s < state_end; ++s) {
+      if (((s - state_begin) & 63u) == 0 && StopRequested(ctx_)) return;
       const std::size_t j = node0 + (s >> (d + 1));
       const std::uint64_t mask = s & (masks - 1);
       double* best = BestTable(d, j, mask);
@@ -294,7 +330,9 @@ class WaveletDpSolver {
   bool cumulative_;
   WaveletSplitKernel kernel_;
   WaveletDpArena* arena_;
-  ThreadPool* pool_;  // null = sequential fill
+  ThreadPool* pool_;        // null = sequential fill
+  const ExecContext* ctx_;  // null = unbounded solve
+  std::size_t max_workspace_bytes_;  // 0 = uncapped
   PointErrorTables tables_;
   std::vector<double> mu_;
   std::vector<double> weights_;  // empty = uniform
@@ -315,7 +353,8 @@ ValuePdfInput PadInput(const ValuePdfInput& input) {
 StatusOr<WaveletDpResult> BuildRestrictedWaveletDp(
     const ValuePdfInput& input, std::size_t num_coefficients,
     const SynopsisOptions& options, std::size_t max_domain,
-    WaveletSplitKernel kernel, DpWorkspace* workspace, ThreadPool* pool) {
+    WaveletSplitKernel kernel, DpWorkspace* workspace, ThreadPool* pool,
+    const ExecContext* context, std::size_t max_workspace_bytes) {
   PROBSYN_RETURN_IF_ERROR(options.Validate());
   PROBSYN_RETURN_IF_ERROR(input.Validate());
   if (input.domain_size() == 0) {
@@ -343,8 +382,8 @@ StatusOr<WaveletDpResult> BuildRestrictedWaveletDp(
   WaveletDpArena* arena =
       workspace != nullptr ? &workspace->wavelet_arena() : &local_arena;
   WaveletDpSolver solver(padded, num_coefficients, options, kernel, arena,
-                         pool);
-  WaveletDpResult result = solver.Solve();
+                         pool, context, max_workspace_bytes);
+  PROBSYN_ASSIGN_OR_RETURN(WaveletDpResult result, solver.Solve());
   result.kernel = solver.kernel();
   result.lanes = solver.lanes();
   // Report the synopsis against the caller's (unpadded) domain.

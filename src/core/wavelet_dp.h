@@ -78,11 +78,19 @@ struct WaveletDpResult {
 /// one at every thread count and SIMD path (pinned by
 /// tests/wavelet_parallel_test.cc). The lane count lands in
 /// WaveletDpResult::lanes.
+///
+/// A non-null `context` is polled cooperatively (once per tree level plus
+/// every 64 states inside a level sweep); a deadline or cancellation stops
+/// the solve with kDeadlineExceeded/kCancelled, leaving the arena reusable.
+/// When `max_workspace_bytes` is non-zero and the O(n^2 B) arena would
+/// exceed it, the solve fails up front with kResourceExhausted instead of
+/// attempting the allocation.
 StatusOr<WaveletDpResult> BuildRestrictedWaveletDp(
     const ValuePdfInput& input, std::size_t num_coefficients,
     const SynopsisOptions& options, std::size_t max_domain = 2048,
     WaveletSplitKernel kernel = WaveletSplitKernel::kAuto,
-    DpWorkspace* workspace = nullptr, ThreadPool* pool = nullptr);
+    DpWorkspace* workspace = nullptr, ThreadPool* pool = nullptr,
+    const ExecContext* context = nullptr, std::size_t max_workspace_bytes = 0);
 
 }  // namespace probsyn
 

@@ -34,6 +34,7 @@ class UnrestrictedSolver {
         kernel_(dp_options.kernel == WaveletSplitKernel::kAuto
                     ? WaveletSplitKernel::kBudgetSplit
                     : dp_options.kernel),
+        ctx_(dp_options.context),
         tables_(padded, options.sanity_c) {
     if (options.HasWorkload()) {
       weights_ = options.workload;
@@ -45,13 +46,23 @@ class UnrestrictedSolver {
 
   WaveletSplitKernel kernel() const { return kernel_; }
 
-  UnrestrictedWaveletResult Solve() {
+  StatusOr<UnrestrictedWaveletResult> Solve() {
     if (n_ == 1) return SolveSingleton();
 
     node_cost_.assign(n_, {});
     node_decision_.assign(n_, {});
     // Bottom-up over detail nodes; children of j are 2j / 2j+1.
-    for (std::size_t j = n_ - 1; j >= 1; --j) SolveNode(j);
+    for (std::size_t j = n_ - 1; j >= 1; --j) {
+      if (StopRequested(ctx_)) {
+        return ctx_->StopStatus("unrestricted-wavelet-dp", "node",
+                                n_ - 1 - j, n_ - 1);
+      }
+      SolveNode(j);
+    }
+    if (StopRequested(ctx_)) {
+      return ctx_->StopStatus("unrestricted-wavelet-dp", "node", n_ - 1,
+                              n_ - 1);
+    }
 
     // Root: optionally spend one coefficient on c0 = value * sqrt(n).
     const std::size_t cap1 = Cap(1);
@@ -81,7 +92,8 @@ class UnrestrictedSolver {
     }
     std::size_t b1 = std::min(budget_ - (best_keep0 ? 1 : 0), cap1);
     Trace(1, best_g, b1, kept);
-    return {WaveletSynopsis(n_, n_, std::move(kept)), best};
+    return UnrestrictedWaveletResult{WaveletSynopsis(n_, n_, std::move(kept)),
+                                     best};
   }
 
  private:
@@ -167,6 +179,7 @@ class UnrestrictedSolver {
         cumulative_ ? DpCombiner::kSum : DpCombiner::kMax;
 
     for (std::size_t g = 0; g < q; ++g) {
+      if ((g & 7u) == 0 && StopRequested(ctx_)) return;  // tables abandoned
       double* row = &node_cost_[j][g * (cap + 1)];
       Decision* dec = &node_decision_[j][g * (cap + 1)];
       for (std::size_t b = 0; b <= cap; ++b) {
@@ -234,6 +247,7 @@ class UnrestrictedSolver {
   ErrorMetric metric_;
   bool cumulative_;
   WaveletSplitKernel kernel_;
+  const ExecContext* ctx_;  // null = unbounded solve
   PointErrorTables tables_;
 
   std::vector<double> grid_;
@@ -280,7 +294,7 @@ StatusOr<UnrestrictedWaveletResult> BuildUnrestrictedWaveletDp(
 
   ValuePdfInput padded = PadInput(input);
   UnrestrictedSolver solver(padded, num_coefficients, options, dp_options);
-  UnrestrictedWaveletResult result = solver.Solve();
+  PROBSYN_ASSIGN_OR_RETURN(UnrestrictedWaveletResult result, solver.Solve());
   result.kernel = solver.kernel();
   result.synopsis = WaveletSynopsis(
       input.domain_size(), padded.domain_size(),

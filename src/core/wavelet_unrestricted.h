@@ -27,6 +27,10 @@ struct UnrestrictedWaveletOptions {
   /// kBudgetSplit, kReference is the scalar parity baseline. All choices
   /// are bit-identical in cost and kept coefficients (parity-tested).
   WaveletSplitKernel kernel = WaveletSplitKernel::kAuto;
+  /// Optional deadline/cancellation context, polled once per node and every
+  /// few grid rows inside a node solve; a stop yields
+  /// kDeadlineExceeded/kCancelled. Null = unbounded solve.
+  const ExecContext* context = nullptr;
 };
 
 struct UnrestrictedWaveletResult {

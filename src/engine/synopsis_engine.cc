@@ -1,8 +1,10 @@
 #include "engine/synopsis_engine.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <map>
+#include <optional>
 #include <tuple>
 #include <type_traits>
 #include <utility>
@@ -17,6 +19,7 @@
 #include "core/wavelet_dp.h"
 #include "model/induced.h"
 #include "stream/streaming_histogram.h"
+#include "util/fault_injection.h"
 #include "util/random.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
@@ -113,7 +116,8 @@ StatusOr<double> EvaluateHistogramCost(const Input& input, const Histogram& h,
 StatusOr<SynopsisResult> ExecStreamingOnValuePdf(const ValuePdfInput& input,
                                                  const SynopsisRequest& request,
                                                  double preprocess_seconds,
-                                                 DpWorkspace* workspace) {
+                                                 DpWorkspace* workspace,
+                                                 const ExecContext* ctx) {
   Stopwatch watch;
   // The leased workspace hosts the boundary-chain store, so steady-state
   // streaming requests allocate no chain nodes (the builder releases every
@@ -121,14 +125,25 @@ StatusOr<SynopsisResult> ExecStreamingOnValuePdf(const ValuePdfInput& input,
   StreamingHistogramBuilder builder(
       request.budget, request.epsilon, StreamingKernel::kAuto,
       workspace != nullptr ? &workspace->stream_chains() : nullptr);
-  for (const ValuePdf& pdf : input.items()) builder.Push(pdf);
-  auto finished = builder.Finish();
-  if (!finished.ok()) return finished.status();
+  std::size_t pushed = 0;
+  for (const ValuePdf& pdf : input.items()) {
+    // Pushes cost ~100us+ each once the bucket chains grow (merges
+    // dominate), so a fine poll interval is what keeps cancellation
+    // latency in the tens of milliseconds; the poll itself is a few
+    // relaxed loads and stays far below 1% of the push cost.
+    if ((pushed & 15u) == 0 && StopRequested(ctx)) {
+      return ctx->StopStatus("streaming", "item", pushed,
+                             input.domain_size());
+    }
+    builder.Push(pdf);
+    ++pushed;
+  }
+  PROBSYN_ASSIGN_OR_RETURN(auto finished, builder.Finish());
 
   SynopsisResult result;
   result.kind = SynopsisKind::kHistogram;
-  result.histogram = std::move(finished->histogram);
-  result.cost = finished->cost;
+  result.histogram = std::move(finished.histogram);
+  result.cost = finished.cost;
   {
     char route[64];
     std::snprintf(route, sizeof(route), "histogram/streaming-ahist(eps=%g)",
@@ -144,17 +159,17 @@ StatusOr<SynopsisResult> ExecStreamingOnValuePdf(const ValuePdfInput& input,
 template <typename Input>
 StatusOr<SynopsisResult> ExecStreaming(const Input& input,
                                        const SynopsisRequest& request,
-                                       DpWorkspace* workspace) {
+                                       DpWorkspace* workspace,
+                                       const ExecContext* ctx) {
   if constexpr (std::is_same_v<Input, ValuePdfInput>) {
-    return ExecStreamingOnValuePdf(input, request, 0.0, workspace);
+    return ExecStreamingOnValuePdf(input, request, 0.0, workspace, ctx);
   } else {
     // The stream consumes per-item frequency pdfs; tuple input induces
     // them first (exact — SSE fixed-rep is per-item decomposable).
     Stopwatch watch;
-    auto induced = InduceValuePdf(input);
-    if (!induced.ok()) return induced.status();
-    return ExecStreamingOnValuePdf(induced.value(), request,
-                                   watch.ElapsedSeconds(), workspace);
+    PROBSYN_ASSIGN_OR_RETURN(auto induced, InduceValuePdf(input));
+    return ExecStreamingOnValuePdf(induced, request, watch.ElapsedSeconds(),
+                                   workspace, ctx);
   }
 }
 
@@ -205,8 +220,9 @@ StatusOr<SynopsisResult> ExecHistogramBaseline(const Input& input,
 template <typename Input>
 StatusOr<SynopsisResult> ExecWavelet(const Input& input,
                                      const SynopsisRequest& request,
-                                     DpWorkspace* workspace,
-                                     ThreadPool* pool) {
+                                     DpWorkspace* workspace, ThreadPool* pool,
+                                     const ExecContext* ctx,
+                                     std::size_t max_workspace_bytes) {
   WaveletMethod method = request.wavelet_method;
   if (method == WaveletMethod::kAuto) {
     method = request.options.metric == ErrorMetric::kSse
@@ -253,7 +269,7 @@ StatusOr<SynopsisResult> ExecWavelet(const Input& input,
     auto dp = BuildRestrictedWaveletDp(
         *value_input, request.budget, request.options,
         request.wavelet_max_domain, WaveletSplitKernel::kAuto, workspace,
-        pool);
+        pool, ctx, max_workspace_bytes);
     if (!dp.ok()) return dp.status();
     result.wavelet = std::move(dp->synopsis);
     result.cost = dp->cost;
@@ -261,9 +277,10 @@ StatusOr<SynopsisResult> ExecWavelet(const Input& input,
                                        WaveletSplitKernelName(dp->kernel),
                                        nullptr, dp->memo, dp->lanes);
   } else {
+    UnrestrictedWaveletOptions unrestricted = request.unrestricted;
+    unrestricted.context = ctx;
     auto dp = BuildUnrestrictedWaveletDp(*value_input, request.budget,
-                                         request.options,
-                                         request.unrestricted);
+                                         request.options, unrestricted);
     if (!dp.ok()) return dp.status();
     result.wavelet = std::move(dp->synopsis);
     result.cost = dp->cost;
@@ -275,11 +292,10 @@ StatusOr<SynopsisResult> ExecWavelet(const Input& input,
   return result;
 }
 
-StatusOr<SynopsisResult> ExecShardedOnValuePdf(const ValuePdfInput& input,
-                                               const SynopsisRequest& request,
-                                               double preprocess_seconds,
-                                               ThreadPool* pool,
-                                               DpWorkspacePool* workspaces) {
+StatusOr<SynopsisResult> ExecShardedOnValuePdf(
+    const ValuePdfInput& input, const SynopsisRequest& request,
+    double preprocess_seconds, ThreadPool* pool, DpWorkspacePool* workspaces,
+    const ExecContext* ctx, std::size_t max_workspace_bytes) {
   Stopwatch watch;
   ShardedDpOptions sharded;
   sharded.shards = request.sharding.shards;
@@ -290,15 +306,17 @@ StatusOr<SynopsisResult> ExecShardedOnValuePdf(const ValuePdfInput& input,
   sharded.epsilon = request.epsilon;
   sharded.pool = pool;
   sharded.workspaces = workspaces;
-  auto built =
-      BuildShardedHistogram(input, request.budget, request.options, sharded);
-  if (!built.ok()) return built.status();
+  sharded.context = ctx;
+  sharded.max_workspace_bytes = max_workspace_bytes;
+  PROBSYN_ASSIGN_OR_RETURN(
+      ShardedDpResult built,
+      BuildShardedHistogram(input, request.budget, request.options, sharded));
 
   SynopsisResult result;
   result.kind = SynopsisKind::kHistogram;
-  result.histogram = std::move(built->histogram);
-  result.cost = built->cost;
-  result.oracle_evaluations = built->oracle_evaluations;
+  result.histogram = std::move(built.histogram);
+  result.cost = built.cost;
+  result.oracle_evaluations = built.oracle_evaluations;
   {
     char route[64];
     if (sharded.solver == ShardSolver::kExact) {
@@ -310,8 +328,8 @@ StatusOr<SynopsisResult> ExecShardedOnValuePdf(const ValuePdfInput& input,
     char buffer[176];
     std::snprintf(buffer, sizeof(buffer),
                   "%s[kernel=%s,simd=%s,shards=%zu,par=%zu]", route,
-                  DpKernelKindName(built->kernel),
-                  SimdPathName(ActiveSimdPath()), built->shards, built->lanes);
+                  DpKernelKindName(built.kernel),
+                  SimdPathName(ActiveSimdPath()), built.shards, built.lanes);
     result.solver = buffer;
   }
   // Per-shard oracle builds happen inside the shard solves, so preprocess
@@ -325,9 +343,12 @@ template <typename Input>
 StatusOr<SynopsisResult> ExecSharded(const Input& input,
                                      const SynopsisRequest& request,
                                      ThreadPool* pool,
-                                     DpWorkspacePool* workspaces) {
+                                     DpWorkspacePool* workspaces,
+                                     const ExecContext* ctx,
+                                     std::size_t max_workspace_bytes) {
   if constexpr (std::is_same_v<Input, ValuePdfInput>) {
-    return ExecShardedOnValuePdf(input, request, 0.0, pool, workspaces);
+    return ExecShardedOnValuePdf(input, request, 0.0, pool, workspaces, ctx,
+                                 max_workspace_bytes);
   } else {
     if (request.options.metric == ErrorMetric::kSse &&
         request.options.sse_variant == SseVariant::kWorldMean) {
@@ -340,10 +361,9 @@ StatusOr<SynopsisResult> ExecSharded(const Input& input,
     // Every other metric is per-item decomposable; induce the value pdfs
     // once and shard those (exact, same as the other induced routes).
     Stopwatch watch;
-    auto induced = InduceValuePdf(input);
-    if (!induced.ok()) return induced.status();
-    return ExecShardedOnValuePdf(induced.value(), request,
-                                 watch.ElapsedSeconds(), pool, workspaces);
+    PROBSYN_ASSIGN_OR_RETURN(auto induced, InduceValuePdf(input));
+    return ExecShardedOnValuePdf(induced, request, watch.ElapsedSeconds(),
+                                 pool, workspaces, ctx, max_workspace_bytes);
   }
 }
 
@@ -376,14 +396,198 @@ template <typename Input>
 StatusOr<SynopsisResult> ExecuteSingle(const Input& input,
                                        const SynopsisRequest& request,
                                        DpWorkspace* workspace,
-                                       ThreadPool* pool) {
+                                       ThreadPool* pool,
+                                       const ExecContext* ctx,
+                                       std::size_t max_workspace_bytes) {
   if (request.kind == SynopsisKind::kWavelet) {
-    return ExecWavelet(input, request, workspace, pool);
+    return ExecWavelet(input, request, workspace, pool, ctx,
+                       max_workspace_bytes);
   }
   if (request.method == HistogramMethod::kStreaming) {
-    return ExecStreaming(input, request, workspace);
+    return ExecStreaming(input, request, workspace, ctx);
   }
   return ExecHistogramBaseline(input, request);
+}
+
+// --- Deadline-aware degradation (RequestFallback::kDegrade) ----------------
+//
+// Analytic route-cost model, calibrated against the committed bench
+// baselines (BENCH_baseline.json): the exact DP fills cells at ~6e9/s
+// (n=4096, B=64 solves in ~0.18s), the approximate DP sustains ~4e8
+// candidate evaluations/s (n=1e5 unsharded solves take ~45s), a sharded
+// approximate build of n=1e6 over 64 shards lands near 0.13s, and the
+// linear baselines stream ~1e8 items/s. The rungs of the ladder sit
+// decades apart, so order-of-magnitude fidelity is all the planner needs;
+// the 2x margin in PlanDegradedRoute absorbs the rest.
+
+double EstimateExactDpSeconds(std::size_t n, std::size_t budget) {
+  const double nn = static_cast<double>(n);
+  return static_cast<double>(std::min(budget, n)) * nn * nn / 6e9;
+}
+
+double EstimateApproxDpSeconds(std::size_t n, std::size_t budget,
+                               double epsilon) {
+  const double b = static_cast<double>(std::min(budget, n));
+  return b * b / std::max(epsilon, 1e-3) * static_cast<double>(n) *
+         std::log2(static_cast<double>(n) + 2.0) / 4e8;
+}
+
+double EstimateShardedSeconds(std::size_t n, std::size_t budget, bool exact,
+                              double epsilon, const RequestSharding& sharding,
+                              std::size_t lanes) {
+  const std::size_t total = std::min(budget, n);
+  const std::size_t shards = ResolveShardCount(n, total, sharding.shards);
+  const std::size_t cap =
+      ResolveMaxShardBudget(total, shards, sharding.max_shard_budget);
+  const std::size_t ns = (n + shards - 1) / shards;
+  // Phase A dominates; approximate shards pay phase C's re-solve too.
+  const double per_shard =
+      exact ? EstimateExactDpSeconds(ns, cap)
+            : 2.0 * EstimateApproxDpSeconds(ns, cap, epsilon);
+  const double waves =
+      std::ceil(static_cast<double>(shards) /
+                static_cast<double>(std::max<std::size_t>(lanes, 1)));
+  return per_shard * waves +
+         static_cast<double>(total) * static_cast<double>(total) / 4e8;
+}
+
+double EstimateRestrictedWaveletSeconds(std::size_t n, std::size_t budget) {
+  const double nn = static_cast<double>(n);
+  const double bb = static_cast<double>(std::min(budget, n));
+  return nn * nn * bb * bb / 1e9;
+}
+
+double EstimateUnrestrictedWaveletSeconds(std::size_t n, std::size_t budget,
+                                          std::size_t grid_points) {
+  const double nn = static_cast<double>(n);
+  const double bb = static_cast<double>(std::min(budget, n));
+  const double qq = static_cast<double>(grid_points);
+  return nn * qq * qq * bb * bb / 1e9;
+}
+
+// The from-label of a `[degraded=<from>-><to>]` suffix: the route the
+// caller originally asked for.
+const char* RouteLabel(const SynopsisRequest& request) {
+  if (request.kind == SynopsisKind::kWavelet) {
+    WaveletMethod method = request.wavelet_method;
+    if (method == WaveletMethod::kAuto) {
+      method = request.options.metric == ErrorMetric::kSse
+                   ? WaveletMethod::kGreedySse
+                   : WaveletMethod::kRestrictedDp;
+    }
+    switch (method) {
+      case WaveletMethod::kGreedySse: return "greedy-sse";
+      case WaveletMethod::kRestrictedDp: return "restricted-dp";
+      case WaveletMethod::kUnrestrictedDp: return "unrestricted-dp";
+      case WaveletMethod::kAuto: break;  // resolved above
+    }
+    return "wavelet";
+  }
+  switch (request.method) {
+    case HistogramMethod::kOptimal: return "exact-dp";
+    case HistogramMethod::kApprox: return "approx-dp";
+    case HistogramMethod::kStreaming: return "streaming";
+    case HistogramMethod::kExpectation: return "baseline-expectation";
+    case HistogramMethod::kSampledWorld: return "baseline-sampled-world";
+    case HistogramMethod::kEquiDepth: return "baseline-equidepth";
+  }
+  return "histogram";
+}
+
+std::string DegradeSuffix(const char* from, const char* to) {
+  return std::string("[degraded=") + from + "->" + to + "]";
+}
+
+// Outcome of plan-time degradation: the rewritten request plus the suffix
+// recorded on the served solver string.
+struct DegradedPlan {
+  SynopsisRequest request;
+  std::string suffix;
+};
+
+// Picks the highest ladder rung whose predicted cost fits the request's
+// remaining deadline budget (with a 2x margin for the model's coarseness).
+// Returns nullopt when the requested route already fits — mid-solve
+// overruns are still caught by the solver polls and fall to the ladder
+// floor at run time.
+template <typename Input>
+std::optional<DegradedPlan> PlanDegradedRoute(const SynopsisRequest& request,
+                                              std::size_t n,
+                                              std::size_t lanes,
+                                              std::size_t shard_auto_domain) {
+  if (request.fallback != RequestFallback::kDegrade ||
+      request.deadline.IsNever()) {
+    return std::nullopt;
+  }
+  const double allow = request.deadline.RemainingSeconds() / 2.0;
+  const bool tuple_world_mean_sse =
+      std::is_same_v<Input, TuplePdfInput> &&
+      request.options.metric == ErrorMetric::kSse &&
+      request.options.sse_variant == SseVariant::kWorldMean;
+
+  if (request.kind == SynopsisKind::kWavelet) {
+    WaveletMethod method = request.wavelet_method;
+    if (method == WaveletMethod::kAuto) {
+      method = request.options.metric == ErrorMetric::kSse
+                   ? WaveletMethod::kGreedySse
+                   : WaveletMethod::kRestrictedDp;
+    }
+    if (method == WaveletMethod::kGreedySse) return std::nullopt;
+    const double predicted =
+        method == WaveletMethod::kRestrictedDp
+            ? EstimateRestrictedWaveletSeconds(n, request.budget)
+            : EstimateUnrestrictedWaveletSeconds(
+                  n, request.budget, request.unrestricted.grid_points);
+    if (predicted <= allow) return std::nullopt;
+    DegradedPlan plan{request, DegradeSuffix(RouteLabel(request),
+                                             "greedy-sse")};
+    plan.request.wavelet_method = WaveletMethod::kGreedySse;
+    return plan;
+  }
+
+  if (request.method != HistogramMethod::kOptimal &&
+      request.method != HistogramMethod::kApprox) {
+    return std::nullopt;
+  }
+  const bool sharded_already = RoutesSharded(request, n, shard_auto_domain,
+                                             tuple_world_mean_sse);
+  const bool exact = request.method == HistogramMethod::kOptimal;
+  const double predicted =
+      sharded_already
+          ? EstimateShardedSeconds(n, request.budget, exact, request.epsilon,
+                                   request.sharding, lanes)
+          : (exact ? EstimateExactDpSeconds(n, request.budget)
+                   : EstimateApproxDpSeconds(n, request.budget,
+                                             request.epsilon));
+  if (predicted <= allow) return std::nullopt;
+
+  // Middle rung: sharded construction — approximate for cumulative
+  // metrics, exact for maximum ones (whose approximate DP does not apply).
+  // The joint-distribution world-mean SSE oracle cannot shard at all.
+  if (!sharded_already && !tuple_world_mean_sse) {
+    const bool cumulative = IsCumulativeMetric(request.options.metric);
+    const double sharded_predicted = EstimateShardedSeconds(
+        n, request.budget, /*exact=*/!cumulative, request.epsilon,
+        request.sharding, lanes);
+    if (sharded_predicted <= allow) {
+      DegradedPlan plan{
+          request,
+          DegradeSuffix(RouteLabel(request),
+                        cumulative ? "sharded-approx" : "sharded-dp")};
+      plan.request.method =
+          cumulative ? HistogramMethod::kApprox : HistogramMethod::kOptimal;
+      plan.request.sharding.mode = RequestSharding::Mode::kOn;
+      return plan;
+    }
+  }
+
+  // Floor: equi-depth boundaries, truthfully re-costed. Always served,
+  // even when the model predicts the deadline is unmeetable — a
+  // best-effort cheap synopsis beats a guaranteed failure.
+  DegradedPlan plan{request, DegradeSuffix(RouteLabel(request), "equidepth")};
+  plan.request.method = HistogramMethod::kEquiDepth;
+  plan.request.sharding.mode = RequestSharding::Mode::kOff;
+  return plan;
 }
 
 }  // namespace
@@ -464,8 +668,10 @@ ThreadPool* SynopsisEngine::PoolFor(std::size_t domain_size) const {
 template <typename Input>
 StatusOr<std::vector<SynopsisResult>> SynopsisEngine::BuildBatchImpl(
     const Input& input, std::span<const SynopsisRequest> requests) const {
-  // --- Plan: validate everything up front (all-or-nothing batches), then
-  // group histogram exact/approx requests by their oracle requirements.
+  // --- Plan: validate everything up front (all-or-nothing batches), bind
+  // each request's deadline/cancel into an ExecContext, apply plan-time
+  // degradation, then group histogram exact/approx requests by their
+  // oracle requirements.
   Stopwatch plan_watch;
   if (input.domain_size() == 0) {
     return Status::InvalidArgument("empty domain");
@@ -474,11 +680,45 @@ StatusOr<std::vector<SynopsisResult>> SynopsisEngine::BuildBatchImpl(
     PROBSYN_RETURN_IF_ERROR(request.Validate());
   }
 
+  // Per-request stop signals. Pointers into the vector stay valid for the
+  // whole build (no appends after this loop).
+  std::vector<ExecContext> contexts;
+  contexts.reserve(requests.size());
+  for (const SynopsisRequest& request : requests) {
+    contexts.emplace_back(request.deadline, request.cancel);
+  }
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    if (StopRequested(&contexts[i])) {
+      // Already cancelled or past its deadline before any work happened;
+      // degradation cannot help an expired deadline, so this fails even
+      // under RequestFallback::kDegrade.
+      return contexts[i].StopStatus("engine", "request", i, requests.size());
+    }
+  }
+
+  // Plan-time degradation: rewrite requests whose predicted route cost
+  // cannot fit their deadline. `overrides` keeps the common case (no
+  // degradation) copy-free — SynopsisRequest carries workload vectors.
+  const std::size_t n = input.domain_size();
+  std::vector<std::optional<SynopsisRequest>> overrides(requests.size());
+  std::vector<std::string> degraded(requests.size());
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    if (auto plan = PlanDegradedRoute<Input>(requests[i], n,
+                                             options_.parallelism,
+                                             options_.shard_auto_domain)) {
+      overrides[i] = std::move(plan->request);
+      degraded[i] = std::move(plan->suffix);
+    }
+  }
+  auto effective = [&](std::size_t i) -> const SynopsisRequest& {
+    return overrides[i] ? *overrides[i] : requests[i];
+  };
+
   std::map<OracleKey, std::vector<std::size_t>> oracle_groups;
   std::vector<std::size_t> singles;
   std::vector<std::size_t> sharded;
   for (std::size_t i = 0; i < requests.size(); ++i) {
-    const SynopsisRequest& request = requests[i];
+    const SynopsisRequest& request = effective(i);
     // The sharded route builds its own per-shard oracles, so it never
     // joins an oracle-sharing group.
     const bool tuple_world_mean_sse =
@@ -510,19 +750,85 @@ StatusOr<std::vector<SynopsisResult>> SynopsisEngine::BuildBatchImpl(
   // batch shares one leased DP workspace across groups (each group's
   // results are extracted before the next solve reuses the storage) and
   // one PointErrorTables cache across the MAE/MARE groups.
+  PROBSYN_RETURN_IF_ERROR(MaybeInjectFault(FaultSite::kWorkspaceAlloc));
   DpWorkspacePool::Lease workspace = workspaces_->Acquire();
+
+  // Run-time degradation floor: when request i's (possibly already
+  // plan-degraded) route stopped with `stop`, serve the ladder floor
+  // instead — equi-depth boundaries for histograms, greedy-SSE selection
+  // for wavelets — truthfully re-costed and suffixed
+  // `[degraded=<from>-><to>]`. The floor runs unbounded: it is linear-time
+  // and failing it would serve nothing. Only deadline and resource
+  // overruns degrade; cancellation (the caller asked to stop) and genuine
+  // errors fail the batch unchanged.
+  auto run_floor = [&](std::size_t i, const Status& stop) -> Status {
+    const bool degradable =
+        requests[i].fallback == RequestFallback::kDegrade &&
+        (stop.code() == StatusCode::kDeadlineExceeded ||
+         stop.code() == StatusCode::kResourceExhausted);
+    if (!degradable) return stop;
+    SynopsisRequest floor = requests[i];
+    const char* to = nullptr;
+    if (floor.kind == SynopsisKind::kWavelet) {
+      WaveletMethod method = floor.wavelet_method;
+      if (method == WaveletMethod::kAuto) {
+        method = floor.options.metric == ErrorMetric::kSse
+                     ? WaveletMethod::kGreedySse
+                     : WaveletMethod::kRestrictedDp;
+      }
+      if (method == WaveletMethod::kGreedySse) return stop;  // already floor
+      floor.wavelet_method = WaveletMethod::kGreedySse;
+      to = "greedy-sse";
+    } else {
+      if (floor.method == HistogramMethod::kEquiDepth) return stop;
+      floor.method = HistogramMethod::kEquiDepth;
+      floor.sharding.mode = RequestSharding::Mode::kOff;
+      to = "equidepth";
+    }
+    auto served = ExecuteSingle(input, floor, workspace.get(), pool,
+                                /*ctx=*/nullptr, /*max_workspace_bytes=*/0);
+    if (!served.ok()) return served.status();
+    results[i] = std::move(served).value();
+    results[i].solver += DegradeSuffix(RouteLabel(requests[i]), to);
+    results[i].timing.plan_seconds = plan_seconds;
+    return Status::OK();
+  };
+
   PointErrorTablesCache tables_cache;
   for (const auto& [key, indices] : oracle_groups) {
+    // Shared phases (oracle build, group exact DP) run under the group's
+    // earliest member deadline plus every member's cancellation token:
+    // shared work stops as soon as any member must stop.
+    Deadline earliest;
+    std::vector<const CancelToken*> tokens;
+    for (std::size_t i : indices) {
+      if (requests[i].deadline.RemainingSeconds() <
+          earliest.RemainingSeconds()) {
+        earliest = requests[i].deadline;
+      }
+      if (requests[i].cancel != nullptr) tokens.push_back(requests[i].cancel);
+    }
+    ExecContext group_context(earliest, tokens.data(), tokens.size());
+    const ExecContext* group_ctx =
+        group_context.Unbounded() ? nullptr : &group_context;
+
     Stopwatch watch;
     auto bundle = MakeBucketOracle(input, requests[indices.front()].options,
                                    pool, &tables_cache);
-    if (!bundle.ok()) return bundle.status();
+    if (!bundle.ok()) {
+      // Preprocessing failed (e.g. an injected resource fault): the whole
+      // group degrades or the batch fails.
+      for (std::size_t i : indices) {
+        PROBSYN_RETURN_IF_ERROR(run_floor(i, bundle.status()));
+      }
+      continue;
+    }
     const double oracle_seconds = watch.ElapsedSeconds();
 
     std::size_t max_exact_budget = 0;
     for (std::size_t i : indices) {
-      if (requests[i].method == HistogramMethod::kOptimal) {
-        max_exact_budget = std::max(max_exact_budget, requests[i].budget);
+      if (effective(i).method == HistogramMethod::kOptimal) {
+        max_exact_budget = std::max(max_exact_budget, effective(i).budget);
       }
     }
     if (max_exact_budget > 0) {
@@ -534,42 +840,94 @@ StatusOr<std::vector<SynopsisResult>> SynopsisEngine::BuildBatchImpl(
       dp_options.pool = pool;
       dp_options.workspace = workspace.get();
       dp_options.kernel = bundle->kernel;
+      dp_options.context = group_ctx;
       HistogramDpResult dp = SolveHistogramDpWithKernel(
           *bundle->oracle, max_exact_budget, bundle->combiner, dp_options);
       const double dp_seconds = watch.ElapsedSeconds();
-      for (std::size_t i : indices) {
-        if (requests[i].method != HistogramMethod::kOptimal) continue;
-        Stopwatch extract_watch;
-        SynopsisResult& result = results[i];
-        result.kind = SynopsisKind::kHistogram;
-        result.histogram = dp.ExtractHistogram(requests[i].budget);
-        result.cost = dp.OptimalCost(requests[i].budget);
-        result.solver = FormatKernelSolver("histogram/exact-dp",
-                                           DpKernelKindName(dp.kernel()),
-                                           pool);
-        result.timing.plan_seconds = plan_seconds;
-        result.timing.preprocess_seconds = oracle_seconds;
-        result.timing.solve_seconds =
-            dp_seconds + extract_watch.ElapsedSeconds();
+      if (dp.status().ok()) {
+        for (std::size_t i : indices) {
+          if (effective(i).method != HistogramMethod::kOptimal) continue;
+          Stopwatch extract_watch;
+          SynopsisResult& result = results[i];
+          result.kind = SynopsisKind::kHistogram;
+          result.histogram = dp.ExtractHistogram(effective(i).budget);
+          result.cost = dp.OptimalCost(effective(i).budget);
+          result.solver = FormatKernelSolver("histogram/exact-dp",
+                                             DpKernelKindName(dp.kernel()),
+                                             pool) +
+                          degraded[i];
+          result.timing.plan_seconds = plan_seconds;
+          result.timing.preprocess_seconds = oracle_seconds;
+          result.timing.solve_seconds =
+              dp_seconds + extract_watch.ElapsedSeconds();
+        }
+      } else {
+        // The shared solve stopped (one member's deadline/cancel, or a
+        // fault). One member's signal must not fail the others: members
+        // whose own context is still live re-solve solo at their own
+        // budget; stopped members degrade or fail.
+        for (std::size_t i : indices) {
+          if (effective(i).method != HistogramMethod::kOptimal) continue;
+          if (StopRequested(&contexts[i])) {
+            PROBSYN_RETURN_IF_ERROR(run_floor(
+                i, contexts[i].StopStatus("exact-dp", "budget layer", 0,
+                                          effective(i).budget)));
+            continue;
+          }
+          watch.Restart();
+          DpKernelOptions solo_options;
+          solo_options.pool = pool;
+          solo_options.workspace = workspace.get();
+          solo_options.kernel = bundle->kernel;
+          solo_options.context = &contexts[i];
+          HistogramDpResult solo = SolveHistogramDpWithKernel(
+              *bundle->oracle, effective(i).budget, bundle->combiner,
+              solo_options);
+          if (!solo.status().ok()) {
+            PROBSYN_RETURN_IF_ERROR(run_floor(i, solo.status()));
+            continue;
+          }
+          // Extract before the next solo solve reuses the workspace.
+          SynopsisResult& result = results[i];
+          result.kind = SynopsisKind::kHistogram;
+          result.histogram = solo.ExtractHistogram(effective(i).budget);
+          result.cost = solo.OptimalCost(effective(i).budget);
+          result.solver = FormatKernelSolver("histogram/exact-dp",
+                                             DpKernelKindName(solo.kernel()),
+                                             pool) +
+                          degraded[i];
+          result.timing.plan_seconds = plan_seconds;
+          result.timing.preprocess_seconds = oracle_seconds;
+          result.timing.solve_seconds = watch.ElapsedSeconds();
+        }
       }
     }
 
     for (std::size_t i : indices) {
-      if (requests[i].method != HistogramMethod::kApprox) continue;
+      if (effective(i).method != HistogramMethod::kApprox) continue;
       watch.Restart();
       // The planner knows the oracle's concrete type, so the approximate DP
       // gets its specialized point-cost kernel without the dynamic_cast
-      // chain; the chosen kernel lands in the solver string.
+      // chain; the chosen kernel lands in the solver string. Approximate
+      // solves are per-request, so each runs under its own context.
+      ApproxDpKernelOptions approx_options;
+      approx_options.kernel = bundle->kernel;
+      approx_options.context = &contexts[i];
       auto approx = SolveApproxHistogramDpWithKernel(
-          *bundle->oracle, requests[i].budget, requests[i].epsilon,
-          {.kernel = bundle->kernel});
-      if (!approx.ok()) return approx.status();
+          *bundle->oracle, effective(i).budget, effective(i).epsilon,
+          approx_options);
+      if (!approx.ok()) {
+        PROBSYN_RETURN_IF_ERROR(run_floor(i, approx.status()));
+        continue;
+      }
       SynopsisResult& result = results[i];
       result.kind = SynopsisKind::kHistogram;
       result.histogram = std::move(approx->histogram);
       result.cost = approx->cost;
       result.oracle_evaluations = approx->oracle_evaluations;
-      result.solver = FormatApproxDpSolver(approx->kernel, requests[i].epsilon);
+      result.solver =
+          FormatApproxDpSolver(approx->kernel, effective(i).epsilon) +
+          degraded[i];
       result.timing.plan_seconds = plan_seconds;
       result.timing.preprocess_seconds = oracle_seconds;
       result.timing.solve_seconds = watch.ElapsedSeconds();
@@ -580,9 +938,14 @@ StatusOr<std::vector<SynopsisResult>> SynopsisEngine::BuildBatchImpl(
   // oracle groups have extracted their results, so sharing the batch's
   // leased workspace (the wavelet route's state arena) is safe.
   for (std::size_t i : singles) {
-    auto result = ExecuteSingle(input, requests[i], workspace.get(), pool);
-    if (!result.ok()) return result.status();
+    auto result = ExecuteSingle(input, effective(i), workspace.get(), pool,
+                                &contexts[i], options_.max_workspace_bytes);
+    if (!result.ok()) {
+      PROBSYN_RETURN_IF_ERROR(run_floor(i, result.status()));
+      continue;
+    }
     results[i] = std::move(result).value();
+    results[i].solver += degraded[i];
     results[i].timing.plan_seconds = plan_seconds;
   }
 
@@ -591,12 +954,21 @@ StatusOr<std::vector<SynopsisResult>> SynopsisEngine::BuildBatchImpl(
   // workspace pool (the batch lease above is NOT shared: shard solves run
   // concurrently and each needs its own arena).
   for (std::size_t i : sharded) {
-    auto result = ExecSharded(input, requests[i], pool, workspaces_.get());
-    if (!result.ok()) return result.status();
+    auto result = ExecSharded(input, effective(i), pool, workspaces_.get(),
+                              &contexts[i], options_.max_workspace_bytes);
+    if (!result.ok()) {
+      PROBSYN_RETURN_IF_ERROR(run_floor(i, result.status()));
+      continue;
+    }
     results[i] = std::move(result).value();
+    results[i].solver += degraded[i];
     results[i].timing.plan_seconds = plan_seconds;
   }
   return results;
+}
+
+DpWorkspacePool::Stats SynopsisEngine::workspace_pool_stats() const {
+  return workspaces_->stats();
 }
 
 StatusOr<SynopsisResult> SynopsisEngine::Build(

@@ -8,18 +8,34 @@
 #include <string>
 #include <vector>
 
+#include "core/dp_kernels.h"
 #include "core/histogram.h"
 #include "core/metrics.h"
 #include "core/wavelet.h"
 #include "core/wavelet_unrestricted.h"
 #include "model/tuple_pdf.h"
 #include "model/value_pdf.h"
+#include "util/deadline.h"
 #include "util/status.h"
 
 namespace probsyn {
 
-class DpWorkspacePool;
 class ThreadPool;
+
+/// What the engine does when a request's deadline cannot be met (or its
+/// workspace byte budget would be exceeded).
+enum class RequestFallback {
+  /// Fail the request with kDeadlineExceeded / kResourceExhausted.
+  kNone,
+  /// Fall down the degradation ladder instead of failing: histograms go
+  /// exact -> sharded-approx -> equi-depth (sharded-exact replaces
+  /// sharded-approx for maximum metrics, whose approximate DP does not
+  /// apply), wavelet DP routes fall to the greedy-SSE selection. The
+  /// served synopsis is truthfully re-costed and the solver string records
+  /// `[degraded=<from>-><to>]`, so a degraded answer is never mistaken for
+  /// the requested one.
+  kDegrade,
+};
 
 /// Which synopsis family a request asks for (the paper's two synopsis
 /// types over probabilistic data).
@@ -100,6 +116,21 @@ struct SynopsisRequest {
   std::size_t wavelet_max_domain = 2048;
   /// Grid options of the unrestricted DP.
   UnrestrictedWaveletOptions unrestricted;
+
+  // --- Robustness controls (both synopsis kinds). ---
+  /// Wall-clock deadline of this request (default: never expires). Solvers
+  /// poll it cooperatively at coarse granularity, so an expired deadline
+  /// surfaces as kDeadlineExceeded within one poll interval — or, under
+  /// RequestFallback::kDegrade, as a cheaper synopsis (see the ladder).
+  /// In a batch, phases shared by a group run under the group's earliest
+  /// deadline.
+  Deadline deadline;
+  /// Optional caller-owned cancellation token; must outlive the build.
+  /// Firing it (from any thread) stops the request with kCancelled at the
+  /// next poll. Cancellation never degrades — the caller asked to stop.
+  const CancelToken* cancel = nullptr;
+  /// Deadline/resource-overrun policy; see RequestFallback.
+  RequestFallback fallback = RequestFallback::kNone;
 
   /// Static (input-independent) validation: budget, epsilon, and
   /// method/metric combinations that can never execute.
@@ -183,6 +214,12 @@ class SynopsisEngine {
     /// where the unsharded approximate DP's candidate count makes single
     /// solves take minutes). kOptimal never auto-shards.
     std::size_t shard_auto_domain = 1u << 16;
+    /// Upper bound on the solver-workspace bytes one request may pin at
+    /// once (the restricted wavelet DP's O(n^2 B) arena, the sharded exact
+    /// fan-out's per-shard tables). Exceeding it yields kResourceExhausted
+    /// up front — or a degraded route under RequestFallback::kDegrade —
+    /// instead of an allocation storm. 0 = uncapped.
+    std::size_t max_workspace_bytes = 0;
   };
 
   SynopsisEngine() : SynopsisEngine(Options{}) {}
@@ -194,6 +231,12 @@ class SynopsisEngine {
 
   /// Resolved lane count (>= 1).
   std::size_t parallelism() const;
+
+  /// Lease accounting of the engine's DP-workspace pool. `outstanding`
+  /// returns to zero whenever no build is in flight — failed, cancelled,
+  /// and deadline-stopped builds included — which the robustness tests
+  /// assert (no lease leaks on any unwind path).
+  DpWorkspacePool::Stats workspace_pool_stats() const;
 
   StatusOr<SynopsisResult> Build(const ValuePdfInput& input,
                                  const SynopsisRequest& request) const;

@@ -7,6 +7,8 @@
 #include <string>
 #include <vector>
 
+#include "util/fault_injection.h"
+
 namespace probsyn {
 
 namespace {
@@ -15,9 +17,26 @@ constexpr char kMagic[] = "probsyn-pdata";
 constexpr char kVersion[] = "v1";
 constexpr int kPrecision = 17;  // round-trip doubles exactly
 
-// Reads the next non-comment, non-blank line into `line`.
-bool NextLine(std::istream& is, std::string& line) {
+// Declared row/domain counts above this are treated as corruption: the
+// readers preallocate by the declared count, and a scrambled header must
+// yield kInvalidArgument, not a multi-gigabyte allocation attempt.
+constexpr std::size_t kMaxDeclaredCount = std::size_t{1} << 26;
+
+// Tracks where in the stream the reader is, so parse failures can say
+// exactly which line (1-based) and byte offset the corruption sits at.
+struct LineCursor {
+  std::size_t line = 0;    // line number of the last line handed out
+  std::size_t offset = 0;  // byte offset where that line began
+  std::size_t next_offset = 0;
+};
+
+// Reads the next non-comment, non-blank line into `line`, advancing the
+// cursor past skipped lines.
+bool NextLine(std::istream& is, std::string& line, LineCursor& cursor) {
   while (std::getline(is, line)) {
+    ++cursor.line;
+    cursor.offset = cursor.next_offset;
+    cursor.next_offset += line.size() + 1;  // newline eaten by getline
     std::size_t pos = line.find('#');
     if (pos != std::string::npos) line.resize(pos);
     bool blank = true;
@@ -32,21 +51,50 @@ bool NextLine(std::istream& is, std::string& line) {
   return false;
 }
 
-StatusOr<std::string> ReadHeader(std::istream& is, const std::string& kind) {
+std::string At(const LineCursor& cursor) {
+  return " (line " + std::to_string(cursor.line) + ", byte offset " +
+         std::to_string(cursor.offset) + ")";
+}
+
+// Corrupt content the reader located: kInvalidArgument with position.
+Status ParseError(const std::string& what, const LineCursor& cursor) {
+  return Status::InvalidArgument(what + At(cursor));
+}
+
+// Stream ended (or failed) before the declared content: kIOError with the
+// position of the last line successfully read.
+Status TruncatedError(const std::string& what, const LineCursor& cursor) {
+  return Status::IOError(what + At(cursor));
+}
+
+StatusOr<std::string> ReadHeader(std::istream& is, const std::string& kind,
+                                 LineCursor& cursor) {
+  PROBSYN_RETURN_IF_ERROR(MaybeInjectFault(FaultSite::kPdataRead));
   std::string line;
-  if (!NextLine(is, line)) return Status::IOError("empty stream");
+  if (!NextLine(is, line, cursor)) return Status::IOError("empty stream");
   std::istringstream ls(line);
   std::string magic, version, got_kind;
   ls >> magic >> version >> got_kind;
-  if (magic != kMagic) return Status::InvalidArgument("bad magic: " + magic);
+  if (magic != kMagic) return ParseError("bad magic: " + magic, cursor);
   if (version != kVersion) {
-    return Status::InvalidArgument("unsupported version: " + version);
+    return ParseError("unsupported version: " + version, cursor);
   }
   if (got_kind != kind) {
-    return Status::InvalidArgument("expected " + kind + " stream, got " +
-                                   got_kind);
+    return ParseError("expected " + kind + " stream, got " + got_kind, cursor);
   }
   return got_kind;
+}
+
+// Guards the preallocations below against scrambled count fields.
+Status ValidateDeclaredCount(const char* what, std::size_t count,
+                             const LineCursor& cursor) {
+  if (count > kMaxDeclaredCount) {
+    return ParseError(std::string("declared ") + what + " count " +
+                          std::to_string(count) + " exceeds the sanity cap " +
+                          std::to_string(kMaxDeclaredCount),
+                      cursor);
+  }
+  return Status::OK();
 }
 
 }  // namespace
@@ -69,37 +117,54 @@ Status WriteValuePdf(std::ostream& os, const ValuePdfInput& input) {
 }
 
 StatusOr<ValuePdfInput> ReadValuePdf(std::istream& is) {
-  auto header = ReadHeader(is, "value_pdf");
-  if (!header.ok()) return header.status();
+  LineCursor cursor;
+  PROBSYN_RETURN_IF_ERROR(ReadHeader(is, "value_pdf", cursor).status());
 
   std::string line;
-  if (!NextLine(is, line)) return Status::IOError("missing domain line");
+  if (!NextLine(is, line, cursor)) {
+    return TruncatedError("missing domain line", cursor);
+  }
   std::istringstream ls(line);
   std::string tag;
   std::size_t n = 0;
   ls >> tag >> n;
-  if (tag != "n" || ls.fail()) return Status::InvalidArgument("bad n line");
+  if (tag != "n" || ls.fail()) return ParseError("bad n line", cursor);
+  PROBSYN_RETURN_IF_ERROR(ValidateDeclaredCount("item", n, cursor));
 
   std::vector<ValuePdf> items(n);
   std::vector<bool> seen(n, false);
   for (std::size_t row = 0; row < n; ++row) {
-    if (!NextLine(is, line)) return Status::IOError("truncated value_pdf");
+    PROBSYN_RETURN_IF_ERROR(MaybeInjectFault(FaultSite::kPdataRead));
+    if (!NextLine(is, line, cursor)) {
+      return TruncatedError("truncated value_pdf: got " + std::to_string(row) +
+                                " of " + std::to_string(n) + " items",
+                            cursor);
+    }
     std::istringstream es(line);
     std::size_t index = 0, pairs = 0;
     es >> tag >> index >> pairs;
     if (tag != "item" || es.fail() || index >= n) {
-      return Status::InvalidArgument("bad item line: " + line);
+      return ParseError("bad item line: " + line, cursor);
+    }
+    if (pairs > line.size()) {
+      // Each pair needs several bytes on its line; a count beyond the line
+      // length is corruption, caught before the entries allocation.
+      return ParseError("item pair count " + std::to_string(pairs) +
+                            " exceeds the line length",
+                        cursor);
     }
     if (seen[index]) {
-      return Status::InvalidArgument("duplicate item " + std::to_string(index));
+      return ParseError("duplicate item " + std::to_string(index), cursor);
     }
     std::vector<ValueProb> entries(pairs);
     for (ValueProb& e : entries) {
       es >> e.value >> e.probability;
     }
-    if (es.fail()) return Status::InvalidArgument("bad item pairs: " + line);
+    if (es.fail()) return ParseError("bad item pairs: " + line, cursor);
     auto pdf = ValuePdf::Create(std::move(entries));
-    if (!pdf.ok()) return pdf.status();
+    if (!pdf.ok()) {
+      return ParseError(pdf.status().message(), cursor);
+    }
     items[index] = std::move(pdf).value();
     seen[index] = true;
   }
@@ -125,37 +190,53 @@ Status WriteTuplePdf(std::ostream& os, const TuplePdfInput& input) {
 }
 
 StatusOr<TuplePdfInput> ReadTuplePdf(std::istream& is) {
-  auto header = ReadHeader(is, "tuple_pdf");
-  if (!header.ok()) return header.status();
+  LineCursor cursor;
+  PROBSYN_RETURN_IF_ERROR(ReadHeader(is, "tuple_pdf", cursor).status());
 
   std::string line;
-  if (!NextLine(is, line)) return Status::IOError("missing domain line");
+  if (!NextLine(is, line, cursor)) {
+    return TruncatedError("missing domain line", cursor);
+  }
   std::istringstream ls(line);
   std::string tag_n, tag_m;
   std::size_t n = 0, m = 0;
   ls >> tag_n >> n >> tag_m >> m;
   if (tag_n != "n" || tag_m != "m" || ls.fail()) {
-    return Status::InvalidArgument("bad n/m line");
+    return ParseError("bad n/m line", cursor);
   }
+  PROBSYN_RETURN_IF_ERROR(ValidateDeclaredCount("tuple", m, cursor));
 
   std::vector<ProbTuple> tuples;
   tuples.reserve(m);
   for (std::size_t row = 0; row < m; ++row) {
-    if (!NextLine(is, line)) return Status::IOError("truncated tuple_pdf");
+    PROBSYN_RETURN_IF_ERROR(MaybeInjectFault(FaultSite::kPdataRead));
+    if (!NextLine(is, line, cursor)) {
+      return TruncatedError("truncated tuple_pdf: got " + std::to_string(row) +
+                                " of " + std::to_string(m) + " tuples",
+                            cursor);
+    }
     std::istringstream es(line);
     std::string tag;
     std::size_t alternatives = 0;
     es >> tag >> alternatives;
     if (tag != "tuple" || es.fail()) {
-      return Status::InvalidArgument("bad tuple line: " + line);
+      return ParseError("bad tuple line: " + line, cursor);
+    }
+    if (alternatives > line.size()) {
+      return ParseError("tuple alternative count " +
+                            std::to_string(alternatives) +
+                            " exceeds the line length",
+                        cursor);
     }
     std::vector<TupleAlternative> alts(alternatives);
     for (TupleAlternative& a : alts) {
       es >> a.item >> a.probability;
     }
-    if (es.fail()) return Status::InvalidArgument("bad tuple pairs: " + line);
+    if (es.fail()) return ParseError("bad tuple pairs: " + line, cursor);
     auto tuple = ProbTuple::Create(std::move(alts));
-    if (!tuple.ok()) return tuple.status();
+    if (!tuple.ok()) {
+      return ParseError(tuple.status().message(), cursor);
+    }
     tuples.push_back(std::move(tuple).value());
   }
   TuplePdfInput input(n, std::move(tuples));
@@ -176,29 +257,38 @@ Status WriteBasicModel(std::ostream& os, const BasicModelInput& input) {
 }
 
 StatusOr<BasicModelInput> ReadBasicModel(std::istream& is) {
-  auto header = ReadHeader(is, "basic");
-  if (!header.ok()) return header.status();
+  LineCursor cursor;
+  PROBSYN_RETURN_IF_ERROR(ReadHeader(is, "basic", cursor).status());
 
   std::string line;
-  if (!NextLine(is, line)) return Status::IOError("missing domain line");
+  if (!NextLine(is, line, cursor)) {
+    return TruncatedError("missing domain line", cursor);
+  }
   std::istringstream ls(line);
   std::string tag_n, tag_m;
   std::size_t n = 0, m = 0;
   ls >> tag_n >> n >> tag_m >> m;
   if (tag_n != "n" || tag_m != "m" || ls.fail()) {
-    return Status::InvalidArgument("bad n/m line");
+    return ParseError("bad n/m line", cursor);
   }
+  PROBSYN_RETURN_IF_ERROR(ValidateDeclaredCount("tuple", m, cursor));
 
   std::vector<BasicTuple> tuples;
   tuples.reserve(m);
   for (std::size_t row = 0; row < m; ++row) {
-    if (!NextLine(is, line)) return Status::IOError("truncated basic model");
+    PROBSYN_RETURN_IF_ERROR(MaybeInjectFault(FaultSite::kPdataRead));
+    if (!NextLine(is, line, cursor)) {
+      return TruncatedError("truncated basic model: got " +
+                                std::to_string(row) + " of " +
+                                std::to_string(m) + " tuples",
+                            cursor);
+    }
     std::istringstream es(line);
     std::string tag;
     BasicTuple t;
     es >> tag >> t.item >> t.probability;
     if (tag != "t" || es.fail()) {
-      return Status::InvalidArgument("bad basic tuple line: " + line);
+      return ParseError("bad basic tuple line: " + line, cursor);
     }
     tuples.push_back(t);
   }
@@ -258,14 +348,16 @@ StatusOr<BasicModelInput> LoadBasicModel(const std::string& path) {
 }
 
 StatusOr<std::string> DetectPdataKind(std::istream& is) {
+  PROBSYN_RETURN_IF_ERROR(MaybeInjectFault(FaultSite::kPdataRead));
+  LineCursor cursor;
   std::string line;
-  if (!NextLine(is, line)) return Status::IOError("empty stream");
+  if (!NextLine(is, line, cursor)) return Status::IOError("empty stream");
   std::istringstream ls(line);
   std::string magic, version, kind;
   ls >> magic >> version >> kind;
-  if (magic != kMagic) return Status::InvalidArgument("bad magic: " + magic);
+  if (magic != kMagic) return ParseError("bad magic: " + magic, cursor);
   if (kind != "value_pdf" && kind != "tuple_pdf" && kind != "basic") {
-    return Status::InvalidArgument("unknown pdata kind: " + kind);
+    return ParseError("unknown pdata kind: " + kind, cursor);
   }
   return kind;
 }

@@ -1,0 +1,33 @@
+#include "util/deadline.h"
+
+#include <cstdio>
+
+namespace probsyn {
+
+Deadline Deadline::After(double seconds) {
+  Deadline d;
+  d.armed_ = true;
+  d.when_ = std::chrono::steady_clock::now() +
+            std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                std::chrono::duration<double>(seconds));
+  return d;
+}
+
+Deadline Deadline::At(std::chrono::steady_clock::time_point when) {
+  Deadline d;
+  d.armed_ = true;
+  d.when_ = when;
+  return d;
+}
+
+Status ExecContext::StopStatus(const char* route, const char* progress_unit,
+                               std::size_t done, std::size_t total) const {
+  const bool cancelled = CancelRequested();
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "%s stopped at %s %zu/%zu: %s", route,
+                progress_unit, done, total,
+                cancelled ? "cancelled" : "deadline exceeded");
+  return cancelled ? Status::Cancelled(buf) : Status::DeadlineExceeded(buf);
+}
+
+}  // namespace probsyn

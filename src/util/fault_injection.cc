@@ -1,0 +1,140 @@
+#include "util/fault_injection.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+
+namespace probsyn {
+namespace fault_internal {
+
+std::atomic<int> g_armed{0};
+
+namespace {
+
+// Campaign state. Written only while transitioning armed<->disarmed (env
+// parse before first check via call_once; ScopedFaultInjection under the
+// mutex below), read on the armed slow path only.
+FaultConfig g_config;
+std::mutex g_config_mutex;
+std::atomic<std::uint64_t> g_check_counter{0};
+std::atomic<std::uint64_t> g_fired_counter{0};
+std::once_flag g_env_once;
+bool g_env_armed = false;
+
+// splitmix64: cheap, well-mixed; the roll stream is hash(seed, counter).
+std::uint64_t Mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+void InitFromEnv() {
+  const char* env = std::getenv("PROBSYN_FAULTS");
+  if (env == nullptr || *env == '\0') return;
+  FaultConfig config;
+  char* endp = nullptr;
+  config.seed = std::strtoull(env, &endp, 10);
+  if (endp == env || *endp != ':') return;  // malformed: stay disarmed
+  const char* rate_str = endp + 1;
+  config.rate = std::strtod(rate_str, &endp);
+  if (endp == rate_str) return;
+  if (*endp == ':') {
+    config.latency_us =
+        static_cast<std::uint32_t>(std::strtoul(endp + 1, nullptr, 10));
+  }
+  if (config.rate <= 0.0) return;
+  if (config.rate > 1.0) config.rate = 1.0;
+  {
+    std::lock_guard<std::mutex> lock(g_config_mutex);
+    g_config = config;
+  }
+  g_env_armed = true;
+  g_armed.store(1, std::memory_order_relaxed);
+}
+
+// Arm an environment campaign before main() so every check — including
+// those in other static initializers' unlikely use — sees it.
+[[maybe_unused]] const bool g_env_init = [] {
+  std::call_once(g_env_once, InitFromEnv);
+  return g_env_armed;
+}();
+
+}  // namespace
+
+Status InjectSlow(FaultSite site) {
+  FaultConfig config;
+  {
+    std::lock_guard<std::mutex> lock(g_config_mutex);
+    config = g_config;
+  }
+  if (config.only_site != FaultSite::kNumSites && config.only_site != site) {
+    return Status::OK();
+  }
+  const std::uint64_t n =
+      g_check_counter.fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t h = Mix(config.seed ^ Mix(n));
+  // Top 53 bits -> uniform double in [0, 1).
+  const double roll =
+      static_cast<double>(h >> 11) * (1.0 / 9007199254740992.0);
+  if (roll >= config.rate) return Status::OK();
+
+  g_fired_counter.fetch_add(1, std::memory_order_relaxed);
+  if (config.latency_us > 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(config.latency_us));
+    return Status::OK();
+  }
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "injected fault at site %s (check #%llu)",
+                FaultSiteName(site), static_cast<unsigned long long>(n));
+  return site == FaultSite::kPdataRead ? Status::IOError(buf)
+                                       : Status::ResourceExhausted(buf);
+}
+
+}  // namespace fault_internal
+
+const char* FaultSiteName(FaultSite site) {
+  switch (site) {
+    case FaultSite::kWorkspaceAlloc:
+      return "workspace-alloc";
+    case FaultSite::kThreadPoolTask:
+      return "thread-pool-task";
+    case FaultSite::kOraclePreprocess:
+      return "oracle-preprocess";
+    case FaultSite::kPdataRead:
+      return "pdata-read";
+    case FaultSite::kNumSites:
+      break;
+  }
+  return "unknown";
+}
+
+ScopedFaultInjection::ScopedFaultInjection(const FaultConfig& config) {
+  std::lock_guard<std::mutex> lock(fault_internal::g_config_mutex);
+  was_armed_ =
+      fault_internal::g_armed.load(std::memory_order_relaxed) != 0;
+  previous_ = fault_internal::g_config;
+  fault_internal::g_config = config;
+  fault_internal::g_armed.store(config.rate > 0.0 ? 1 : 0,
+                                std::memory_order_relaxed);
+}
+
+ScopedFaultInjection::~ScopedFaultInjection() {
+  std::lock_guard<std::mutex> lock(fault_internal::g_config_mutex);
+  fault_internal::g_config = previous_;
+  fault_internal::g_armed.store(was_armed_ ? 1 : 0,
+                                std::memory_order_relaxed);
+}
+
+bool FaultInjectionArmedFromEnv() {
+  std::call_once(fault_internal::g_env_once, fault_internal::InitFromEnv);
+  return fault_internal::g_env_armed;
+}
+
+std::uint64_t FaultInjectionFiredCount() {
+  return fault_internal::g_fired_counter.load(std::memory_order_relaxed);
+}
+
+}  // namespace probsyn

@@ -1,0 +1,97 @@
+#ifndef PROBSYN_UTIL_FAULT_INJECTION_H_
+#define PROBSYN_UTIL_FAULT_INJECTION_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "util/status.h"
+
+namespace probsyn {
+
+/// Named fault-injection sites: the places where the library touches a
+/// resource that can fail in production (memory, threads, files). Each
+/// site is one `PROBSYN_FAULT_CHECK`-style call on the success path that
+/// compiles to a single relaxed atomic load + never-taken branch when
+/// injection is disarmed.
+enum class FaultSite {
+  kWorkspaceAlloc = 0,  ///< DpWorkspace / wavelet-arena / shard fan-out alloc.
+  kThreadPoolTask,      ///< ThreadPool chunk entry (ParallelFor fan-outs).
+  kOraclePreprocess,    ///< MakeBucketOracle preprocessing.
+  kPdataRead,           ///< io/pdata line reads.
+  kNumSites,            ///< Sentinel; not a site.
+};
+
+/// Stable display name ("workspace-alloc", "thread-pool-task", ...).
+const char* FaultSiteName(FaultSite site);
+
+/// One injection campaign: every armed check at a matching site rolls a
+/// seeded hash against `rate` and, on a hit, either sleeps `latency_us`
+/// microseconds (latency mode) or fails with kIOError (kPdataRead) /
+/// kResourceExhausted (every other site). The roll stream is a function of
+/// (seed, global check counter, site): one process-wide sequence, so a
+/// campaign is reproducible for a fixed seed and check interleaving, and
+/// single-threaded runs are exactly reproducible.
+struct FaultConfig {
+  std::uint64_t seed = 0;
+  /// Probability in [0, 1] that an armed check fires.
+  double rate = 0.0;
+  /// Nonzero switches firing checks from errors to injected latency.
+  std::uint32_t latency_us = 0;
+  /// Restrict firing to one site; FaultSite::kNumSites = every site.
+  FaultSite only_site = FaultSite::kNumSites;
+};
+
+namespace fault_internal {
+/// Nonzero while a campaign is armed (env var or scoped override). The
+/// disarmed fast path of every site check is this one relaxed load.
+extern std::atomic<int> g_armed;
+/// Slow path: rolls the seeded hash and returns the fault, OK otherwise.
+Status InjectSlow(FaultSite site);
+}  // namespace fault_internal
+
+/// The per-site check on a success path. Disarmed (the default, and
+/// whenever PROBSYN_FAULTS is unset and no ScopedFaultInjection is live)
+/// this is one relaxed atomic load and a never-taken branch.
+inline Status MaybeInjectFault(FaultSite site) {
+  if (fault_internal::g_armed.load(std::memory_order_relaxed) == 0) {
+    return Status::OK();
+  }
+  return fault_internal::InjectSlow(site);
+}
+
+/// True when some campaign is armed (used to skip optional bookkeeping).
+inline bool FaultInjectionArmed() {
+  return fault_internal::g_armed.load(std::memory_order_relaxed) != 0;
+}
+
+/// Arms `config` for the current scope and restores the previous state
+/// (armed or not) on destruction — the test-scoped override. Not
+/// re-entrant across threads: campaigns are process-global, so tests that
+/// arm one must not run concurrently with tests asserting fault-free
+/// behavior.
+class ScopedFaultInjection {
+ public:
+  explicit ScopedFaultInjection(const FaultConfig& config);
+  ~ScopedFaultInjection();
+
+  ScopedFaultInjection(const ScopedFaultInjection&) = delete;
+  ScopedFaultInjection& operator=(const ScopedFaultInjection&) = delete;
+
+ private:
+  FaultConfig previous_;
+  bool was_armed_;
+};
+
+/// Process-wide campaign from the PROBSYN_FAULTS environment variable,
+/// parsed once at first check: "<seed>:<rate>" with optional
+/// ":<latency_us>" third field (e.g. "42:0.02" or "7:0.1:500"). Returns
+/// whether a campaign was armed from the environment.
+bool FaultInjectionArmedFromEnv();
+
+/// Number of faults fired (errors or latency events) since process start;
+/// observability for sweep tests asserting the campaign actually ran.
+std::uint64_t FaultInjectionFiredCount();
+
+}  // namespace probsyn
+
+#endif  // PROBSYN_UTIL_FAULT_INJECTION_H_

@@ -1,6 +1,20 @@
 #include "util/status.h"
 
+#include <cstdio>
+#include <cstdlib>
+
 namespace probsyn {
+
+namespace status_internal {
+
+void DieOnBadStatusAccess(const Status& status) {
+  std::fprintf(stderr, "StatusOr::value() called on non-OK status: %s\n",
+               status.ToString().c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace status_internal
 
 const char* StatusCodeToString(StatusCode code) {
   switch (code) {
@@ -20,6 +34,12 @@ const char* StatusCodeToString(StatusCode code) {
       return "Internal";
     case StatusCode::kIOError:
       return "IOError";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
+    case StatusCode::kCancelled:
+      return "Cancelled";
+    case StatusCode::kResourceExhausted:
+      return "ResourceExhausted";
   }
   return "Unknown";
 }

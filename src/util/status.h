@@ -21,6 +21,9 @@ enum class StatusCode {
   kUnimplemented,     ///< Declared but intentionally unsupported combination.
   kInternal,          ///< Invariant violation inside the library; a bug.
   kIOError,           ///< Underlying stream/file failure.
+  kDeadlineExceeded,  ///< A request's wall-clock deadline passed mid-solve.
+  kCancelled,         ///< A request's CancelToken fired mid-solve.
+  kResourceExhausted, ///< Memory/worker budget exceeded (or injected fault).
 };
 
 /// Returns a stable, human-readable name ("InvalidArgument", ...).
@@ -61,6 +64,15 @@ class Status {
   static Status IOError(std::string msg) {
     return Status(StatusCode::kIOError, std::move(msg));
   }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -80,8 +92,16 @@ class Status {
 
 std::ostream& operator<<(std::ostream& os, const Status& status);
 
-/// Either a `T` or an error `Status`. Access to the value of a non-OK
-/// result aborts in debug builds (assert) — callers must check `ok()`.
+namespace status_internal {
+/// Prints "StatusOr::value() called on non-OK status: <status>" to stderr
+/// and aborts. Out of line so the header's hot accessors stay tiny.
+[[noreturn]] void DieOnBadStatusAccess(const Status& status);
+}  // namespace status_internal
+
+/// Either a `T` or an error `Status`. Accessing the value of a non-OK
+/// result aborts with the status message — in EVERY build type, not just
+/// debug: a Release-mode caller that skipped `ok()` must die loudly at the
+/// access, not read an empty optional.
 template <typename T>
 class StatusOr {
  public:
@@ -96,15 +116,15 @@ class StatusOr {
   const Status& status() const { return status_; }
 
   const T& value() const& {
-    assert(ok());
+    CheckOk();
     return *value_;
   }
   T& value() & {
-    assert(ok());
+    CheckOk();
     return *value_;
   }
   T&& value() && {
-    assert(ok());
+    CheckOk();
     return std::move(*value_);
   }
 
@@ -114,6 +134,10 @@ class StatusOr {
   T* operator->() { return &value(); }
 
  private:
+  void CheckOk() const {
+    if (!ok()) status_internal::DieOnBadStatusAccess(status_);
+  }
+
   Status status_;  // OK iff value_ holds a T.
   std::optional<T> value_;
 };
@@ -124,6 +148,25 @@ class StatusOr {
     ::probsyn::Status _probsyn_status = (expr);        \
     if (!_probsyn_status.ok()) return _probsyn_status; \
   } while (false)
+
+#define PROBSYN_STATUS_CONCAT_INNER_(a, b) a##b
+#define PROBSYN_STATUS_CONCAT_(a, b) PROBSYN_STATUS_CONCAT_INNER_(a, b)
+#define PROBSYN_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                                   \
+  if (!tmp.ok()) return tmp.status();                  \
+  lhs = std::move(tmp).value()
+
+/// Evaluates a StatusOr expression, early-returns its Status on error,
+/// else assigns the moved value:
+///
+///     PROBSYN_ASSIGN_OR_RETURN(OracleBundle bundle,
+///                              MakeBucketOracle(input, options));
+///
+/// Usable in any function whose return type accepts a Status (Status,
+/// StatusOr<T>).
+#define PROBSYN_ASSIGN_OR_RETURN(lhs, expr)                               \
+  PROBSYN_ASSIGN_OR_RETURN_IMPL_(                                         \
+      PROBSYN_STATUS_CONCAT_(_probsyn_statusor_, __LINE__), lhs, expr)
 
 }  // namespace probsyn
 

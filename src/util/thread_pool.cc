@@ -2,7 +2,11 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <exception>
 #include <memory>
+#include <string>
+
+#include "util/fault_injection.h"
 
 namespace probsyn {
 
@@ -13,12 +17,31 @@ namespace {
 // risking a wait-on-self deadlock.
 thread_local bool t_inside_worker = false;
 
-// Completion latch of one ParallelFor call.
+// Completion latch of one ParallelFor call, plus the first chunk failure
+// (injected fault or escaped exception) of the fan-out.
 struct CallState {
   std::mutex mutex;
   std::condition_variable cv;
   std::size_t remaining = 0;
+  Status first_error;
 };
+
+// Runs one chunk under the hardening contract: fault-injection check at
+// entry, exceptions converted to kInternal. Returns OK when the chunk ran
+// to completion.
+Status RunChunk(const std::function<void(std::size_t, std::size_t)>& fn,
+                std::size_t begin, std::size_t end) {
+  Status s = MaybeInjectFault(FaultSite::kThreadPoolTask);
+  if (!s.ok()) return s;
+  try {
+    fn(begin, end);
+  } catch (const std::exception& e) {
+    return Status::Internal(std::string("parallel task threw: ") + e.what());
+  } catch (...) {
+    return Status::Internal("parallel task threw a non-std exception");
+  }
+  return Status::OK();
+}
 
 }  // namespace
 
@@ -53,14 +76,13 @@ void ThreadPool::WorkerLoop() {
   }
 }
 
-void ThreadPool::ParallelFor(
+Status ThreadPool::ParallelFor(
     std::size_t begin, std::size_t end,
     const std::function<void(std::size_t, std::size_t)>& fn) {
-  if (begin >= end) return;
+  if (begin >= end) return Status::OK();
   const std::size_t n = end - begin;
   if (workers_.empty() || n == 1 || t_inside_worker) {
-    fn(begin, end);
-    return;
+    return RunChunk(fn, begin, end);
   }
 
   const std::size_t chunks = std::min(workers_.size() + 1, n);
@@ -78,8 +100,11 @@ void ThreadPool::ParallelFor(
     for (std::size_t c = 1; c < chunks; ++c) {
       std::size_t len = base + (c < extra ? 1 : 0);
       queue_.push_back([&fn, state, start, len] {
-        fn(start, start + len);
+        Status s = RunChunk(fn, start, start + len);
         std::unique_lock<std::mutex> state_lock(state->mutex);
+        if (!s.ok() && state->first_error.ok()) {
+          state->first_error = std::move(s);
+        }
         if (--state->remaining == 0) state->cv.notify_one();
       });
       start += len;
@@ -87,10 +112,14 @@ void ThreadPool::ParallelFor(
   }
   work_cv_.notify_all();
 
-  fn(begin, begin + base + (extra > 0 ? 1 : 0));
+  Status caller_status = RunChunk(fn, begin, begin + base + (extra > 0 ? 1 : 0));
 
   std::unique_lock<std::mutex> state_lock(state->mutex);
   state->cv.wait(state_lock, [&state] { return state->remaining == 0; });
+  // The caller's chunk is "first" for error reporting: chunk order is not
+  // a determinism surface, but a stable preference keeps messages steady.
+  if (!caller_status.ok()) return caller_status;
+  return state->first_error;
 }
 
 std::size_t ThreadPool::DefaultThreadCount() {

@@ -8,6 +8,8 @@
 #include <thread>
 #include <vector>
 
+#include "util/status.h"
+
 namespace probsyn {
 
 /// Fixed-size worker pool for the data-parallel cuts of synopsis
@@ -52,8 +54,17 @@ class ThreadPool {
   /// into at most num_threads()+1 contiguous chunks and blocks until every
   /// chunk has finished. `fn` must not touch shared mutable state across
   /// chunks (each index's outputs must be disjoint).
-  void ParallelFor(std::size_t begin, std::size_t end,
-                   const std::function<void(std::size_t, std::size_t)>& fn);
+  ///
+  /// Hardening contract: a chunk that throws fails the fan-out with
+  /// kInternal (first failure wins) instead of terminating the process,
+  /// and each chunk entry is a FaultSite::kThreadPoolTask injection point.
+  /// The join still waits for EVERY chunk — a failure never leaves chunks
+  /// running behind the caller's back — but chunks after the first failure
+  /// may still run (callers must treat outputs of a failed fan-out as
+  /// garbage). Returns OK when every chunk completed.
+  [[nodiscard]] Status ParallelFor(
+      std::size_t begin, std::size_t end,
+      const std::function<void(std::size_t, std::size_t)>& fn);
 
   /// Worker count to use when the caller does not specify one: the
   /// PROBSYN_THREADS environment variable if set, else

@@ -1,0 +1,284 @@
+// Seeded fault-injection campaigns against the engine and the pdata
+// reader: every injection site must surface as a clean Status (never a
+// crash or a leaked workspace lease), the engine must stay fully usable
+// after a campaign, and RequestFallback::kDegrade must ride out preprocess
+// faults by serving the fault-free ladder floor. A seeded corpus-corruption
+// sweep hardens the pdata parser the same way.
+
+#include "util/fault_injection.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "engine/synopsis_engine.h"
+#include "gen/generators.h"
+#include "io/pdata.h"
+#include "util/random.h"
+
+namespace probsyn {
+namespace {
+
+const ValuePdfInput& TestInput() {
+  static const ValuePdfInput input =
+      GenerateRandomValuePdf({.domain_size = 256, .seed = 7});
+  return input;
+}
+
+SynopsisRequest ExactRequest(std::size_t budget = 8) {
+  SynopsisRequest request;
+  request.method = HistogramMethod::kOptimal;
+  request.budget = budget;
+  return request;
+}
+
+void ExpectNoLeakedLeases(const SynopsisEngine& engine) {
+  EXPECT_EQ(engine.workspace_pool_stats().outstanding, 0u);
+}
+
+TEST(FaultInjection, SiteNamesAreStable) {
+  EXPECT_STREQ(FaultSiteName(FaultSite::kWorkspaceAlloc), "workspace-alloc");
+  EXPECT_STREQ(FaultSiteName(FaultSite::kThreadPoolTask), "thread-pool-task");
+  EXPECT_STREQ(FaultSiteName(FaultSite::kOraclePreprocess),
+               "oracle-preprocess");
+  EXPECT_STREQ(FaultSiteName(FaultSite::kPdataRead), "pdata-read");
+}
+
+// --- Per-site campaigns at rate 1.0 -------------------------------------
+
+TEST(FaultInjection, WorkspaceAllocFaultFailsBuildCleanly) {
+  SynopsisEngine engine;
+  auto reference = engine.Build(TestInput(), ExactRequest());
+  ASSERT_TRUE(reference.ok()) << reference.status();
+
+  {
+    ScopedFaultInjection campaign(
+        {.seed = 1, .rate = 1.0, .only_site = FaultSite::kWorkspaceAlloc});
+    auto result = engine.Build(TestInput(), ExactRequest());
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+    ExpectNoLeakedLeases(engine);
+  }
+
+  // Campaign over: the engine serves the identical answer again.
+  auto after = engine.Build(TestInput(), ExactRequest());
+  ASSERT_TRUE(after.ok()) << after.status();
+  EXPECT_TRUE(after->histogram == reference->histogram);
+  EXPECT_EQ(after->cost, reference->cost);
+  ExpectNoLeakedLeases(engine);
+}
+
+TEST(FaultInjection, ThreadPoolTaskFaultPropagatesAsStatus) {
+  // Parallel engine so ParallelFor fan-outs actually run; every chunk
+  // entry then fails, and the failure must come back as a Status — the
+  // pool must not terminate or wedge.
+  SynopsisEngine engine({.parallelism = 4, .min_parallel_domain = 1});
+  {
+    ScopedFaultInjection campaign(
+        {.seed = 2, .rate = 1.0, .only_site = FaultSite::kThreadPoolTask});
+    auto result = engine.Build(TestInput(), ExactRequest());
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+    ExpectNoLeakedLeases(engine);
+  }
+  auto after = engine.Build(TestInput(), ExactRequest());
+  ASSERT_TRUE(after.ok()) << after.status();
+  ExpectNoLeakedLeases(engine);
+}
+
+TEST(FaultInjection, OraclePreprocessFaultFailsCleanlyEvenUnderDegrade) {
+  SynopsisEngine engine;
+  ScopedFaultInjection campaign(
+      {.seed = 3, .rate = 1.0, .only_site = FaultSite::kOraclePreprocess});
+
+  // kNone: the preprocessing fault fails the build.
+  auto failed = engine.Build(TestInput(), ExactRequest());
+  ASSERT_FALSE(failed.ok());
+  EXPECT_EQ(failed.status().code(), StatusCode::kResourceExhausted);
+  ExpectNoLeakedLeases(engine);
+
+  // The equi-depth floor takes its representatives from the same bucket
+  // oracle, so a campaign that kills EVERY preprocess also kills the
+  // floor: kDegrade still fails — cleanly, with the injected status, and
+  // without leaking a lease.
+  SynopsisRequest degrade = ExactRequest();
+  degrade.fallback = RequestFallback::kDegrade;
+  auto served = engine.Build(TestInput(), degrade);
+  ASSERT_FALSE(served.ok());
+  EXPECT_EQ(served.status().code(), StatusCode::kResourceExhausted);
+  ExpectNoLeakedLeases(engine);
+}
+
+TEST(FaultInjection, DegradeServesFloorWhenOnlyParallelStagesFault) {
+  // kThreadPoolTask takes out every ParallelFor fan-out (oracle
+  // preprocessing, blocked DP fills) — but the ladder floor runs
+  // sequentially, so kDegrade rides the fault out with a degraded answer.
+  SynopsisEngine engine({.parallelism = 4, .min_parallel_domain = 1});
+  ScopedFaultInjection campaign(
+      {.seed = 9, .rate = 1.0, .only_site = FaultSite::kThreadPoolTask});
+
+  SynopsisRequest degrade = ExactRequest();
+  degrade.fallback = RequestFallback::kDegrade;
+  auto served = engine.Build(TestInput(), degrade);
+  ASSERT_TRUE(served.ok()) << served.status();
+  EXPECT_NE(served->solver.find("[degraded=exact-dp->equidepth]"),
+            std::string::npos)
+      << served->solver;
+  ExpectNoLeakedLeases(engine);
+}
+
+TEST(FaultInjection, PdataReadFaultSurfacesAsIOError) {
+  std::ostringstream os;
+  ASSERT_TRUE(WriteValuePdf(os, TestInput()).ok());
+  const std::string serialized = os.str();
+
+  {
+    ScopedFaultInjection campaign(
+        {.seed = 4, .rate = 1.0, .only_site = FaultSite::kPdataRead});
+    std::istringstream is(serialized);
+    auto read = ReadValuePdf(is);
+    ASSERT_FALSE(read.ok());
+    EXPECT_EQ(read.status().code(), StatusCode::kIOError);
+  }
+
+  std::istringstream is(serialized);
+  auto read = ReadValuePdf(is);
+  ASSERT_TRUE(read.ok()) << read.status();
+  EXPECT_EQ(read->domain_size(), TestInput().domain_size());
+}
+
+TEST(FaultInjection, FiredCountAdvances) {
+  const std::uint64_t before = FaultInjectionFiredCount();
+  ScopedFaultInjection campaign(
+      {.seed = 5, .rate = 1.0, .only_site = FaultSite::kWorkspaceAlloc});
+  SynopsisEngine engine;
+  auto result = engine.Build(TestInput(), ExactRequest());
+  ASSERT_FALSE(result.ok());
+  EXPECT_GT(FaultInjectionFiredCount(), before);
+}
+
+TEST(FaultInjection, LatencyModeInjectsDelayNotErrors) {
+  SynopsisEngine engine;
+  auto reference = engine.Build(TestInput(), ExactRequest());
+  ASSERT_TRUE(reference.ok()) << reference.status();
+
+  ScopedFaultInjection campaign({.seed = 6,
+                                 .rate = 1.0,
+                                 .latency_us = 100,
+                                 .only_site = FaultSite::kWorkspaceAlloc});
+  auto slow = engine.Build(TestInput(), ExactRequest());
+  ASSERT_TRUE(slow.ok()) << slow.status();
+  EXPECT_TRUE(slow->histogram == reference->histogram);
+  EXPECT_EQ(slow->cost, reference->cost);
+  ExpectNoLeakedLeases(engine);
+}
+
+// --- Low-rate multi-seed sweep over a mixed batch ------------------------
+
+TEST(FaultInjection, LowRateSweepNeverLeaksOrCorrupts) {
+  SynopsisEngine engine({.parallelism = 2, .min_parallel_domain = 1});
+
+  std::vector<SynopsisRequest> batch;
+  batch.push_back(ExactRequest(6));
+  SynopsisRequest approx = ExactRequest(4);
+  approx.method = HistogramMethod::kApprox;
+  approx.epsilon = 0.25;
+  batch.push_back(approx);
+  SynopsisRequest equidepth = ExactRequest(5);
+  equidepth.method = HistogramMethod::kEquiDepth;
+  batch.push_back(equidepth);
+  SynopsisRequest greedy;
+  greedy.kind = SynopsisKind::kWavelet;
+  greedy.wavelet_method = WaveletMethod::kGreedySse;
+  greedy.budget = 8;
+  batch.push_back(greedy);
+  SynopsisRequest restricted = greedy;
+  restricted.wavelet_method = WaveletMethod::kRestrictedDp;
+  restricted.budget = 4;
+  batch.push_back(restricted);
+
+  auto reference = engine.BuildBatch(TestInput(), batch);
+  ASSERT_TRUE(reference.ok()) << reference.status();
+
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    {
+      ScopedFaultInjection campaign({.seed = seed, .rate = 0.05});
+      auto swept = engine.BuildBatch(TestInput(), batch);
+      if (!swept.ok()) {
+        // The only acceptable failure is the injected resource fault,
+        // propagated cleanly.
+        EXPECT_EQ(swept.status().code(), StatusCode::kResourceExhausted)
+            << "seed " << seed << ": " << swept.status();
+      }
+      ExpectNoLeakedLeases(engine);
+    }
+    // Disarmed again: the engine still serves the exact reference answer.
+    auto after = engine.BuildBatch(TestInput(), batch);
+    ASSERT_TRUE(after.ok()) << "seed " << seed << ": " << after.status();
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      EXPECT_EQ((*after)[i].cost, (*reference)[i].cost)
+          << "seed " << seed << " request " << i;
+    }
+    ExpectNoLeakedLeases(engine);
+  }
+}
+
+// --- Seeded pdata corruption corpus --------------------------------------
+
+TEST(FaultInjection, CorruptedPdataNeverCrashesAndReportsPosition) {
+  std::ostringstream os;
+  ASSERT_TRUE(WriteValuePdf(
+                  os, GenerateRandomValuePdf({.domain_size = 32, .seed = 3}))
+                  .ok());
+  const std::string clean = os.str();
+  ASSERT_FALSE(clean.empty());
+
+  Rng rng(13);
+  const std::string garbage = " \t#0123456789abcdefXYZ.-+e\n";
+  std::size_t failures = 0;
+  std::size_t positioned_messages = 0;
+  for (int iteration = 0; iteration < 200; ++iteration) {
+    std::string corrupt = clean;
+    switch (rng.NextBounded(3)) {
+      case 0: {  // flip one byte
+        std::size_t at = rng.NextBounded(corrupt.size());
+        corrupt[at] = garbage[rng.NextBounded(garbage.size())];
+        break;
+      }
+      case 1:  // truncate mid-stream
+        corrupt.resize(rng.NextBounded(corrupt.size()));
+        break;
+      default: {  // splice a garbage token into the middle
+        std::size_t at = rng.NextBounded(corrupt.size());
+        corrupt.insert(at, "1e309 nonsense");
+        break;
+      }
+    }
+
+    std::istringstream kind_stream(corrupt);
+    auto kind = DetectPdataKind(kind_stream);  // must not crash
+    std::istringstream is(corrupt);
+    auto read = ReadValuePdf(is);  // must not crash
+    if (!read.ok()) {
+      ++failures;
+      EXPECT_TRUE(read.status().code() == StatusCode::kInvalidArgument ||
+                  read.status().code() == StatusCode::kIOError)
+          << "iteration " << iteration << ": " << read.status();
+      EXPECT_FALSE(read.status().message().empty());
+      if (read.status().message().find("line") != std::string::npos) {
+        ++positioned_messages;
+      }
+    }
+    (void)kind;
+  }
+  // The corpus must actually exercise the error paths, and the parser's
+  // errors must carry position context for at least the body corruptions.
+  EXPECT_GT(failures, 50u);
+  EXPECT_GT(positioned_messages, 0u);
+}
+
+}  // namespace
+}  // namespace probsyn

@@ -9,6 +9,7 @@
 
 #include <algorithm>
 #include <cstddef>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -43,6 +44,9 @@ double UnshardedOptimum(const ValuePdfInput& input, std::size_t budget,
                         const SynopsisOptions& options) {
   auto bundle = MakeBucketOracle(input, options);
   EXPECT_TRUE(bundle.ok()) << bundle.status();
+  // Don't dereference an errored StatusOr (e.g. under an injected fault):
+  // the NaN makes every downstream comparison fail cleanly instead.
+  if (!bundle.ok()) return std::numeric_limits<double>::quiet_NaN();
   HistogramDpResult dp =
       SolveHistogramDp(*bundle->oracle, budget, bundle->combiner);
   return dp.OptimalCost(budget);

@@ -4,6 +4,7 @@
 
 #include <atomic>
 #include <cstddef>
+#include <stdexcept>
 #include <vector>
 
 namespace probsyn {
@@ -13,18 +14,22 @@ TEST(ThreadPool, CoversEveryIndexExactlyOnce) {
   ThreadPool pool(3);
   const std::size_t n = 1013;  // prime: uneven chunking
   std::vector<std::atomic<int>> hits(n);
-  pool.ParallelFor(0, n, [&](std::size_t begin, std::size_t end) {
-    for (std::size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
-  });
+  ASSERT_TRUE(pool.ParallelFor(0, n, [&](std::size_t begin, std::size_t end) {
+                    for (std::size_t i = begin; i < end; ++i)
+                      hits[i].fetch_add(1);
+                  })
+                  .ok());
   for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
 }
 
 TEST(ThreadPool, NonZeroRangeOffsets) {
   ThreadPool pool(2);
   std::vector<std::atomic<int>> hits(50);
-  pool.ParallelFor(17, 42, [&](std::size_t begin, std::size_t end) {
-    for (std::size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
-  });
+  ASSERT_TRUE(pool.ParallelFor(17, 42, [&](std::size_t begin, std::size_t end) {
+                    for (std::size_t i = begin; i < end; ++i)
+                      hits[i].fetch_add(1);
+                  })
+                  .ok());
   for (std::size_t i = 0; i < 50; ++i) {
     EXPECT_EQ(hits[i].load(), (i >= 17 && i < 42) ? 1 : 0) << i;
   }
@@ -34,10 +39,11 @@ TEST(ThreadPool, ZeroWorkersRunsInline) {
   ThreadPool pool(0);
   EXPECT_EQ(pool.num_threads(), 0u);
   std::size_t calls = 0, covered = 0;
-  pool.ParallelFor(0, 10, [&](std::size_t begin, std::size_t end) {
-    ++calls;
-    covered += end - begin;
-  });
+  ASSERT_TRUE(pool.ParallelFor(0, 10, [&](std::size_t begin, std::size_t end) {
+                    ++calls;
+                    covered += end - begin;
+                  })
+                  .ok());
   EXPECT_EQ(calls, 1u);  // single inline chunk
   EXPECT_EQ(covered, 10u);
 }
@@ -45,21 +51,29 @@ TEST(ThreadPool, ZeroWorkersRunsInline) {
 TEST(ThreadPool, EmptyRangeIsNoop) {
   ThreadPool pool(2);
   bool called = false;
-  pool.ParallelFor(5, 5, [&](std::size_t, std::size_t) { called = true; });
+  ASSERT_TRUE(
+      pool.ParallelFor(5, 5, [&](std::size_t, std::size_t) { called = true; })
+          .ok());
   EXPECT_FALSE(called);
 }
 
 TEST(ThreadPool, NestedCallsRunInline) {
   ThreadPool pool(3);
   std::atomic<int> inner_total{0};
-  pool.ParallelFor(0, 8, [&](std::size_t begin, std::size_t end) {
-    for (std::size_t i = begin; i < end; ++i) {
-      // A nested fan-out must not deadlock; it degrades to inline.
-      pool.ParallelFor(0, 4, [&](std::size_t b, std::size_t e) {
-        inner_total.fetch_add(static_cast<int>(e - b));
-      });
-    }
-  });
+  std::atomic<bool> inner_ok{true};
+  ASSERT_TRUE(pool.ParallelFor(0, 8, [&](std::size_t begin, std::size_t end) {
+                    for (std::size_t i = begin; i < end; ++i) {
+                      // A nested fan-out must not deadlock; it degrades to
+                      // inline.
+                      Status inner = pool.ParallelFor(
+                          0, 4, [&](std::size_t b, std::size_t e) {
+                            inner_total.fetch_add(static_cast<int>(e - b));
+                          });
+                      if (!inner.ok()) inner_ok.store(false);
+                    }
+                  })
+                  .ok());
+  EXPECT_TRUE(inner_ok.load());
   EXPECT_EQ(inner_total.load(), 8 * 4);
 }
 
@@ -67,15 +81,66 @@ TEST(ThreadPool, ManySmallCallsDoNotWedge) {
   ThreadPool pool(4);
   std::atomic<std::size_t> total{0};
   for (int round = 0; round < 200; ++round) {
-    pool.ParallelFor(0, 7, [&](std::size_t begin, std::size_t end) {
-      total.fetch_add(end - begin);
-    });
+    ASSERT_TRUE(pool.ParallelFor(0, 7,
+                                 [&](std::size_t begin, std::size_t end) {
+                                   total.fetch_add(end - begin);
+                                 })
+                    .ok());
   }
   EXPECT_EQ(total.load(), 200u * 7u);
 }
 
 TEST(ThreadPool, DefaultThreadCountIsPositive) {
   EXPECT_GE(ThreadPool::DefaultThreadCount(), 1u);
+}
+
+// A chunk that throws must surface as kInternal carrying the exception
+// message — never std::terminate — and the call must still join every chunk.
+TEST(ThreadPool, ThrowingChunkReturnsInternalStatus) {
+  ThreadPool pool(3);
+  std::atomic<std::size_t> entered{0};
+  Status status = pool.ParallelFor(0, 64, [&](std::size_t begin, std::size_t) {
+    entered.fetch_add(1);
+    if (begin == 0) throw std::runtime_error("chunk exploded");
+  });
+  EXPECT_EQ(status.code(), StatusCode::kInternal);
+  EXPECT_NE(status.message().find("chunk exploded"), std::string::npos)
+      << status.message();
+  EXPECT_GE(entered.load(), 1u);
+}
+
+// First failure wins; concurrent throws must not race the stored status.
+TEST(ThreadPool, AllChunksThrowingStillReturnsSingleStatus) {
+  ThreadPool pool(4);
+  Status status = pool.ParallelFor(0, 128, [&](std::size_t, std::size_t) {
+    throw std::runtime_error("every chunk fails");
+  });
+  EXPECT_EQ(status.code(), StatusCode::kInternal);
+}
+
+// The pool must stay usable after a failed ParallelFor.
+TEST(ThreadPool, PoolUsableAfterThrowingChunk) {
+  ThreadPool pool(2);
+  Status failed = pool.ParallelFor(0, 8, [&](std::size_t, std::size_t) {
+    throw std::runtime_error("boom");
+  });
+  EXPECT_EQ(failed.code(), StatusCode::kInternal);
+
+  std::atomic<std::size_t> total{0};
+  ASSERT_TRUE(pool.ParallelFor(0, 100,
+                               [&](std::size_t begin, std::size_t end) {
+                                 total.fetch_add(end - begin);
+                               })
+                  .ok());
+  EXPECT_EQ(total.load(), 100u);
+}
+
+// Non-std exceptions must also be contained (caught via catch-all).
+TEST(ThreadPool, NonStdExceptionIsContained) {
+  ThreadPool pool(2);
+  Status status =
+      pool.ParallelFor(0, 16, [&](std::size_t, std::size_t) { throw 42; });
+  EXPECT_EQ(status.code(), StatusCode::kInternal);
 }
 
 }  // namespace

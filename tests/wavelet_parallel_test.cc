@@ -39,6 +39,10 @@ Baseline SequentialBaseline(const ValuePdfInput& input, std::size_t budget,
   ScopedSimdPath forced(SimdPath::kScalar);
   auto result = BuildRestrictedWaveletDp(input, budget, options);
   EXPECT_TRUE(result.ok()) << result.status();
+  // A failed solve (e.g. an injected resource fault) must not dereference
+  // the errored StatusOr: return an empty baseline the comparisons then
+  // fail against cleanly.
+  if (!result.ok()) return {0.0, {}};
   return {result->cost, result->synopsis.coefficients()};
 }
 

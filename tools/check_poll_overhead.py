@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Asserts the cancellation-poll overhead bound against bench JSON.
+
+The robustness contract (docs/architecture.md) says attaching a deadline +
+cancel token to a request may cost at most 2% over the historical
+unbounded path. bench_engine_parallel's BM_PollOverhead* series time one
+unpolled + one polled build interleaved per iteration (so clock drift
+cancels) and report the ratio in the `overhead` counter, three
+repetitions each; this script takes the median per family and fails when
+it exceeds the bound.
+
+Usage: check_poll_overhead.py BENCH_bench_engine_parallel.json \
+           [--max-overhead 0.02]
+"""
+
+import argparse
+import json
+import statistics
+import sys
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("bench_json")
+    parser.add_argument("--max-overhead", type=float, default=0.02)
+    args = parser.parse_args()
+
+    with open(args.bench_json) as f:
+        report = json.load(f)
+
+    overheads = {}  # family -> [overhead per repetition]
+    for row in report.get("benchmarks", []):
+        if row.get("run_type") == "aggregate":
+            continue
+        name = row.get("name", "")
+        if "BM_PollOverhead" not in name or "overhead" not in row:
+            continue
+        family = name.split("/")[0]
+        overheads.setdefault(family, []).append(float(row["overhead"]))
+
+    if not overheads:
+        print("ERROR: no BM_PollOverhead rows found in", args.bench_json)
+        return 1
+
+    failed = False
+    for family in sorted(overheads):
+        median = statistics.median(overheads[family])
+        status = "ok" if median <= args.max_overhead else "FAIL"
+        reps = ", ".join(f"{o * 100:+.2f}%" for o in overheads[family])
+        print(f"{status}: {family}: median overhead {median * 100:+.2f}% "
+              f"(reps: {reps}; bound {args.max_overhead * 100:.0f}%)")
+        if median > args.max_overhead:
+            failed = True
+
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -103,33 +103,24 @@ struct LoadedInput {
 };
 
 StatusOr<LoadedInput> Load(const std::string& path) {
-  auto kind = DetectPdataKindFile(path);
-  if (!kind.ok()) return kind.status();
+  PROBSYN_ASSIGN_OR_RETURN(std::string kind, DetectPdataKindFile(path));
   LoadedInput loaded;
-  loaded.kind = *kind;
-  if (*kind == "value_pdf") {
-    auto input = LoadValuePdf(path);
-    if (!input.ok()) return input.status();
-    loaded.value_pdf = std::move(input).value();
-  } else if (*kind == "tuple_pdf") {
-    auto input = LoadTuplePdf(path);
-    if (!input.ok()) return input.status();
-    loaded.tuple_pdf = std::move(input).value();
+  loaded.kind = kind;
+  if (kind == "value_pdf") {
+    PROBSYN_ASSIGN_OR_RETURN(loaded.value_pdf, LoadValuePdf(path));
+  } else if (kind == "tuple_pdf") {
+    PROBSYN_ASSIGN_OR_RETURN(loaded.tuple_pdf, LoadTuplePdf(path));
   } else {
-    auto basic = LoadBasicModel(path);
-    if (!basic.ok()) return basic.status();
-    auto tuple_pdf = basic->ToTuplePdf();
-    if (!tuple_pdf.ok()) return tuple_pdf.status();
-    loaded.tuple_pdf = std::move(tuple_pdf).value();
+    PROBSYN_ASSIGN_OR_RETURN(BasicModelInput basic, LoadBasicModel(path));
+    PROBSYN_ASSIGN_OR_RETURN(loaded.tuple_pdf, basic.ToTuplePdf());
   }
   return loaded;
 }
 
 StatusOr<SynopsisOptions> ParseOptions(const Args& args) {
   SynopsisOptions options;
-  auto metric = ParseErrorMetric(args.GetOr("metric", "SSE"));
-  if (!metric.ok()) return metric.status();
-  options.metric = *metric;
+  PROBSYN_ASSIGN_OR_RETURN(options.metric,
+                           ParseErrorMetric(args.GetOr("metric", "SSE")));
   options.sanity_c = args.GetDouble("c", 1.0);
   options.sse_variant = SseVariant::kFixedRepresentative;
   PROBSYN_RETURN_IF_ERROR(options.Validate());

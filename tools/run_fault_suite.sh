@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# Runs the test suite under a seeded fault-injection campaign and grades
+# the outcome the way the robustness contract demands:
+#
+#   exit 0  (all tests passed)            -> OK
+#   exit 1  (gtest assertion failures)    -> OK: injected faults are
+#           *supposed* to fail assertions that expect fault-free results;
+#           what matters is that every failure was a clean Status.
+#   124     (timeout(1): the suite hung)  -> FAIL
+#   99      (sanitizer error: set ASAN_OPTIONS/UBSAN_OPTIONS exitcode=99) -> FAIL
+#   >127    (killed by a signal: crash)   -> FAIL
+#   anything else                          -> FAIL
+#
+# Usage: run_fault_suite.sh <test-binary> <seed>:<rate>[:<latency_us>]
+#                           [timeout-seconds]
+set -u
+
+if [ "$#" -lt 2 ]; then
+  echo "usage: $0 <test-binary> <seed>:<rate>[:<latency_us>] [timeout-seconds]" >&2
+  exit 2
+fi
+
+binary="$1"
+campaign="$2"
+limit="${3:-1800}"
+
+if [ ! -x "$binary" ]; then
+  echo "FAIL: test binary '$binary' not found or not executable" >&2
+  exit 2
+fi
+
+echo "=== fault campaign PROBSYN_FAULTS=$campaign (timeout ${limit}s) ==="
+log="$(mktemp)"
+PROBSYN_FAULTS="$campaign" timeout "$limit" "$binary" >"$log" 2>&1
+code=$?
+
+# Keep the log readable in CI without dumping thousands of passing lines.
+grep -E '\[  FAILED  \]|\[==========\]|ERROR: (Address|Thread|Leak)Sanitizer|runtime error:|Segmentation|Aborted' \
+  "$log" | tail -n 100
+tail -n 5 "$log"
+
+case "$code" in
+  0)
+    echo "OK: suite passed under injection (rate low enough to miss)" ;;
+  1)
+    echo "OK: assertion failures only — faults surfaced as clean Status" ;;
+  124)
+    echo "FAIL: suite hung under fault injection" >&2
+    exit 1 ;;
+  *)
+    echo "FAIL: suite exited $code (crash, sanitizer error, or harness bug)" >&2
+    tail -n 40 "$log" >&2
+    exit 1 ;;
+esac
+
+rm -f "$log"
+exit 0
