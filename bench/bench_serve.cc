@@ -1,0 +1,162 @@
+// Serving-tier benchmarks: query throughput of SynopsisServer over a
+// memory-mapped store, plus codec round-trip and store-open latencies.
+//
+//   BM_ServeQps          point-estimate queries/sec against a B-bucket
+//                        histogram over n = 2^20 (the acceptance floor is
+//                        1M queries/sec single-thread; see
+//                        docs/benchmarks.md)
+//   BM_ServeWaveletQps   point estimates against a B-coefficient wavelet
+//                        (O(log n log B) sparse reconstruction per query)
+//   BM_ServeRangeSum     random-range sums against the same histogram
+//   BM_CodecRoundTrip    EncodeHistogram + DecodeHistogram of a B-bucket
+//                        synopsis (bytes_per_second = blob bytes each way)
+//   BM_StoreOpen         SynopsisStore::Open of a 64-entry store — the
+//                        O(directory) mmap + index build, not O(file)
+//
+// Queries walk an LCG index stream so the bucket binary search sees an
+// adversarial (non-sequential) access pattern rather than a cached hot path.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "serve/synopsis_server.h"
+#include "util/logging.h"
+
+namespace probsyn {
+namespace {
+
+constexpr std::size_t kDomain = std::size_t{1} << 20;
+
+// A deterministic B-bucket histogram over kDomain: equal-width buckets with
+// varying representatives. Construction cost is irrelevant here — these
+// benchmarks measure the serving side.
+Histogram MakeHistogram(std::size_t num_buckets) {
+  std::vector<HistogramBucket> buckets;
+  buckets.reserve(num_buckets);
+  const std::size_t width = kDomain / num_buckets;
+  for (std::size_t k = 0; k < num_buckets; ++k) {
+    const std::size_t start = k * width;
+    const std::size_t end =
+        k + 1 == num_buckets ? kDomain - 1 : start + width - 1;
+    buckets.push_back(
+        {start, end, static_cast<double>((k * 2654435761u) % 1000) / 8.0});
+  }
+  return Histogram(std::move(buckets));
+}
+
+WaveletSynopsis MakeWavelet(std::size_t num_coefficients) {
+  std::vector<WaveletCoefficient> coefficients;
+  coefficients.reserve(num_coefficients);
+  const std::size_t stride = kDomain / num_coefficients;
+  for (std::size_t k = 0; k < num_coefficients; ++k) {
+    coefficients.push_back(
+        {k * stride, static_cast<double>((k * 40503u) % 512) / 4.0 - 60.0});
+  }
+  return WaveletSynopsis(kDomain, kDomain, std::move(coefficients));
+}
+
+// Writes a two-entry store and opens a server over it.
+SynopsisServer MakeServer(const char* tag, std::size_t num_buckets,
+                          std::size_t num_coefficients) {
+  SynopsisStoreWriter writer;
+  PROBSYN_CHECK(writer.AddHistogram("h", MakeHistogram(num_buckets)).ok());
+  PROBSYN_CHECK(writer.AddWavelet("w", MakeWavelet(num_coefficients)).ok());
+  const std::string path =
+      std::string("/tmp/probsyn_bench_") + tag + ".synstore";
+  PROBSYN_CHECK(writer.WriteFile(path).ok());
+  auto server = SynopsisServer::Open(path);
+  PROBSYN_CHECK(server.ok());
+  std::remove(path.c_str());  // the mapping outlives the directory entry
+  return std::move(server).value();
+}
+
+void BM_ServeQps(benchmark::State& state) {
+  SynopsisServer server =
+      MakeServer("qps", static_cast<std::size_t>(state.range(0)), 64);
+  const ServedSynopsis* synopsis = server.Find("h");
+  PROBSYN_CHECK(synopsis != nullptr);
+  std::uint64_t lcg = 0x9e3779b97f4a7c15ull;
+  for (auto _ : state) {
+    lcg = lcg * 6364136223846793005ull + 1442695040888963407ull;
+    benchmark::DoNotOptimize(
+        synopsis->PointEstimate((lcg >> 16) % kDomain));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+void BM_ServeWaveletQps(benchmark::State& state) {
+  SynopsisServer server =
+      MakeServer("wqps", 64, static_cast<std::size_t>(state.range(0)));
+  const ServedSynopsis* synopsis = server.Find("w");
+  PROBSYN_CHECK(synopsis != nullptr);
+  std::uint64_t lcg = 0x9e3779b97f4a7c15ull;
+  for (auto _ : state) {
+    lcg = lcg * 6364136223846793005ull + 1442695040888963407ull;
+    benchmark::DoNotOptimize(
+        synopsis->PointEstimate((lcg >> 16) % kDomain));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+void BM_ServeRangeSum(benchmark::State& state) {
+  SynopsisServer server =
+      MakeServer("range", static_cast<std::size_t>(state.range(0)), 64);
+  const ServedSynopsis* synopsis = server.Find("h");
+  PROBSYN_CHECK(synopsis != nullptr);
+  std::uint64_t lcg = 0x2545f4914f6cdd1dull;
+  for (auto _ : state) {
+    lcg = lcg * 6364136223846793005ull + 1442695040888963407ull;
+    const std::size_t a = (lcg >> 16) % (kDomain / 2);
+    const std::size_t b = a + (lcg >> 40) % (kDomain - a);
+    benchmark::DoNotOptimize(synopsis->RangeSum(a, b));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+void BM_CodecRoundTrip(benchmark::State& state) {
+  Histogram histogram = MakeHistogram(static_cast<std::size_t>(state.range(0)));
+  std::size_t blob_bytes = 0;
+  for (auto _ : state) {
+    auto blob = EncodeHistogram(histogram);
+    PROBSYN_CHECK(blob.ok());
+    blob_bytes = blob->size();
+    auto decoded = DecodeHistogram(
+        {reinterpret_cast<const std::uint8_t*>(blob->data()), blob->size()});
+    PROBSYN_CHECK(decoded.ok());
+    benchmark::DoNotOptimize(decoded->num_buckets());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(blob_bytes));
+  state.counters["blob_bytes"] = static_cast<double>(blob_bytes);
+}
+
+void BM_StoreOpen(benchmark::State& state) {
+  SynopsisStoreWriter writer;
+  for (int k = 0; k < 64; ++k) {
+    PROBSYN_CHECK(
+        writer.AddHistogram("h" + std::to_string(k), MakeHistogram(256)).ok());
+  }
+  const std::string path = "/tmp/probsyn_bench_open.synstore";
+  PROBSYN_CHECK(writer.WriteFile(path).ok());
+  for (auto _ : state) {
+    auto store = SynopsisStore::Open(path);
+    PROBSYN_CHECK(store.ok());
+    benchmark::DoNotOptimize(store->size());
+  }
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace probsyn
+
+BENCHMARK(probsyn::BM_ServeQps)->Arg(64)->Arg(1024)->Arg(16384);
+BENCHMARK(probsyn::BM_ServeWaveletQps)->Arg(64)->Arg(1024);
+BENCHMARK(probsyn::BM_ServeRangeSum)->Arg(64)->Arg(1024);
+BENCHMARK(probsyn::BM_CodecRoundTrip)->Arg(64)->Arg(1024)->Arg(16384);
+BENCHMARK(probsyn::BM_StoreOpen);
+
+BENCHMARK_MAIN();

@@ -47,7 +47,11 @@ std::span<const double> HistogramDpResult::RepresentativeRow(
 }
 
 Histogram HistogramDpResult::ExtractHistogram(std::size_t num_buckets) const {
-  PROBSYN_CHECK(num_buckets >= 1 && n_ > 0);
+  PROBSYN_CHECK(num_buckets >= 1);
+  // An empty domain has exactly one histogram: the empty one (the only
+  // partition of [0], and the only Histogram that Validate(0) accepts).
+  // Normalize to it instead of walking tables that were never filled.
+  if (n_ == 0) return Histogram();
   // A stopped or failed solve leaves the traceback tables partial (or, with
   // a reused workspace, holding a PREVIOUS solve's data). Walking them
   // could chase garbage split indices into a CHECK abort — or worse, stitch

@@ -75,7 +75,9 @@ class HistogramDpResult {
   /// for the given budget. O(B) — representatives come from the DP's
   /// cached per-cell BucketCost, not from fresh oracle calls. When
   /// status() is not OK the traceback tables are unusable and this returns
-  /// an empty histogram rather than walking them.
+  /// an empty histogram rather than walking them; an empty domain (n = 0)
+  /// likewise normalizes to the empty histogram — the unique partition of
+  /// nothing, and the one Histogram that Validate(0) accepts.
   Histogram ExtractHistogram(std::size_t num_buckets) const;
 
   std::size_t max_buckets() const { return max_buckets_; }

@@ -997,6 +997,25 @@ StatusOr<std::vector<SynopsisResult>> SynopsisEngine::BuildBatch(
   return BuildBatchImpl(input, requests);
 }
 
+Status SynopsisEngine::Store(const std::string& path,
+                             std::span<const NamedSynopsis> synopses) const {
+  SynopsisStoreWriter writer;
+  for (const NamedSynopsis& entry : synopses) {
+    if (entry.result.kind == SynopsisKind::kHistogram) {
+      PROBSYN_RETURN_IF_ERROR(
+          writer.AddHistogram(entry.name, entry.result.histogram));
+    } else {
+      PROBSYN_RETURN_IF_ERROR(
+          writer.AddWavelet(entry.name, entry.result.wavelet));
+    }
+  }
+  return writer.WriteFile(path);
+}
+
+StatusOr<SynopsisServer> SynopsisEngine::Serve(const std::string& path) const {
+  return SynopsisServer::Open(path);
+}
+
 const char* SynopsisKindName(SynopsisKind kind) {
   return kind == SynopsisKind::kHistogram ? "histogram" : "wavelet";
 }

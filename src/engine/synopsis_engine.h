@@ -15,6 +15,7 @@
 #include "core/wavelet_unrestricted.h"
 #include "model/tuple_pdf.h"
 #include "model/value_pdf.h"
+#include "serve/synopsis_server.h"
 #include "util/deadline.h"
 #include "util/status.h"
 
@@ -171,6 +172,13 @@ struct SynopsisResult {
   SynopsisTiming timing;
 };
 
+/// A build result paired with the name it persists and serves under —
+/// the unit SynopsisEngine::Store writes and SynopsisServer looks up.
+struct NamedSynopsis {
+  std::string name;
+  SynopsisResult result;
+};
+
 /// The unified construction facade: plan/execute split over one request
 /// type. Planning validates the request and picks the oracle (via
 /// oracle_factory) and solver (exact DP, approximate DP, streaming, or a
@@ -253,6 +261,19 @@ class SynopsisEngine {
   StatusOr<std::vector<SynopsisResult>> BuildBatch(
       const TuplePdfInput& input,
       std::span<const SynopsisRequest> requests) const;
+
+  /// Persists build results as one synopsis store file (the serving tier's
+  /// on-disk format; see serve/synopsis_store.h): each result is encoded
+  /// as a checksummed codec blob under its name. Fails without writing on
+  /// an invalid synopsis, a duplicate or empty name, or I/O errors —
+  /// build -> Store -> Serve is the engine's end-to-end pipeline.
+  Status Store(const std::string& path,
+               std::span<const NamedSynopsis> synopses) const;
+
+  /// Opens a store written by Store (or SynopsisStoreWriter) and stands up
+  /// the query tier over it. Every blob is decoded and checksum-verified
+  /// before the server is returned.
+  StatusOr<SynopsisServer> Serve(const std::string& path) const;
 
  private:
   template <typename Input>

@@ -1,0 +1,310 @@
+#include "serve/synopsis_store.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+
+#include "util/fault_injection.h"
+
+namespace probsyn {
+
+namespace {
+
+constexpr char kStoreMagic[8] = {'P', 'S', 'Y', 'N', 'S', 'T', 'O', 'R'};
+constexpr std::uint32_t kStoreVersion = 1;
+constexpr std::size_t kStoreHeaderBytes = 32;
+constexpr std::size_t kStoreChecksumBytes = 8;
+// Declared entry counts above this are treated as corruption (the index
+// preallocates by the count; see the matching cap in the codec).
+constexpr std::uint32_t kMaxEntries = 1u << 22;
+
+std::uint64_t Fnv1a64(const std::uint8_t* data, std::size_t size) {
+  std::uint64_t h = 14695981039346656037ull;
+  for (std::size_t i = 0; i < size; ++i) {
+    h ^= data[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+void AppendVarint(std::uint64_t v, std::string* out) {
+  while (v >= 0x80) {
+    out->push_back(static_cast<char>((v & 0x7f) | 0x80));
+    v >>= 7;
+  }
+  out->push_back(static_cast<char>(v));
+}
+
+void AppendU32(std::uint32_t v, std::string* out) {
+  for (int i = 0; i < 4; ++i) out->push_back(static_cast<char>(v >> (8 * i)));
+}
+
+void AppendU64(std::uint64_t v, std::string* out) {
+  for (int i = 0; i < 8; ++i) out->push_back(static_cast<char>(v >> (8 * i)));
+}
+
+std::uint32_t ReadU32(const std::uint8_t* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+  return v;
+}
+
+std::uint64_t ReadU64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+Status CorruptStore(const std::string& what) {
+  return Status::InvalidArgument("corrupt synopsis store: " + what);
+}
+
+}  // namespace
+
+StatusOr<SynopsisStore> SynopsisStore::Open(const std::string& path) {
+  PROBSYN_RETURN_IF_ERROR(MaybeInjectFault(FaultSite::kPdataRead));
+  int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    return Status::IOError("cannot open " + path + ": " +
+                           std::strerror(errno));
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    int err = errno;
+    ::close(fd);
+    return Status::IOError("cannot stat " + path + ": " + std::strerror(err));
+  }
+  const std::size_t file_size = static_cast<std::size_t>(st.st_size);
+  if (file_size < kStoreHeaderBytes + kStoreChecksumBytes) {
+    ::close(fd);
+    return Status::IOError("store file truncated: " +
+                           std::to_string(file_size) + " bytes");
+  }
+  void* mapping = ::mmap(nullptr, file_size, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);  // the mapping keeps its own reference
+  if (mapping == MAP_FAILED) {
+    return Status::IOError("mmap of " + path + " failed: " +
+                           std::strerror(errno));
+  }
+
+  SynopsisStore store;
+  store.mapping_ = mapping;
+  store.mapped_size_ = file_size;
+  const std::uint8_t* bytes = static_cast<const std::uint8_t*>(mapping);
+
+  if (std::memcmp(bytes, kStoreMagic, sizeof(kStoreMagic)) != 0) {
+    return CorruptStore("bad magic");
+  }
+  if (ReadU32(bytes + 8) != kStoreVersion) {
+    return CorruptStore("unsupported version " +
+                        std::to_string(ReadU32(bytes + 8)));
+  }
+  const std::uint32_t count = ReadU32(bytes + 12);
+  const std::uint64_t dir_offset = ReadU64(bytes + 16);
+  const std::uint64_t dir_size = ReadU64(bytes + 24);
+  if (count > kMaxEntries) {
+    return CorruptStore("entry count " + std::to_string(count) +
+                        " exceeds the sanity cap");
+  }
+  if (dir_offset < kStoreHeaderBytes || dir_offset > file_size ||
+      dir_size > file_size - dir_offset ||
+      dir_offset + dir_size + kStoreChecksumBytes != file_size) {
+    return CorruptStore("directory bounds outside the file");
+  }
+  // Checksum covers header + directory; blob bodies carry their own.
+  std::uint64_t expected =
+      Fnv1a64(bytes, kStoreHeaderBytes) * 1099511628211ull ^
+      Fnv1a64(bytes + dir_offset, dir_size);
+  if (ReadU64(bytes + dir_offset + dir_size) != expected) {
+    return Status::IOError(
+        "store header/directory checksum mismatch (corrupt store)");
+  }
+
+  // Parse the directory into the O(1) name -> entry index.
+  const std::uint8_t* dir = bytes + dir_offset;
+  std::size_t pos = 0;
+  store.index_.reserve(count);
+  std::string previous_name;
+  for (std::uint32_t k = 0; k < count; ++k) {
+    std::uint64_t name_len = 0;
+    unsigned shift = 0;
+    for (;;) {
+      if (pos >= dir_size) return CorruptStore("directory truncated");
+      std::uint8_t byte = dir[pos++];
+      name_len |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+      if ((byte & 0x80) == 0) break;
+      shift += 7;
+      if (shift >= 64) return CorruptStore("name length varint overflow");
+    }
+    if (name_len == 0 || name_len > dir_size - pos) {
+      return CorruptStore("entry name overruns the directory");
+    }
+    std::string name(reinterpret_cast<const char*>(dir + pos), name_len);
+    pos += name_len;
+    if (dir_size - pos < 1 + 8 + 8) return CorruptStore("directory truncated");
+    Entry entry;
+    std::uint8_t kind = dir[pos++];
+    if (kind != static_cast<std::uint8_t>(SynopsisBlobKind::kHistogram) &&
+        kind != static_cast<std::uint8_t>(SynopsisBlobKind::kWavelet)) {
+      return CorruptStore("unknown entry kind " + std::to_string(kind));
+    }
+    entry.kind = static_cast<SynopsisBlobKind>(kind);
+    entry.offset = ReadU64(dir + pos);
+    pos += 8;
+    entry.size = ReadU64(dir + pos);
+    pos += 8;
+    if (entry.offset < kStoreHeaderBytes || entry.offset % 8 != 0 ||
+        entry.offset > dir_offset || entry.size > dir_offset - entry.offset) {
+      return CorruptStore("entry '" + name + "' outside the blob region");
+    }
+    if (k > 0 && name <= previous_name) {
+      return CorruptStore("directory names not strictly sorted");
+    }
+    previous_name = std::move(name);
+    store.index_.emplace(previous_name, entry);
+  }
+  if (pos != dir_size) return CorruptStore("trailing directory bytes");
+  return store;
+}
+
+SynopsisStore::SynopsisStore(SynopsisStore&& other) noexcept
+    : mapping_(other.mapping_),
+      mapped_size_(other.mapped_size_),
+      index_(std::move(other.index_)) {
+  other.mapping_ = nullptr;
+  other.mapped_size_ = 0;
+}
+
+SynopsisStore& SynopsisStore::operator=(SynopsisStore&& other) noexcept {
+  if (this != &other) {
+    if (mapping_ != nullptr) ::munmap(mapping_, mapped_size_);
+    mapping_ = other.mapping_;
+    mapped_size_ = other.mapped_size_;
+    index_ = std::move(other.index_);
+    other.mapping_ = nullptr;
+    other.mapped_size_ = 0;
+  }
+  return *this;
+}
+
+SynopsisStore::~SynopsisStore() {
+  if (mapping_ != nullptr) ::munmap(mapping_, mapped_size_);
+}
+
+StatusOr<SynopsisStore::Entry> SynopsisStore::Find(
+    const std::string& name) const {
+  auto it = index_.find(name);
+  if (it == index_.end()) {
+    return Status::NotFound("no synopsis named '" + name + "' in the store");
+  }
+  return it->second;
+}
+
+StatusOr<std::span<const std::uint8_t>> SynopsisStore::RawBlob(
+    const std::string& name) const {
+  PROBSYN_ASSIGN_OR_RETURN(Entry entry, Find(name));
+  return data().subspan(entry.offset, entry.size);
+}
+
+std::vector<std::string> SynopsisStore::Names() const {
+  std::vector<std::string> names;
+  names.reserve(index_.size());
+  for (const auto& [name, entry] : index_) names.push_back(name);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+Status SynopsisStoreWriter::Add(const std::string& name, std::string blob) {
+  if (name.empty()) {
+    return Status::InvalidArgument("synopsis name must be nonempty");
+  }
+  PROBSYN_RETURN_IF_ERROR(
+      PeekSynopsisBlobKind(
+          {reinterpret_cast<const std::uint8_t*>(blob.data()), blob.size()})
+          .status());
+  if (entries_.find(name) != entries_.end()) {
+    return Status::FailedPrecondition("duplicate synopsis name '" + name +
+                                      "'");
+  }
+  entries_.emplace(name, std::move(blob));
+  return Status::OK();
+}
+
+Status SynopsisStoreWriter::AddHistogram(const std::string& name,
+                                         const Histogram& histogram) {
+  PROBSYN_ASSIGN_OR_RETURN(std::string blob, EncodeHistogram(histogram));
+  return Add(name, std::move(blob));
+}
+
+Status SynopsisStoreWriter::AddWavelet(const std::string& name,
+                                       const WaveletSynopsis& synopsis) {
+  PROBSYN_ASSIGN_OR_RETURN(std::string blob, EncodeWavelet(synopsis));
+  return Add(name, std::move(blob));
+}
+
+Status SynopsisStoreWriter::WriteFile(const std::string& path) const {
+  // Lay out the blob region: 8-byte aligned blobs in name order.
+  std::string file;
+  file.reserve(kStoreHeaderBytes + 64 * entries_.size());
+  file.append(kStoreMagic, sizeof(kStoreMagic));
+  AppendU32(kStoreVersion, &file);
+  AppendU32(static_cast<std::uint32_t>(entries_.size()), &file);
+  AppendU64(0, &file);  // directory offset, patched below
+  AppendU64(0, &file);  // directory size, patched below
+
+  struct Placed {
+    const std::string* name;
+    SynopsisBlobKind kind;
+    std::uint64_t offset;
+    std::uint64_t size;
+  };
+  std::vector<Placed> placed;
+  placed.reserve(entries_.size());
+  for (const auto& [name, blob] : entries_) {
+    while (file.size() % 8 != 0) file.push_back(0);
+    auto kind = PeekSynopsisBlobKind(
+        {reinterpret_cast<const std::uint8_t*>(blob.data()), blob.size()});
+    PROBSYN_RETURN_IF_ERROR(kind.status());  // re-checked: Add validated it
+    placed.push_back({&name, *kind, file.size(), blob.size()});
+    file.append(blob);
+  }
+
+  const std::uint64_t dir_offset = file.size();
+  std::string directory;
+  for (const Placed& p : placed) {
+    AppendVarint(p.name->size(), &directory);
+    directory.append(*p.name);
+    directory.push_back(static_cast<char>(p.kind));
+    AppendU64(p.offset, &directory);
+    AppendU64(p.size, &directory);
+  }
+  // Patch the header now that the layout is known, then checksum
+  // header + directory (the same combination Open verifies).
+  std::string header_patch;
+  AppendU64(dir_offset, &header_patch);
+  AppendU64(directory.size(), &header_patch);
+  file.replace(16, 16, header_patch);
+  file.append(directory);
+  std::uint64_t checksum =
+      Fnv1a64(reinterpret_cast<const std::uint8_t*>(file.data()),
+              kStoreHeaderBytes) *
+          1099511628211ull ^
+      Fnv1a64(reinterpret_cast<const std::uint8_t*>(file.data()) + dir_offset,
+              directory.size());
+  AppendU64(checksum, &file);
+
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  if (!os) return Status::IOError("cannot open " + path + " for writing");
+  os.write(file.data(), static_cast<std::streamsize>(file.size()));
+  os.flush();
+  if (!os) return Status::IOError("write to " + path + " failed");
+  return Status::OK();
+}
+
+}  // namespace probsyn

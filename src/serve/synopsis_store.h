@@ -1,0 +1,131 @@
+#ifndef PROBSYN_SERVE_SYNOPSIS_STORE_H_
+#define PROBSYN_SERVE_SYNOPSIS_STORE_H_
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "io/synopsis_codec.h"
+#include "util/status.h"
+
+namespace probsyn {
+
+/// A read-mostly, memory-mapped store of many named synopsis blobs — the
+/// persistence layer between construction (SynopsisEngine::Build) and
+/// serving (SynopsisServer). Write once with SynopsisStoreWriter, then any
+/// number of processes map the file and read concurrently: the mapping is
+/// PROT_READ and the store is immutable after Open, so every accessor is
+/// safe from any thread with no locking.
+///
+/// File layout (integers little-endian):
+///
+///   offset 0   magic "PSYNSTOR" (8 bytes)
+///          8   store version (u32, currently 1)
+///         12   entry count (u32)
+///         16   directory offset (u64)
+///         24   directory size in bytes (u64)
+///         32   blob region: the entries' codec blobs (io/synopsis_codec.h),
+///              each 8-byte aligned, zero padding between
+///         dir  directory: per entry, varint name length, name bytes,
+///              u8 kind, u64 blob offset, u64 blob size — entries sorted
+///              by name
+///        last  8 bytes: FNV-1a 64 checksum over the 32-byte header plus
+///              the directory bytes
+///
+/// The header + directory are checksum-verified at Open (blob bodies carry
+/// their own per-blob checksums, verified when a blob is decoded), the
+/// directory is hashed into an in-memory index, and lookups are O(1)
+/// average from then on. RawBlob returns a zero-copy view directly into
+/// the mapping — no bytes are touched until a caller reads them, so
+/// opening a store of thousands of synopses is O(directory), not O(file).
+class SynopsisStore {
+ public:
+  /// One directory entry: where a named blob lives in the mapping.
+  struct Entry {
+    SynopsisBlobKind kind = SynopsisBlobKind::kHistogram;
+    std::uint64_t offset = 0;  ///< Byte offset of the blob in the file.
+    std::uint64_t size = 0;    ///< Blob size in bytes.
+  };
+
+  /// Maps `path` read-only and verifies the header + directory. Fails with
+  /// kIOError on filesystem errors or checksum mismatch, kInvalidArgument
+  /// on structural corruption; passes the FaultSite::kPdataRead injection
+  /// site so the fault campaigns cover the serving read path.
+  static StatusOr<SynopsisStore> Open(const std::string& path);
+
+  SynopsisStore(SynopsisStore&& other) noexcept;
+  SynopsisStore& operator=(SynopsisStore&& other) noexcept;
+  SynopsisStore(const SynopsisStore&) = delete;
+  SynopsisStore& operator=(const SynopsisStore&) = delete;
+  ~SynopsisStore();
+
+  /// Number of stored synopses.
+  std::size_t size() const { return index_.size(); }
+
+  /// True when `name` is stored.
+  bool Contains(const std::string& name) const {
+    return index_.find(name) != index_.end();
+  }
+
+  /// Directory lookup; kNotFound when the name is not stored. O(1) average.
+  StatusOr<Entry> Find(const std::string& name) const;
+
+  /// Zero-copy view of `name`'s codec blob inside the mapping, valid for
+  /// the lifetime of this store. The blob is NOT checksum-verified here —
+  /// decode it (io/synopsis_codec.h) to validate; kNotFound on a missing
+  /// name.
+  StatusOr<std::span<const std::uint8_t>> RawBlob(
+      const std::string& name) const;
+
+  /// All stored names, sorted.
+  std::vector<std::string> Names() const;
+
+  /// The whole mapped file (for observability and tests).
+  std::span<const std::uint8_t> data() const {
+    return {static_cast<const std::uint8_t*>(mapping_), mapped_size_};
+  }
+
+ private:
+  SynopsisStore() = default;
+
+  void* mapping_ = nullptr;  // null only for a moved-from store
+  std::size_t mapped_size_ = 0;
+  std::unordered_map<std::string, Entry> index_;
+};
+
+/// Accumulates named synopses and writes them as one store file. Typical
+/// use is through SynopsisEngine::Store, which encodes build results; use
+/// the writer directly to store pre-encoded blobs.
+class SynopsisStoreWriter {
+ public:
+  /// Adds an already-encoded codec blob under `name`. Fails with
+  /// kInvalidArgument on a malformed blob header or empty name,
+  /// kFailedPrecondition on a duplicate name.
+  Status Add(const std::string& name, std::string blob);
+
+  /// Encodes `histogram` and adds it under `name`.
+  Status AddHistogram(const std::string& name, const Histogram& histogram);
+
+  /// Encodes `synopsis` and adds it under `name`.
+  Status AddWavelet(const std::string& name, const WaveletSynopsis& synopsis);
+
+  /// Number of entries added so far.
+  std::size_t size() const { return entries_.size(); }
+
+  /// Writes the store file (see the layout above) atomically enough for
+  /// the read side: the file is complete when WriteFile returns OK. A
+  /// store with zero entries is valid (it serves nothing).
+  Status WriteFile(const std::string& path) const;
+
+ private:
+  // Sorted by name so the directory (and therefore the file bytes) are
+  // deterministic regardless of Add order.
+  std::map<std::string, std::string> entries_;
+};
+
+}  // namespace probsyn
+
+#endif  // PROBSYN_SERVE_SYNOPSIS_STORE_H_

@@ -157,6 +157,18 @@ TEST(HistogramDp, SingleItemDomain) {
   EXPECT_DOUBLE_EQ(h.buckets()[0].representative, 3.0);
 }
 
+TEST(HistogramDp, ExtractOnEmptyDomainNormalizesToEmptyHistogram) {
+  // A never-solved (default-constructed) result has n = 0; extraction must
+  // return the empty histogram — the unique partition of an empty domain,
+  // and the one Histogram Validate(0) accepts — not walk unfilled tables
+  // or abort. Regression: this used to CHECK-fail on n_ > 0.
+  HistogramDpResult unsolved;
+  Histogram h = unsolved.ExtractHistogram(3);
+  EXPECT_EQ(h.num_buckets(), 0u);
+  EXPECT_EQ(h.domain_size(), 0u);
+  EXPECT_TRUE(h.Validate(0).ok());
+}
+
 TEST(HistogramDp, DeterministicDataWithEnoughBucketsHasZeroError) {
   // n distinct deterministic frequencies, B = n: every item its own bucket.
   std::vector<double> freqs{5, 1, 4, 2, 8, 3};

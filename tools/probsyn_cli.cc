@@ -15,11 +15,22 @@
 //                     [--method auto|greedy|restricted|unrestricted]
 //                     [--out CSV]
 //   probsyn evaluate  --in FILE --histogram CSV [--metric M] [--c C]
+//   probsyn store     --in FILE --out STORE [--buckets B[,B2,...]]
+//                     [--coeffs B[,B2,...]] [--metric M] [--c C]
+//                     [--threads T]
+//   probsyn query     --store STORE [--name NAME]
+//                     [--point I | --range A,B | --topk K]
 //
 // Metrics: SSE SSRE SAE SARE MAE MARE (default SSE). A comma-separated
 // --buckets list is served as one engine batch: the oracle is
 // preprocessed once and the exact DP solved once for the whole sweep.
 // --threads 0 (default) uses every core; 1 forces sequential.
+//
+// `store` builds the requested synopses and persists them as one
+// memory-mapped store file (entries named hist_B<B> / wave_B<B>); `query`
+// serves point / range / top-k queries from such a file without touching
+// the original input, or lists the stored entries when no query flag is
+// given.
 
 #include <cstdio>
 #include <cstdlib>
@@ -337,10 +348,120 @@ int RunEvaluate(const Args& args) {
   return 0;
 }
 
+int RunStore(const Args& args) {
+  auto in = args.Get("in");
+  auto out = args.Get("out");
+  if (!in || !out) return Fail("store: --in FILE and --out STORE are required");
+  std::vector<std::size_t> bucket_budgets;
+  std::vector<std::size_t> coeff_budgets;
+  if (auto b = args.Get("buckets")) bucket_budgets = ParseSizeList(*b);
+  if (auto c = args.Get("coeffs")) coeff_budgets = ParseSizeList(*c);
+  if (bucket_budgets.empty() && coeff_budgets.empty()) {
+    return Fail("store: at least one of --buckets / --coeffs is required");
+  }
+  auto loaded = Load(*in);
+  if (!loaded.ok()) return Fail(loaded.status().ToString());
+  auto options = ParseOptions(args);
+  if (!options.ok()) return Fail(options.status().ToString());
+
+  std::vector<SynopsisRequest> requests;
+  std::vector<std::string> names;
+  for (std::size_t budget : bucket_budgets) {
+    SynopsisRequest request;
+    request.kind = SynopsisKind::kHistogram;
+    request.budget = budget;
+    request.options = *options;
+    requests.push_back(request);
+    names.push_back("hist_B" + std::to_string(budget));
+  }
+  for (std::size_t budget : coeff_budgets) {
+    SynopsisRequest request;
+    request.kind = SynopsisKind::kWavelet;
+    request.budget = budget;
+    request.options = *options;
+    requests.push_back(request);
+    names.push_back("wave_B" + std::to_string(budget));
+  }
+
+  SynopsisEngine engine({.parallelism = args.GetSize("threads", 0)});
+  auto results = loaded->value_pdf
+                     ? engine.BuildBatch(*loaded->value_pdf, requests)
+                     : engine.BuildBatch(*loaded->tuple_pdf, requests);
+  if (!results.ok()) return Fail(results.status().ToString());
+
+  std::vector<NamedSynopsis> named;
+  named.reserve(results->size());
+  for (std::size_t k = 0; k < results->size(); ++k) {
+    named.push_back({names[k], std::move((*results)[k])});
+  }
+  if (Status s = engine.Store(*out, named); !s.ok()) {
+    return Fail(s.ToString());
+  }
+  std::printf("wrote %s: %zu synopses over n=%zu\n", out->c_str(),
+              named.size(), loaded->domain_size());
+  for (const NamedSynopsis& entry : named) {
+    std::printf("  %s (%s, expected %s = %.6f)\n", entry.name.c_str(),
+                SynopsisKindName(entry.result.kind),
+                ErrorMetricName(options->metric), entry.result.cost);
+  }
+  return 0;
+}
+
+int RunQuery(const Args& args) {
+  auto store_path = args.Get("store");
+  if (!store_path) return Fail("query: --store STORE is required");
+  auto server = SynopsisServer::Open(*store_path);
+  if (!server.ok()) return Fail(server.status().ToString());
+
+  auto name = args.Get("name");
+  if (!name) {
+    for (const std::string& entry : server->Names()) {
+      const ServedSynopsis* synopsis = server->Find(entry);
+      std::printf("%s: %s, n=%zu, %s=%zu\n", entry.c_str(),
+                  SynopsisBlobKindName(synopsis->kind()),
+                  synopsis->domain_size(),
+                  synopsis->kind() == SynopsisBlobKind::kHistogram ? "B"
+                                                                   : "coeffs",
+                  synopsis->kind() == SynopsisBlobKind::kHistogram
+                      ? synopsis->num_buckets()
+                      : synopsis->num_coefficients());
+    }
+    return 0;
+  }
+
+  if (auto point = args.Get("point")) {
+    std::size_t i = std::strtoull(point->c_str(), nullptr, 10);
+    auto estimate = server->PointEstimate(*name, i);
+    if (!estimate.ok()) return Fail(estimate.status().ToString());
+    std::printf("%s ghat_%zu = %.6f\n", name->c_str(), i, *estimate);
+    return 0;
+  }
+  if (auto range = args.Get("range")) {
+    std::vector<std::size_t> bounds = ParseSizeList(*range);
+    if (bounds.size() != 2) return Fail("query: --range expects A,B");
+    auto sum = server->RangeSum(*name, bounds[0], bounds[1]);
+    if (!sum.ok()) return Fail(sum.status().ToString());
+    double avg = *sum / static_cast<double>(bounds[1] - bounds[0] + 1);
+    std::printf("%s sum[%zu, %zu] = %.6f (avg %.6f)\n", name->c_str(),
+                bounds[0], bounds[1], *sum, avg);
+    return 0;
+  }
+  if (auto topk = args.Get("topk")) {
+    std::size_t k = std::strtoull(topk->c_str(), nullptr, 10);
+    auto top = server->TopCoefficients(*name, k);
+    if (!top.ok()) return Fail(top.status().ToString());
+    for (const WaveletCoefficient& c : *top) {
+      std::printf("%s c[%zu] = %.6f\n", name->c_str(), c.index, c.value);
+    }
+    return 0;
+  }
+  return Fail("query: --name needs one of --point / --range / --topk");
+}
+
 int Usage() {
   std::fprintf(stderr,
-               "usage: probsyn <gen|info|histogram|wavelet|evaluate> "
-               "[--flag value]...\n"
+               "usage: probsyn <gen|info|histogram|wavelet|evaluate|store|"
+               "query> [--flag value]...\n"
                "run with a subcommand and no flags for its requirements\n");
   return 2;
 }
@@ -362,5 +483,7 @@ int main(int argc, char** argv) {
   if (command == "histogram") return RunHistogram(args);
   if (command == "wavelet") return RunWavelet(args);
   if (command == "evaluate") return RunEvaluate(args);
+  if (command == "store") return RunStore(args);
+  if (command == "query") return RunQuery(args);
   return Usage();
 }
