@@ -5,6 +5,13 @@
 //                        histogram over n = 2^20 (the acceptance floor is
 //                        1M queries/sec single-thread; see
 //                        docs/benchmarks.md)
+//   BM_ServeQpsThreaded  the same point-estimate stream fanned over 1/2/4
+//                        reader threads against ONE shared server — the
+//                        read path is lock-free over the mmap, so
+//                        items/sec (aggregated across threads) should
+//                        scale with physical cores; on a single-core host
+//                        the >1-thread rows measure scheduling overhead
+//                        only
 //   BM_ServeWaveletQps   point estimates against a B-coefficient wavelet
 //                        (O(log n log B) sparse reconstruction per query)
 //   BM_ServeRangeSum     random-range sums against the same histogram
@@ -88,6 +95,25 @@ void BM_ServeQps(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
 
+void BM_ServeQpsThreaded(benchmark::State& state) {
+  // One server shared by every reader thread (the concurrency contract
+  // under test); magic-static init keeps construction single-threaded.
+  static SynopsisServer& server = *new SynopsisServer(
+      MakeServer("qps_mt", 1024, 64));
+  const ServedSynopsis* synopsis = server.Find("h");
+  PROBSYN_CHECK(synopsis != nullptr);
+  // Distinct per-thread LCG seeds so threads do not walk the same index
+  // stream in lockstep (which would overstate cache locality).
+  std::uint64_t lcg = 0x9e3779b97f4a7c15ull *
+                      static_cast<std::uint64_t>(state.thread_index() + 1);
+  for (auto _ : state) {
+    lcg = lcg * 6364136223846793005ull + 1442695040888963407ull;
+    benchmark::DoNotOptimize(
+        synopsis->PointEstimate((lcg >> 16) % kDomain));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
 void BM_ServeWaveletQps(benchmark::State& state) {
   SynopsisServer server =
       MakeServer("wqps", 64, static_cast<std::size_t>(state.range(0)));
@@ -154,6 +180,8 @@ void BM_StoreOpen(benchmark::State& state) {
 }  // namespace probsyn
 
 BENCHMARK(probsyn::BM_ServeQps)->Arg(64)->Arg(1024)->Arg(16384);
+BENCHMARK(probsyn::BM_ServeQpsThreaded)
+    ->Threads(1)->Threads(2)->Threads(4)->UseRealTime();
 BENCHMARK(probsyn::BM_ServeWaveletQps)->Arg(64)->Arg(1024);
 BENCHMARK(probsyn::BM_ServeRangeSum)->Arg(64)->Arg(1024);
 BENCHMARK(probsyn::BM_CodecRoundTrip)->Arg(64)->Arg(1024)->Arg(16384);

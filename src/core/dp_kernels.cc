@@ -138,6 +138,52 @@ double ScalarStreamingMergeColumn(const double* error, const double* sum_mean,
   return m;
 }
 
+// One push (lane) of the batched streaming sweep with the full reference
+// arithmetic — hardware divide, ClampTinyNegative, first-index argmin.
+// Defines the semantics every vector path must reproduce; also serves as
+// the AVX-512 path's negative-cost re-sweep and every path's partial-group
+// tail. The >= count guard of the single-push column is a precondition
+// here (every position < count), so it is omitted.
+void ScalarStreamingBatchLane(const double* error, const double* sum_mean,
+                              const double* sum_second,
+                              const double* position, std::size_t n,
+                              double count, double total_mean,
+                              double total_second, double* best,
+                              std::int64_t* best_index) {
+  double m = kInfinity;
+  std::int64_t arg = -1;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double width = count - position[i];
+    const double mean = total_mean - sum_mean[i];
+    const double second = total_second - sum_second[i];
+    double cost = second - mean * mean / width;
+    cost = (cost < 0.0 && cost > -1e-6) ? 0.0 : cost;  // ClampTinyNegative
+    const double v = error[i] + cost;
+    if (v < m) {
+      m = v;
+      arg = static_cast<std::int64_t>(i);
+    }
+  }
+  *best = m;
+  *best_index = arg;
+}
+
+void ScalarStreamingBatchSweep(const double* error, const double* sum_mean,
+                               const double* sum_second,
+                               const double* position,
+                               const std::int64_t* /*neg_position*/,
+                               std::size_t n, const double* total_mean,
+                               const double* total_second, std::size_t count0,
+                               const double* /*recips*/,
+                               std::size_t num_pushes, double* best,
+                               std::int64_t* best_index) {
+  for (std::size_t j = 0; j < num_pushes; ++j) {
+    ScalarStreamingBatchLane(error, sum_mean, sum_second, position, n,
+                             static_cast<double>(count0 + j), total_mean[j],
+                             total_second[j], &best[j], &best_index[j]);
+  }
+}
+
 double ScalarMinArray(const double* a, std::size_t n) {
   double m0 = kInfinity, m1 = kInfinity, m2 = kInfinity, m3 = kInfinity;
   std::size_t i = 0;
@@ -481,6 +527,140 @@ __attribute__((target("avx512f"))) double Avx512StreamingMergeColumn(
   return m;
 }
 
+// Batched streaming sweep, 4 pushes per ymm register: lane j of the
+// vectors is push count0+g+j, candidates stream one at a time with their
+// column scalars entering as broadcasts. Uses the reference hardware
+// divide and clamp elementwise (no reciprocal table, no fallback), so
+// every element matches ScalarStreamingBatchLane bit-for-bit; the argmin
+// blends on strict less-than, which keeps the FIRST index of the minimum
+// exactly like the scalar scan.
+__attribute__((target("avx2"))) void Avx2StreamingBatchSweep(
+    const double* error, const double* sum_mean, const double* sum_second,
+    const double* position, const std::int64_t* /*neg_position*/,
+    std::size_t n, const double* total_mean, const double* total_second,
+    std::size_t count0, const double* /*recips*/, std::size_t num_pushes,
+    double* best, std::int64_t* best_index) {
+  const __m256d vzero = _mm256_setzero_pd();
+  const __m256d vneg_tol = _mm256_set1_pd(-1e-6);
+  const __m256i one = _mm256_set1_epi64x(1);
+  std::size_t g = 0;
+  for (; g + 4 <= num_pushes; g += 4) {
+    alignas(32) double lane_count[4];
+    for (int l = 0; l < 4; ++l) {
+      lane_count[l] = static_cast<double>(count0 + g + l);
+    }
+    const __m256d tp = _mm256_load_pd(lane_count);
+    const __m256d tm = _mm256_loadu_pd(total_mean + g);
+    const __m256d ts = _mm256_loadu_pd(total_second + g);
+    __m256d acc = _mm256_set1_pd(kInfinity);
+    __m256i aidx = _mm256_set1_epi64x(-1);
+    __m256i iv = _mm256_setzero_si256();
+    for (std::size_t i = 0; i < n; ++i) {
+      const __m256d mean = _mm256_sub_pd(tm, _mm256_broadcast_sd(sum_mean + i));
+      const __m256d second =
+          _mm256_sub_pd(ts, _mm256_broadcast_sd(sum_second + i));
+      const __m256d width = _mm256_sub_pd(tp, _mm256_broadcast_sd(position + i));
+      __m256d cost = _mm256_sub_pd(
+          second, _mm256_div_pd(_mm256_mul_pd(mean, mean), width));
+      const __m256d tiny_negative =
+          _mm256_and_pd(_mm256_cmp_pd(cost, vzero, _CMP_LT_OQ),
+                        _mm256_cmp_pd(cost, vneg_tol, _CMP_GT_OQ));
+      cost = _mm256_blendv_pd(cost, vzero, tiny_negative);
+      const __m256d v = _mm256_add_pd(_mm256_broadcast_sd(error + i), cost);
+      const __m256d lt = _mm256_cmp_pd(v, acc, _CMP_LT_OQ);
+      acc = _mm256_blendv_pd(acc, v, lt);
+      // lt is all-ones per 64-bit lane, so the byte blend selects whole
+      // lane indices.
+      aidx = _mm256_blendv_epi8(aidx, iv, _mm256_castpd_si256(lt));
+      iv = _mm256_add_epi64(iv, one);
+    }
+    _mm256_storeu_pd(best + g, acc);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(best_index + g), aidx);
+  }
+  for (; g < num_pushes; ++g) {
+    ScalarStreamingBatchLane(error, sum_mean, sum_second, position, n,
+                             static_cast<double>(count0 + g), total_mean[g],
+                             total_second[g], &best[g], &best_index[g]);
+  }
+}
+
+// Batched streaming sweep, 8 pushes per zmm register. The hot loop is
+// division- and clamp-free: lane widths for one candidate are 8
+// CONSECUTIVE integers, so their reciprocals are one contiguous unaligned
+// load from the caller's table (recips + count0 + g - position[i] — no
+// gather), and a Markstein fused step turns y = RN(1/w) into the exactly
+// rounded quotient RN(a/w), bit-identical to vdivpd at multiply/fma
+// throughput. The ClampTinyNegative branch is replaced by a per-lane
+// running MIN of the raw costs: lanes whose column never went negative
+// cannot have clamped anywhere, and the (measured-never-taken) negative
+// lanes re-sweep through the exact scalar path.
+__attribute__((target("avx512f"))) void Avx512StreamingBatchSweep(
+    const double* error, const double* sum_mean, const double* sum_second,
+    const double* position, const std::int64_t* neg_position, std::size_t n,
+    const double* total_mean, const double* total_second, std::size_t count0,
+    const double* recips, std::size_t num_pushes, double* best,
+    std::int64_t* best_index) {
+  const __m512i one = _mm512_set1_epi64(1);
+  std::size_t g = 0;
+  for (; g + 8 <= num_pushes; g += 8) {
+    const double* rb = recips + count0 + g;
+    alignas(64) double lane_count[8];
+    for (int l = 0; l < 8; ++l) {
+      lane_count[l] = static_cast<double>(count0 + g + l);
+    }
+    const __m512d tp = _mm512_load_pd(lane_count);
+    const __m512d tm = _mm512_loadu_pd(total_mean + g);
+    const __m512d ts = _mm512_loadu_pd(total_second + g);
+    __m512d acc = _mm512_set1_pd(kInfinity);
+    __m512d cmin = _mm512_setzero_pd();
+    __m512i aidx = _mm512_set1_epi64(-1);
+    __m512i iv = _mm512_setzero_si512();
+    for (std::size_t i = 0; i < n; ++i) {
+      // Lane l needs 1 / ((count0 + g + l) - position[i]): consecutive
+      // table entries starting at rb - position[i].
+      const __m512d y = _mm512_loadu_pd(rb + neg_position[i]);
+      const __m512d mean = _mm512_sub_pd(tm, _mm512_set1_pd(sum_mean[i]));
+      const __m512d second = _mm512_sub_pd(ts, _mm512_set1_pd(sum_second[i]));
+      const __m512d width = _mm512_sub_pd(tp, _mm512_set1_pd(position[i]));
+      const __m512d a = _mm512_mul_pd(mean, mean);
+      const __m512d q0 = _mm512_mul_pd(a, y);
+      const __m512d r = _mm512_fnmadd_pd(width, q0, a);
+      const __m512d q = _mm512_fmadd_pd(r, y, q0);  // RN(a / width)
+      const __m512d c = _mm512_sub_pd(second, q);
+      cmin = _mm512_min_pd(cmin, c);
+      const __m512d v = _mm512_add_pd(_mm512_set1_pd(error[i]), c);
+      const __mmask8 lt = _mm512_cmp_pd_mask(v, acc, _CMP_LT_OQ);
+      acc = _mm512_mask_blend_pd(lt, acc, v);
+      aidx = _mm512_mask_blend_epi64(lt, aidx, iv);
+      iv = _mm512_add_epi64(iv, one);
+    }
+    alignas(64) double bv[8];
+    alignas(64) double cv[8];
+    alignas(64) std::int64_t bi[8];
+    _mm512_store_pd(bv, acc);
+    _mm512_store_pd(cv, cmin);
+    _mm512_store_si512(reinterpret_cast<__m512i*>(bi), aidx);
+    for (int l = 0; l < 8; ++l) {
+      if (cv[l] < 0.0) {
+        // Some candidate in this lane's column produced a negative raw
+        // cost, where the reference clamps: redo the lane exactly.
+        ScalarStreamingBatchLane(error, sum_mean, sum_second, position, n,
+                                 lane_count[l], total_mean[g + l],
+                                 total_second[g + l], &best[g + l],
+                                 &best_index[g + l]);
+      } else {
+        best[g + l] = bv[l];
+        best_index[g + l] = bi[l];
+      }
+    }
+  }
+  for (; g < num_pushes; ++g) {
+    ScalarStreamingBatchLane(error, sum_mean, sum_second, position, n,
+                             static_cast<double>(count0 + g), total_mean[g],
+                             total_second[g], &best[g], &best_index[g]);
+  }
+}
+
 __attribute__((target("avx512f"))) double Avx512MinPlusConst(const double* a,
                                                              std::size_t n,
                                                              double add) {
@@ -610,6 +790,11 @@ struct SimdOps {
   double (*streaming_merge_column)(const double*, const double*,
                                    const double*, const double*, std::size_t,
                                    double, double, double, double*);
+  void (*streaming_batch_sweep)(const double*, const double*, const double*,
+                                const double*, const std::int64_t*,
+                                std::size_t, const double*, const double*,
+                                std::size_t, const double*, std::size_t,
+                                double*, std::int64_t*);
 };
 
 constexpr SimdOps kScalarOps{SimdPath::kScalar,
@@ -619,7 +804,8 @@ constexpr SimdOps kScalarOps{SimdPath::kScalar,
                              ScalarMinMaxPairs,
                              ScalarMinArray,
                              ScalarApproxQuadColumn,
-                             ScalarStreamingMergeColumn};
+                             ScalarStreamingMergeColumn,
+                             ScalarStreamingBatchSweep};
 #ifdef PROBSYN_SIMD_X86
 constexpr SimdOps kAvx2Ops{SimdPath::kAvx2,
                            Avx2MinPlusConst,
@@ -628,7 +814,8 @@ constexpr SimdOps kAvx2Ops{SimdPath::kAvx2,
                            Avx2MinMaxPairs,
                            Avx2MinArray,
                            Avx2ApproxQuadColumn,
-                           Avx2StreamingMergeColumn};
+                           Avx2StreamingMergeColumn,
+                           Avx2StreamingBatchSweep};
 constexpr SimdOps kAvx512Ops{SimdPath::kAvx512,
                              Avx512MinPlusConst,
                              Avx512MinPlusPairs,
@@ -636,7 +823,8 @@ constexpr SimdOps kAvx512Ops{SimdPath::kAvx512,
                              Avx512MinMaxPairs,
                              Avx512MinArray,
                              Avx512ApproxQuadColumn,
-                             Avx512StreamingMergeColumn};
+                             Avx512StreamingMergeColumn,
+                             Avx512StreamingBatchSweep};
 #endif
 
 // Widest path the CPU supports (build-gated).
@@ -1902,6 +2090,18 @@ double SimdStreamingMergeColumn(const double* error, const double* sum_mean,
   return Ops().streaming_merge_column(error, sum_mean, sum_second, position,
                                       n, count, total_mean, total_second,
                                       values);
+}
+
+void SimdStreamingBatchSweep(const double* error, const double* sum_mean,
+                             const double* sum_second, const double* position,
+                             const std::int64_t* neg_position, std::size_t n,
+                             const double* total_mean,
+                             const double* total_second, std::size_t count0,
+                             const double* recips, std::size_t num_pushes,
+                             double* best, std::int64_t* best_index) {
+  Ops().streaming_batch_sweep(error, sum_mean, sum_second, position,
+                              neg_position, n, total_mean, total_second,
+                              count0, recips, num_pushes, best, best_index);
 }
 
 const char* WaveletSplitKernelName(WaveletSplitKernel kind) {

@@ -109,6 +109,42 @@ double SimdStreamingMergeColumn(const double* error, const double* sum_mean,
                                 double count, double total_mean,
                                 double total_second, double* values);
 
+/// Batched streaming-merge sweep — the PushBatch counterpart of
+/// SimdStreamingMergeColumn. For each of `num_pushes` CONSECUTIVE stream
+/// positions count0, count0+1, ..., count0+num_pushes-1 (lane j's running
+/// totals are total_mean[j] / total_second[j]) it computes, over the same
+/// committed-breakpoint columns,
+///
+///   best[j]       = min_i error[i] + cost(i, j)
+///   best_index[j] = FIRST i attaining best[j]   (-1 when n == 0)
+///   cost(i, j)    = clamp_tiny_negative(second_ij - mean_ij^2 / width_ij)
+///
+/// with width_ij = (count0 + j) - position[i]. Preconditions: every
+/// position[i] < count0 (the caller's visibility timeline guarantees all
+/// candidates strictly precede the batch group, so the >= count guard of
+/// the single-push column is dead); neg_position[i] == -position[i]
+/// (int64, the vector paths' reciprocal-table index column); and
+/// recips[w] == 1.0/w for every width 1 <= w <= count0 + num_pushes - 1.
+///
+/// Bit-parity contract, pinned by the PushBatch differential tests: every
+/// dispatch path returns exactly what num_pushes single-push column scans
+/// would. The scalar and AVX2 paths use the reference divide + clamp
+/// elementwise; the AVX-512 path runs one push per lane with the division
+/// recovered from the reciprocal table by a Markstein fused step (y =
+/// RN(1/w) exact, q0 = RN(a*y), q = RN(fma(fma(-w, q0, a), y, q0)) =
+/// RN(a/w) — correctly rounded, hence bit-identical) and drops the
+/// tiny-negative clamp from the hot loop; a per-lane min-cost detector
+/// re-sweeps any lane whose column produced a negative cost through the
+/// exact scalar path, so clamp-sensitive columns still match the
+/// reference bit-for-bit.
+void SimdStreamingBatchSweep(const double* error, const double* sum_mean,
+                             const double* sum_second, const double* position,
+                             const std::int64_t* neg_position, std::size_t n,
+                             const double* total_mean,
+                             const double* total_second, std::size_t count0,
+                             const double* recips, std::size_t num_pushes,
+                             double* best, std::int64_t* best_index);
+
 /// Packed traceback decision of one restricted-wavelet-DP cell: the keep
 /// flag for the node's coefficient plus the budgets granted to its two
 /// children. uint16 budgets cap the padded domain at 65536, matching the

@@ -126,12 +126,13 @@ StatusOr<SynopsisResult> ExecStreamingOnValuePdf(const ValuePdfInput& input,
       request.budget, request.epsilon, StreamingKernel::kAuto,
       workspace != nullptr ? &workspace->stream_chains() : nullptr);
   std::size_t pushed = 0;
+  // Pushes cost ~100us+ each once the bucket chains grow (merges
+  // dominate), so PollGate's default 16-item cadence keeps cancellation
+  // latency in the tens of milliseconds while the poll cost stays far
+  // below 1% of the push cost.
+  PollGate gate;
   for (const ValuePdf& pdf : input.items()) {
-    // Pushes cost ~100us+ each once the bucket chains grow (merges
-    // dominate), so a fine poll interval is what keeps cancellation
-    // latency in the tens of milliseconds; the poll itself is a few
-    // relaxed loads and stays far below 1% of the push cost.
-    if ((pushed & 15u) == 0 && StopRequested(ctx)) {
+    if (gate.ShouldStop(ctx)) {
       return ctx->StopStatus("streaming", "item", pushed,
                              input.domain_size());
     }
@@ -1014,6 +1015,24 @@ Status SynopsisEngine::Store(const std::string& path,
 
 StatusOr<SynopsisServer> SynopsisEngine::Serve(const std::string& path) const {
   return SynopsisServer::Open(path);
+}
+
+StatusOr<std::unique_ptr<IngestCoordinator>> SynopsisEngine::OpenIngest(
+    const IngestOptions& options) const {
+  if (options.max_buckets < 1) {
+    return Status::InvalidArgument("OpenIngest: max_buckets must be >= 1");
+  }
+  if (!(options.epsilon > 0.0)) {
+    return Status::InvalidArgument("OpenIngest: epsilon must be > 0");
+  }
+  if (options.queue_capacity < 1) {
+    return Status::InvalidArgument("OpenIngest: queue_capacity must be >= 1");
+  }
+  if (options.drain_batch < 1) {
+    return Status::InvalidArgument("OpenIngest: drain_batch must be >= 1");
+  }
+  return std::make_unique<IngestCoordinator>(options, pool_.get(),
+                                             workspaces_.get());
 }
 
 const char* SynopsisKindName(SynopsisKind kind) {

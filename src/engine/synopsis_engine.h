@@ -16,6 +16,7 @@
 #include "model/tuple_pdf.h"
 #include "model/value_pdf.h"
 #include "serve/synopsis_server.h"
+#include "stream/ingest_coordinator.h"
 #include "util/deadline.h"
 #include "util/status.h"
 
@@ -274,6 +275,16 @@ class SynopsisEngine {
   /// the query tier over it. Every blob is decoded and checksum-verified
   /// before the server is returned.
   StatusOr<SynopsisServer> Serve(const std::string& path) const;
+
+  /// Stands up the concurrent ingest tier (stream/ingest_coordinator.h)
+  /// over this engine's worker pool and workspace pool: each opened stream
+  /// leases its own DpWorkspace (warm chain-store capacity across
+  /// coordinator generations), and DrainAll fans out one pool lane per
+  /// stream. Validates `options` (kInvalidArgument on a zero budget or
+  /// capacity, non-positive epsilon). The engine must outlive the returned
+  /// coordinator.
+  StatusOr<std::unique_ptr<IngestCoordinator>> OpenIngest(
+      const IngestOptions& options) const;
 
  private:
   template <typename Input>

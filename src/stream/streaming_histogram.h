@@ -4,6 +4,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "core/dp_kernels.h"
@@ -100,6 +101,21 @@ class StreamingHistogramBuilder {
     Push(ValuePdf::PointMass(frequency));
   }
 
+  /// Appends a block of consecutive items — BIT-IDENTICAL to calling
+  /// Push(pdfs[0]), Push(pdfs[1]), ... in order (every committed
+  /// breakpoint, error, chain, cost, and peak count; pinned by a seeded
+  /// differential sweep in tests/ingest_test.cc), but amortizing the
+  /// per-push work across the block: prefix snapshots and the
+  /// reciprocal-of-width table extend once per block, each layer's
+  /// committed columns are swept once for up to 8 pushes per SIMD register
+  /// (SimdStreamingBatchSweep, lane-per-push), and chain-store commits
+  /// replay in one pass per layer. Internally processes kBatchWidth-item
+  /// blocks layer-major, with a per-push visibility timeline reproducing
+  /// exactly the candidate set each sequential push would have seen.
+  /// Arbitrary interleaving with single Push calls is allowed; the
+  /// reference kernel falls back to looped Push.
+  void PushBatch(std::span<const ValuePdf> pdfs);
+
   /// Number of items consumed so far.
   std::size_t items_seen() const { return count_; }
 
@@ -147,6 +163,11 @@ class StreamingHistogramBuilder {
     std::vector<double> cand_sum_mean;
     std::vector<double> cand_sum_second;
     std::vector<double> cand_position;
+    // Negated integer positions (kept in lockstep with cand_position): the
+    // batched sweep's AVX-512 path indexes its reciprocal table at
+    // recips + count + neg_position[i], turning 8 consecutive widths into
+    // one contiguous load.
+    std::vector<std::int64_t> cand_neg_position;
     Breakpoint pending;
     bool has_pending = false;
     double class_base = 0.0;
@@ -171,6 +192,10 @@ class StreamingHistogramBuilder {
   void PushReference();
   void PushPointCost();
 
+  // One <= kBatchWidth block of the batched point-cost path: layer-major
+  // replay of the sequential recurrence (see PushBatch).
+  void PushBatchPointCost(std::span<const ValuePdf> pdfs);
+
   // Shared commit/update step of both Push loops: applies the geometric
   // last-position-of-class rule to every layer from this push's
   // evaluations, keeping the hoisted candidate columns in lockstep with
@@ -194,6 +219,31 @@ class StreamingHistogramBuilder {
   // builder's own.
   std::unique_ptr<StreamChainStore> owned_chain_store_;
   StreamChainStore* chain_store_;
+
+  // --- Batched-push (PushBatch) state. --------------------------------
+  // Internal block size: 4 full AVX-512 lane groups per layer sweep —
+  // measured knee of the amortization curve (larger blocks stopped
+  // helping; see docs/benchmarks.md).
+  static constexpr std::size_t kBatchWidth = 32;
+  // recips_[w] == 1.0 / w for every bucket width seen so far; extended
+  // once per block, consumed by the batched sweep's Markstein division.
+  std::vector<double> recips_;
+  // Per-block scratch, flat [layer * kBatchWidth + push] where it is
+  // two-dimensional; capacities stick across blocks so steady-state
+  // batches allocate nothing (beyond the shared chain store / committed
+  // columns both push paths already grow).
+  std::vector<Snapshot> batch_snapshots_;            // running_ after push k
+  std::vector<double> batch_errors_;                 // eval errors, B x KB
+  std::vector<StreamChainStore::Ref> batch_chains_;  // eval chains, B x KB
+  std::vector<std::uint32_t> batch_visible_;  // committed size visible to
+                                              // push k, B x (KB + 1)
+  // Pre-block pendings, captured (with a chain reference held to block
+  // end) before each layer's commit pass overwrites the pending slot: the
+  // k = 0 column of the next layer's pending-candidate timeline.
+  std::vector<Snapshot> batch_pend0_at_;
+  std::vector<double> batch_pend0_error_;
+  std::vector<StreamChainStore::Ref> batch_pend0_chain_;
+  std::vector<unsigned char> batch_pend0_has_;
 };
 
 }  // namespace probsyn
